@@ -1,0 +1,57 @@
+// Command memverify reproduces §3.3: bounded verification that each of the
+// 115 corpus loops is memoryless (on strings of length <= 3, which the
+// small-model theorems of §3 extend to all lengths). The paper proves 85 of
+// 115 in under three seconds per loop on average.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stringloops/internal/loopdb"
+	"stringloops/internal/memoryless"
+)
+
+func main() {
+	maxLen := flag.Int("maxlen", 3, "bounded-check string length")
+	verbose := flag.Bool("v", false, "per-loop results")
+	flag.Parse()
+
+	verified, total := 0, 0
+	var elapsed time.Duration
+	perProg := map[string][2]int{}
+	for _, l := range loopdb.Corpus() {
+		f, err := l.Lower()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memverify: %v\n", err)
+			os.Exit(1)
+		}
+		r := memoryless.Verify(f, *maxLen)
+		total++
+		elapsed += r.Elapsed
+		pp := perProg[l.Program]
+		pp[1]++
+		if r.Memoryless {
+			verified++
+			pp[0]++
+			if *verbose {
+				fmt.Printf("%-32s memoryless (%s spec, %v)\n", l.Name, r.Spec.Dir, r.Elapsed.Round(time.Millisecond))
+			}
+		} else if *verbose {
+			fmt.Printf("%-32s rejected: %s\n", l.Name, r.Reason)
+		}
+		perProg[l.Program] = pp
+	}
+	fmt.Println("Memorylessness verification (§3.3):")
+	for _, prog := range loopdb.Programs {
+		pp := perProg[prog]
+		if pp[1] == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s %3d/%d\n", prog, pp[0], pp[1])
+	}
+	fmt.Printf("verified %d of %d loops; average %.3fs per loop (paper: 85/115, <3s)\n",
+		verified, total, elapsed.Seconds()/float64(total))
+}

@@ -1,0 +1,42 @@
+// Command testgen is the testing application of the paper's title: it
+// summarises the string loops in a C file and emits a self-contained C test
+// harness with one covering input per loop behaviour, derived by solving the
+// summary's string constraints (§4.3's use of string solvers for test
+// generation). Compile the output with any C compiler and run it.
+//
+//	testgen [-maxlen 4] [-timeout 30s] file.c > file_test.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stringloops/internal/harness"
+)
+
+func main() {
+	maxLen := flag.Int("maxlen", 4, "generate tests over strings up to this length")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-loop synthesis budget")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: testgen [flags] file.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "testgen: %v\n", err)
+		os.Exit(1)
+	}
+	out, total, err := harness.GenerateCTests(string(src), harness.CTestOptions{
+		MaxLen:  *maxLen,
+		Timeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "testgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "testgen: %d tests generated\n", total)
+	fmt.Print(out)
+}

@@ -1,0 +1,41 @@
+// Quickstart: summarise the paper's Figure 1 loop (from bash 4.4) and print
+// the standard-library replacement.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stringloops"
+)
+
+// figure1 is the whitespace-skipping loop of the paper's Figure 1, verbatim.
+const figure1 = `
+#define whitespace(c) (((c) == ' ') || ((c) == '\t'))
+char* loopFunction(char* line) {
+  char *p;
+  for (p = line; p && *p && whitespace (*p); p++)
+    ;
+  return p;
+}`
+
+func main() {
+	summary, err := stringloops.Summarize(figure1, stringloops.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("loop summary:", summary.Readable)
+	if summary.Memoryless {
+		fmt.Printf("proved memoryless (%s traversal): the summary is equivalent for strings of every length\n\n", summary.Direction)
+	}
+	fmt.Println(summary.C)
+
+	// The summary is executable: run it like the loop.
+	for _, input := range []string{"  \thello", "world", ""} {
+		off, _ := summary.Run(input)
+		fmt.Printf("loopFunction(%-10q) returns input+%d -> %q\n", input, off, input[off:])
+	}
+}

@@ -1,0 +1,53 @@
+// Symbolic testing: use a loop summary to generate a covering test suite —
+// the §4.3 application. The summary turns the loop into string-solver
+// constraints, so one solver model per behaviour covers every path without
+// forking through the loop's exponentially many symbolic paths.
+//
+//	go run ./examples/symbolic-testing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stringloops"
+)
+
+// A delimiter scanner in the style of the paper's corpus: it stops at ';' or
+// ',' or the end of the string.
+const scanner = `
+char *scan_to_delim(char *s) {
+  while (*s && *s != ';' && *s != ',')
+    s++;
+  return s;
+}`
+
+func main() {
+	summary, err := stringloops.Summarize(scanner, stringloops.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("summary:", summary.Readable)
+
+	// One test input per distinct behaviour on strings up to length 4.
+	tests := summary.CoveringInputs(4)
+	fmt.Printf("covering test suite (%d inputs):\n", len(tests))
+	for _, tc := range tests {
+		if tc.Null {
+			fmt.Printf("  %-8q -> NULL\n", tc.Input)
+			continue
+		}
+		fmt.Printf("  %-8q -> input+%d\n", tc.Input, tc.Offset)
+	}
+
+	// The generated expectations are trustworthy: replay them against the
+	// summary itself (in a real workflow, against the original C under a
+	// sanitizer or fuzzer harness).
+	for _, tc := range tests {
+		off, found := summary.Run(tc.Input)
+		if tc.Null != !found || (found && off != tc.Offset) {
+			log.Fatalf("behaviour mismatch on %q", tc.Input)
+		}
+	}
+	fmt.Println("replayed all generated tests: behaviours confirmed")
+}

@@ -1,0 +1,3 @@
+module stringloops
+
+go 1.22

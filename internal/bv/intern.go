@@ -1,0 +1,67 @@
+package bv
+
+import "sync"
+
+// Hash-consing: every constructor funnels through intern/internBool, so
+// structurally equal nodes are pointer-equal. This keeps expression DAGs
+// from exploding (symbolic execution rebuilds the same subterms constantly),
+// makes the pointer-equality rewrites in the smart constructors fire, and
+// turns the per-node caches in the evaluator and bit-blaster into true
+// DAG-linear algorithms.
+//
+// The tables are process-global and guarded by a mutex; when they grow past
+// a soft cap they are cleared, which only costs future sharing (pointer
+// equality still implies structural equality afterwards).
+
+type termKey struct {
+	kind  Kind
+	width int
+	val   uint64
+	name  string
+	cond  *Bool
+	a, b  *Term
+}
+
+type boolKey struct {
+	kind BKind
+	val  bool
+	name string
+	a, b *Bool
+	x, y *Term
+}
+
+const internSoftCap = 1 << 21
+
+var (
+	internMu sync.Mutex
+	termTab  = make(map[termKey]*Term)
+	boolTab  = make(map[boolKey]*Bool)
+)
+
+func intern(t *Term) *Term {
+	k := termKey{kind: t.Kind, width: t.Width, val: t.Val, name: t.Name, cond: t.Cond, a: t.A, b: t.B}
+	internMu.Lock()
+	defer internMu.Unlock()
+	if old, ok := termTab[k]; ok {
+		return old
+	}
+	if len(termTab) >= internSoftCap {
+		termTab = make(map[termKey]*Term)
+	}
+	termTab[k] = t
+	return t
+}
+
+func internBool(b *Bool) *Bool {
+	k := boolKey{kind: b.Kind, val: b.Val, name: b.Name, a: b.A, b: b.B, x: b.X, y: b.Y}
+	internMu.Lock()
+	defer internMu.Unlock()
+	if old, ok := boolTab[k]; ok {
+		return old
+	}
+	if len(boolTab) >= internSoftCap {
+		boolTab = make(map[boolKey]*Bool)
+	}
+	boolTab[k] = b
+	return b
+}

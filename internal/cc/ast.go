@@ -1,0 +1,286 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BaseType is a scalar C type.
+type BaseType uint8
+
+// Base types.
+const (
+	TyVoid BaseType = iota
+	TyChar
+	TyInt
+	TyLong
+	TyShort
+)
+
+// Type is a C type in this subset: a possibly-unsigned scalar with a pointer
+// depth. Qualifiers (const, volatile) are parsed and dropped; they do not
+// affect the analyses.
+type Type struct {
+	Base     BaseType
+	Unsigned bool
+	Ptr      int // pointer depth: 0 = scalar, 1 = T*, 2 = T**, ...
+}
+
+// IsPointer reports whether the type has pointer depth > 0.
+func (t Type) IsPointer() bool { return t.Ptr > 0 }
+
+// Deref returns the pointee type. It panics on non-pointers.
+func (t Type) Deref() Type {
+	if t.Ptr == 0 {
+		panic("cc: deref of non-pointer type")
+	}
+	t.Ptr--
+	return t
+}
+
+// AddrOf returns the pointer-to-t type.
+func (t Type) AddrOf() Type {
+	t.Ptr++
+	return t
+}
+
+func (t Type) String() string {
+	var sb strings.Builder
+	if t.Unsigned {
+		sb.WriteString("unsigned ")
+	}
+	switch t.Base {
+	case TyVoid:
+		sb.WriteString("void")
+	case TyChar:
+		sb.WriteString("char")
+	case TyInt:
+		sb.WriteString("int")
+	case TyLong:
+		sb.WriteString("long")
+	case TyShort:
+		sb.WriteString("short")
+	}
+	sb.WriteString(strings.Repeat("*", t.Ptr))
+	return sb.String()
+}
+
+// ---- Expressions ----
+
+// Expr is a C expression node.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Ident is a variable reference.
+type Ident struct{ Name string }
+
+// IntLit is an integer literal.
+type IntLit struct{ Val int64 }
+
+// CharLit is a character literal.
+type CharLit struct{ Val byte }
+
+// StringLit is a string literal.
+type StringLit struct{ Val string }
+
+// Unary is a prefix unary expression. Op is one of - ! ~ * & ++ --.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Postfix is a postfix ++ or --.
+type Postfix struct {
+	Op string // "++" or "--"
+	X  Expr
+}
+
+// Binary is a binary expression. Op covers arithmetic, comparison, bitwise
+// and short-circuit logical operators.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Assign is an assignment, possibly compound (Op "=", "+=", ...).
+type Assign struct {
+	Op   string
+	L, R Expr
+}
+
+// Cond is the ternary conditional.
+type Cond struct {
+	C, T, F Expr
+}
+
+// Call is a function call by name.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// Index is array indexing a[i].
+type Index struct {
+	Base, Idx Expr
+}
+
+// Cast is a C cast.
+type Cast struct {
+	To Type
+	X  Expr
+}
+
+func (*Ident) exprNode()     {}
+func (*IntLit) exprNode()    {}
+func (*CharLit) exprNode()   {}
+func (*StringLit) exprNode() {}
+func (*Unary) exprNode()     {}
+func (*Postfix) exprNode()   {}
+func (*Binary) exprNode()    {}
+func (*Assign) exprNode()    {}
+func (*Cond) exprNode()      {}
+func (*Call) exprNode()      {}
+func (*Index) exprNode()     {}
+func (*Cast) exprNode()      {}
+
+func (e *Ident) String() string     { return e.Name }
+func (e *IntLit) String() string    { return fmt.Sprintf("%d", e.Val) }
+func (e *CharLit) String() string   { return fmt.Sprintf("%q", rune(e.Val)) }
+func (e *StringLit) String() string { return fmt.Sprintf("%q", e.Val) }
+func (e *Unary) String() string     { return "(" + e.Op + e.X.String() + ")" }
+func (e *Postfix) String() string   { return "(" + e.X.String() + e.Op + ")" }
+func (e *Binary) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+func (e *Assign) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+func (e *Cond) String() string {
+	return "(" + e.C.String() + " ? " + e.T.String() + " : " + e.F.String() + ")"
+}
+func (e *Call) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(args, ", ") + ")"
+}
+func (e *Index) String() string { return e.Base.String() + "[" + e.Idx.String() + "]" }
+func (e *Cast) String() string  { return "(" + e.To.String() + ")" + e.X.String() }
+
+// ---- Statements ----
+
+// Stmt is a C statement node.
+type Stmt interface {
+	stmtNode()
+}
+
+// VarDecl is a single declarator inside a declaration statement.
+type VarDecl struct {
+	Name string
+	Type Type
+	Init Expr // may be nil
+}
+
+// DeclStmt declares one or more variables.
+type DeclStmt struct{ Decls []*VarDecl }
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct{ X Expr }
+
+// EmptyStmt is a lone semicolon (common as a loop body).
+type EmptyStmt struct{}
+
+// Block is a brace-enclosed statement list.
+type Block struct{ Stmts []Stmt }
+
+// If is a conditional statement.
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// While is a while loop.
+type While struct {
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhile is a do-while loop.
+type DoWhile struct {
+	Body Stmt
+	Cond Expr
+}
+
+// For is a C for loop; any of Init/Cond/Post may be nil. Init is either a
+// DeclStmt or an ExprStmt.
+type For struct {
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// Return returns from the function; X may be nil.
+type Return struct{ X Expr }
+
+// Break exits the innermost loop.
+type Break struct{}
+
+// Continue continues the innermost loop.
+type Continue struct{}
+
+// Goto jumps to a label.
+type Goto struct{ Label string }
+
+// Labeled attaches a label to a statement.
+type Labeled struct {
+	Label string
+	Stmt  Stmt
+}
+
+func (*DeclStmt) stmtNode()  {}
+func (*ExprStmt) stmtNode()  {}
+func (*EmptyStmt) stmtNode() {}
+func (*Block) stmtNode()     {}
+func (*If) stmtNode()        {}
+func (*While) stmtNode()     {}
+func (*DoWhile) stmtNode()   {}
+func (*For) stmtNode()       {}
+func (*Return) stmtNode()    {}
+func (*Break) stmtNode()     {}
+func (*Continue) stmtNode()  {}
+func (*Goto) stmtNode()      {}
+func (*Labeled) stmtNode()   {}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    Type
+	Params []Param
+	Body   *Block
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Funcs []*FuncDecl
+}
+
+// Lookup returns the function with the given name, or nil.
+func (f *File) Lookup(name string) *FuncDecl {
+	for _, fn := range f.Funcs {
+		if fn.Name == name {
+			return fn
+		}
+	}
+	return nil
+}

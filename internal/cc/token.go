@@ -1,0 +1,74 @@
+// Package cc is a front end for the subset of C that real-world string loops
+// are written in: functions over char/int/long/size_t values and pointers,
+// the full statement repertoire those loops use (for, while, do-while, if,
+// goto, break, continue, return), pointer arithmetic, array indexing,
+// short-circuit logic, and a one-file preprocessor handling #define macros
+// (both object-like and function-like, e.g. the whitespace(c) macro of the
+// paper's Figure 1). It plays the role Clang/LLVM's front end plays in the
+// paper's artifact.
+package cc
+
+import "fmt"
+
+// TokKind classifies a token.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TEOF TokKind = iota
+	TIdent
+	TNumber // integer literal
+	TChar   // character literal
+	TString // string literal
+	TPunct  // operator or punctuation
+	TKeyword
+)
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string // identifier text, punctuation spelling, keyword
+	Num  int64  // value for TNumber and TChar
+	Str  string // decoded value for TString
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TEOF:
+		return "<eof>"
+	case TNumber:
+		return fmt.Sprintf("%d", t.Num)
+	case TChar:
+		return fmt.Sprintf("%q", byte(t.Num))
+	case TString:
+		return fmt.Sprintf("%q", t.Str)
+	default:
+		return t.Text
+	}
+}
+
+// Pos formats the token's position for error messages.
+func (t Token) Pos() string { return fmt.Sprintf("%d:%d", t.Line, t.Col) }
+
+var keywords = map[string]bool{
+	"void": true, "char": true, "int": true, "long": true, "short": true,
+	"unsigned": true, "signed": true, "const": true, "static": true,
+	"inline": true, "extern": true, "register": true, "volatile": true,
+	"if": true, "else": true, "for": true, "while": true, "do": true,
+	"return": true, "break": true, "continue": true, "goto": true,
+	"sizeof": true, "struct": true, "union": true, "enum": true,
+	"switch": true, "case": true, "default": true, "typedef": true,
+}
+
+// IsTypeName reports whether name begins a type in this C subset. size_t and
+// ssize_t are treated as built-in typedefs since string code uses them
+// pervasively.
+func IsTypeName(name string) bool {
+	switch name {
+	case "void", "char", "int", "long", "short", "unsigned", "signed", "const", "size_t", "ssize_t":
+		return true
+	}
+	return false
+}

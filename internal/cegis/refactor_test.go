@@ -1,0 +1,226 @@
+package cegis
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"stringloops/internal/cc"
+	"stringloops/internal/cir"
+	"stringloops/internal/cstr"
+	"stringloops/internal/vocab"
+)
+
+// The §4.5 validator: original loop vs refactored library-call form.
+
+func verifyPair(t *testing.T, src, a, b string) (bool, []byte) {
+	t.Helper()
+	fa := lowerLoopNamed(t, src, a)
+	fb := lowerLoopNamed(t, src, b)
+	ok, cex, err := VerifyFunctionEquivalence(fa, fb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok, cex
+}
+
+func lowerLoopNamed(t *testing.T, src, name string) *cir.Func {
+	t.Helper()
+	file, err := cc.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := file.Lookup(name)
+	if fn == nil {
+		t.Fatalf("function %s not found", name)
+	}
+	g, err := cir.LowerFunc(fn, file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRefactoringCorrectStrspn(t *testing.T) {
+	ok, cex := verifyPair(t, `
+char *orig(char *s) {
+  while (*s == ' ' || *s == '\t')
+    s++;
+  return s;
+}
+char *refactored(char *s) {
+  return s + strspn(s, " \t");
+}`, "orig", "refactored")
+	if !ok {
+		t.Fatalf("correct refactoring rejected, cex %q", cex)
+	}
+}
+
+func TestRefactoringCorrectStrcspn(t *testing.T) {
+	ok, cex := verifyPair(t, `
+char *orig(char *s) {
+  while (*s && *s != ':' && *s != ';')
+    s++;
+  return s;
+}
+char *refactored(char *s) {
+  return s + strcspn(s, ":;");
+}`, "orig", "refactored")
+	if !ok {
+		t.Fatalf("correct refactoring rejected, cex %q", cex)
+	}
+}
+
+func TestRefactoringCorrectStrchr(t *testing.T) {
+	ok, cex := verifyPair(t, `
+char *orig(char *s) {
+  while (*s && *s != '@')
+    s++;
+  return *s == '@' ? s : 0;
+}
+char *refactored(char *s) {
+  return strchr(s, '@');
+}`, "orig", "refactored")
+	if !ok {
+		t.Fatalf("correct refactoring rejected, cex %q", cex)
+	}
+}
+
+func TestRefactoringWrongSetDetected(t *testing.T) {
+	// The classic refactoring bug: forgetting one member of the set.
+	ok, cex := verifyPair(t, `
+char *orig(char *s) {
+  while (*s == ' ' || *s == '\t')
+    s++;
+  return s;
+}
+char *refactored(char *s) {
+  return s + strspn(s, " ");
+}`, "orig", "refactored")
+	if ok {
+		t.Fatal("wrong refactoring accepted")
+	}
+	if cex == nil {
+		t.Fatal("no counterexample")
+	}
+	// The counterexample must actually distinguish the two: it should start
+	// with a tab (the forgotten member).
+	if n := cstr.Strlen(cex, 0); n == 0 || cex[0] != '\t' {
+		t.Logf("counterexample %q (any distinguishing input is acceptable)", cex)
+	}
+}
+
+func TestRefactoringNullBehaviourDetected(t *testing.T) {
+	// The original guards NULL, the refactoring does not: caught by the
+	// concrete NULL test point.
+	ok, _ := verifyPair(t, `
+char *orig(char *s) {
+  char *p;
+  for (p = s; p && *p == ' '; p++)
+    ;
+  return p;
+}
+char *refactored(char *s) {
+  return s + strspn(s, " ");
+}`, "orig", "refactored")
+	if ok {
+		t.Fatal("NULL-behaviour change accepted")
+	}
+}
+
+// TestSmallModelExtendsToLongerStrings is the empirical side of §3: a
+// summary verified on strings of length <= 3 must agree with the loop on
+// much longer strings. Random memoryless loops are generated, summarised,
+// and then cross-checked on exhaustive length-6 inputs plus random long
+// ones.
+func TestSmallModelExtendsToLongerStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	alphabet := []byte{'a', 'b', ' '}
+	for iter := 0; iter < 20; iter++ {
+		// Random loop: span or cspan over a random 1-2 character set,
+		// optionally NULL-guarded.
+		set := []byte{alphabet[rng.Intn(len(alphabet))]}
+		if rng.Intn(2) == 0 {
+			c := alphabet[rng.Intn(len(alphabet))]
+			if c != set[0] {
+				set = append(set, c)
+			}
+		}
+		var cond string
+		if rng.Intn(2) == 0 {
+			for i, c := range set {
+				if i > 0 {
+					cond += " || "
+				}
+				cond += fmt.Sprintf("*p == %d", c)
+			}
+		} else {
+			cond = "*p"
+			for _, c := range set {
+				cond += fmt.Sprintf(" && *p != %d", c)
+			}
+		}
+		src := fmt.Sprintf(`
+char *loop_fn(char *s) {
+  char *p = s;
+  while (%s)
+    p++;
+  return p;
+}`, cond)
+		f := lowerLoop(t, src)
+		out, err := Synthesize(f, Options{Timeout: 30 * time.Second})
+		if err != nil || !out.Found {
+			t.Fatalf("iter %d (%s): synthesis failed: %v %+v", iter, cond, err, out)
+		}
+		// Exhaustive check on length-6 strings over the loop's alphabet plus
+		// a byte outside it.
+		check := func(buf []byte) {
+			mem := cir.NewMemory()
+			obj := mem.AllocData(append([]byte{}, buf...))
+			res, execErr := cir.Exec(f, []cir.CVal{cir.PtrVal(obj, 0)}, mem, 0)
+			want := concreteResult(res, execErr, obj)
+			if got := vocab.Run(out.Program, buf); got != want {
+				t.Fatalf("iter %d: %q on %q: summary %+v, loop %+v",
+					iter, out.Program.Encode(), buf, got, want)
+			}
+		}
+		full := append([]byte{}, alphabet...)
+		full = append(full, 'z')
+		var rec func(prefix []byte)
+		rec = func(prefix []byte) {
+			if len(prefix) == 6 {
+				check(append(append([]byte{}, prefix...), 0))
+				return
+			}
+			for _, c := range full {
+				rec(append(prefix, c))
+			}
+		}
+		rec(nil)
+		// And a handful of long random strings.
+		for k := 0; k < 10; k++ {
+			n := 20 + rng.Intn(40)
+			buf := make([]byte, n+1)
+			for i := 0; i < n; i++ {
+				buf[i] = full[rng.Intn(len(full))]
+			}
+			check(buf)
+		}
+	}
+}
+
+func TestRefactoringStrlenForm(t *testing.T) {
+	ok, cex := verifyPair(t, `
+char *orig(char *s) {
+  while (*s)
+    s++;
+  return s;
+}
+char *refactored(char *s) {
+  return s + strlen(s);
+}`, "orig", "refactored")
+	if !ok {
+		t.Fatalf("strlen refactoring rejected, cex %q", cex)
+	}
+}

@@ -1,0 +1,145 @@
+package cir
+
+// DomTree holds immediate dominators and dominance frontiers for a function,
+// computed with the Cooper–Harvey–Kennedy iterative algorithm.
+type DomTree struct {
+	fn       *Func
+	rpo      []*Block       // reverse postorder
+	rpoIndex map[*Block]int // block -> position in rpo
+	idom     map[*Block]*Block
+	children map[*Block][]*Block
+	frontier map[*Block][]*Block
+}
+
+// BuildDomTree computes the dominator tree of f. Predecessor lists must be
+// current (RecomputePreds).
+func BuildDomTree(f *Func) *DomTree {
+	d := &DomTree{
+		fn:       f,
+		rpoIndex: map[*Block]int{},
+		idom:     map[*Block]*Block{},
+		children: map[*Block][]*Block{},
+		frontier: map[*Block][]*Block{},
+	}
+	d.computeRPO()
+	d.computeIdom()
+	d.computeChildren()
+	d.computeFrontiers()
+	return d
+}
+
+func (d *DomTree) computeRPO() {
+	seen := map[*Block]bool{}
+	var post []*Block
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs() {
+			walk(s)
+		}
+		post = append(post, b)
+	}
+	walk(d.fn.Entry())
+	for i := len(post) - 1; i >= 0; i-- {
+		d.rpoIndex[post[i]] = len(d.rpo)
+		d.rpo = append(d.rpo, post[i])
+	}
+}
+
+func (d *DomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for d.rpoIndex[a] > d.rpoIndex[b] {
+			a = d.idom[a]
+		}
+		for d.rpoIndex[b] > d.rpoIndex[a] {
+			b = d.idom[b]
+		}
+	}
+	return a
+}
+
+func (d *DomTree) computeIdom() {
+	entry := d.fn.Entry()
+	d.idom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range d.rpo[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if d.idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+func (d *DomTree) computeChildren() {
+	for _, b := range d.rpo {
+		if b == d.fn.Entry() {
+			continue
+		}
+		p := d.idom[b]
+		d.children[p] = append(d.children[p], b)
+	}
+}
+
+func (d *DomTree) computeFrontiers() {
+	for _, b := range d.rpo {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			runner := p
+			for runner != nil && runner != d.idom[b] {
+				d.frontier[runner] = appendUnique(d.frontier[runner], b)
+				runner = d.idom[runner]
+			}
+		}
+	}
+}
+
+func appendUnique(s []*Block, b *Block) []*Block {
+	for _, x := range s {
+		if x == b {
+			return s
+		}
+	}
+	return append(s, b)
+}
+
+// Idom returns the immediate dominator of b (the entry dominates itself).
+func (d *DomTree) Idom(b *Block) *Block { return d.idom[b] }
+
+// Children returns the dominator-tree children of b.
+func (d *DomTree) Children(b *Block) []*Block { return d.children[b] }
+
+// Frontier returns the dominance frontier of b.
+func (d *DomTree) Frontier(b *Block) []*Block { return d.frontier[b] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *DomTree) Dominates(a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := d.idom[b]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}

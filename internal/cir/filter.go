@@ -1,0 +1,171 @@
+package cir
+
+import "strconv"
+
+// This file implements the automatic loop filtering pipeline of §4.1.1
+// (Table 2). Functions are lowered, mem2reg is applied, loops are detected,
+// and four filters run in sequence:
+//
+//  1. loops containing inner loops are pruned (only innermost loops remain);
+//  2. loops with calls that take pointer arguments or return pointers are
+//     pruned;
+//  3. loops containing writes into arrays are pruned (after mem2reg every
+//     remaining store writes through a real pointer);
+//  4. loops reading from more than one pointer are pruned, keeping only
+//     loops whose reads have the form p0 + i.
+
+// FilterStage identifies how far a loop survived the pipeline.
+type FilterStage int
+
+// Pipeline stages, in order. A loop's stage is the first filter that removed
+// it, or StageCandidate if it survived all four.
+const (
+	StageInitial    FilterStage = iota // counted, then removed: has inner loops
+	StageInnerOK                       // removed: pointer-taking/returning calls
+	StagePtrCallOK                     // removed: array writes
+	StageNoWritesOK                    // removed: multiple pointer reads
+	StageCandidate                     // survived the automatic pipeline
+)
+
+// LoopInfo couples a loop with its function and classification.
+type LoopInfo struct {
+	Func  *Func
+	Loop  *Loop
+	Stage FilterStage
+}
+
+// PipelineCounts mirrors one row of Table 2: the number of loops remaining
+// after each successive filter.
+type PipelineCounts struct {
+	Initial     int // all loops
+	Inner       int // after pruning loops that contain inner loops
+	PtrCalls    int // after pruning loops with pointer-taking/returning calls
+	ArrayWrites int // after pruning loops with array writes
+	MultiReads  int // after pruning loops with multiple pointer reads
+}
+
+// ClassifyLoops runs loop detection and the filter pipeline over functions
+// that have already been through Mem2Reg. It returns per-loop classifications
+// and the Table 2-style counts.
+func ClassifyLoops(funcs []*Func) ([]LoopInfo, PipelineCounts) {
+	var infos []LoopInfo
+	var counts PipelineCounts
+	for _, f := range funcs {
+		for _, l := range FindLoops(f) {
+			info := LoopInfo{Func: f, Loop: l, Stage: classify(f, l)}
+			infos = append(infos, info)
+			counts.Initial++
+			if info.Stage >= StageInnerOK {
+				counts.Inner++
+			}
+			if info.Stage >= StagePtrCallOK {
+				counts.PtrCalls++
+			}
+			if info.Stage >= StageNoWritesOK {
+				counts.ArrayWrites++
+			}
+			if info.Stage >= StageCandidate {
+				counts.MultiReads++
+			}
+		}
+	}
+	return infos, counts
+}
+
+func classify(f *Func, l *Loop) FilterStage {
+	if !l.IsInnermost() {
+		return StageInitial
+	}
+	if loopHasPointerCall(l) {
+		return StageInnerOK
+	}
+	if loopHasStore(l) {
+		return StagePtrCallOK
+	}
+	if countPointerReadRoots(f, l) > 1 {
+		return StageNoWritesOK
+	}
+	return StageCandidate
+}
+
+func loopHasPointerCall(l *Loop) bool {
+	for _, in := range l.Instrs() {
+		if in.Op != OpCall {
+			continue
+		}
+		if in.Ty == TyPtr {
+			return true
+		}
+		for _, a := range in.Args {
+			if a.Ty == TyPtr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func loopHasStore(l *Loop) bool {
+	for _, in := range l.Instrs() {
+		if in.Op == OpStore {
+			return true
+		}
+	}
+	return false
+}
+
+// countPointerReadRoots counts how many distinct root pointers feed the load
+// addresses inside the loop. Roots are traced through gep chains and phis;
+// a root is a function parameter, a call result, a string literal, or an
+// unpromoted alloca.
+func countPointerReadRoots(f *Func, l *Loop) int {
+	defs := map[int]*Instr{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Res >= 0 {
+				defs[in.Res] = in
+			}
+		}
+	}
+	roots := map[string]bool{}
+	var trace func(o Operand, seen map[int]bool)
+	trace = func(o Operand, seen map[int]bool) {
+		switch o.Kind {
+		case KStr:
+			roots["str"] = true
+			return
+		case KNull, KConst:
+			return
+		}
+		if seen[o.Reg] {
+			return
+		}
+		seen[o.Reg] = true
+		def, ok := defs[o.Reg]
+		if !ok {
+			// A parameter register.
+			roots[regKey(o.Reg)] = true
+			return
+		}
+		switch def.Op {
+		case OpGep:
+			trace(def.Args[0], seen)
+		case OpPhi:
+			for _, a := range def.Args {
+				trace(a, seen)
+			}
+		case OpLoad, OpCall, OpAlloca:
+			roots[regKey(def.Res)] = true
+		default:
+			roots[regKey(def.Res)] = true
+		}
+	}
+	for _, in := range l.Instrs() {
+		if in.Op == OpLoad {
+			trace(in.Args[0], map[int]bool{})
+		}
+	}
+	return len(roots)
+}
+
+func regKey(r int) string { return "%" + strconv.Itoa(r) }

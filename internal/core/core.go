@@ -1,0 +1,349 @@
+// Package core wires the paper's pipeline together: parse C source, lower
+// the loop function to IR, check the memorylessness conditions (§3),
+// synthesise an equivalent gadget program with CEGIS (§2), and compile the
+// summary back to C for refactoring (§4.5). The exported package
+// stringloops at the module root is a thin facade over this package.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"stringloops/internal/bv"
+	"stringloops/internal/cc"
+	"stringloops/internal/cegis"
+	"stringloops/internal/cir"
+	"stringloops/internal/cstr"
+	"stringloops/internal/idiom"
+	"stringloops/internal/memoryless"
+	"stringloops/internal/sat"
+	"stringloops/internal/strsolver"
+	"stringloops/internal/vocab"
+)
+
+// Options configures a summarisation run.
+type Options struct {
+	// Vocabulary as opcode letters (e.g. "MPNIFV"); empty means the full
+	// Table 1 vocabulary.
+	Vocabulary string
+	// MaxProgramSize bounds the encoded summary size (default 9, as in the
+	// paper's main experiment).
+	MaxProgramSize int
+	// MaxSetSize bounds character-set arguments (default 3).
+	MaxSetSize int
+	// MaxExampleLength is the bounded-equivalence string length (default 3;
+	// sound for memoryless loops by §3's small-model theorems).
+	MaxExampleLength int
+	// Timeout bounds the search (default 30s).
+	Timeout time.Duration
+	// RequireMemoryless refuses to summarise loops that fail the §3
+	// memorylessness verification, guaranteeing the summary is equivalent on
+	// strings of every length, not just the bounded check.
+	RequireMemoryless bool
+}
+
+// Summary is a synthesised loop summary.
+type Summary struct {
+	// Encoded is the program in the byte encoding of Table 1.
+	Encoded string
+	// Readable renders the program as named gadgets.
+	Readable string
+	// C is the replacement C function.
+	C string
+	// Memoryless reports whether the §3 verification proved the loop
+	// memoryless (when it did, the summary provably agrees on all strings).
+	Memoryless bool
+	// Direction is the memoryless traversal direction when verified.
+	Direction string
+	// Elapsed is the synthesis time.
+	Elapsed time.Duration
+	prog    vocab.Program
+}
+
+// Errors.
+var (
+	// ErrNotFound means no equivalent program exists within the budget.
+	ErrNotFound = errors.New("core: no summary found within the budget")
+	// ErrNoLoopFunction means the source has no function with the
+	// char *f(char *) shape.
+	ErrNoLoopFunction = errors.New("core: no char *f(char *) function found")
+	// ErrNotMemoryless is returned under RequireMemoryless.
+	ErrNotMemoryless = errors.New("core: loop failed memorylessness verification")
+)
+
+// lowerNamed parses source and lowers funcName (or the first loop-shaped
+// function when funcName is empty).
+func lowerNamed(source, funcName string) (*cir.Func, error) {
+	file, err := cc.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	var decl *cc.FuncDecl
+	if funcName != "" {
+		decl = file.Lookup(funcName)
+		if decl == nil {
+			return nil, fmt.Errorf("core: function %q not found", funcName)
+		}
+	} else {
+		for _, fn := range file.Funcs {
+			if fn.Ret.IsPointer() && len(fn.Params) == 1 && fn.Params[0].Type.IsPointer() {
+				decl = fn
+				break
+			}
+		}
+		if decl == nil {
+			return nil, ErrNoLoopFunction
+		}
+	}
+	return cir.LowerFunc(decl, file)
+}
+
+// Summarize synthesises a summary for funcName in the C source (empty
+// funcName picks the first char*(char*) function).
+func Summarize(source, funcName string, opts Options) (*Summary, error) {
+	f, err := lowerNamed(source, funcName)
+	if err != nil {
+		return nil, err
+	}
+
+	report := memoryless.Verify(f, max(3, opts.MaxExampleLength))
+	if opts.RequireMemoryless && !report.Memoryless {
+		return nil, fmt.Errorf("%w: %s", ErrNotMemoryless, report.Reason)
+	}
+
+	copts := cegis.Options{
+		MaxProgSize: opts.MaxProgramSize,
+		MaxSetLen:   opts.MaxSetSize,
+		MaxExSize:   opts.MaxExampleLength,
+		Timeout:     opts.Timeout,
+	}
+	if opts.Vocabulary != "" {
+		v, err := vocab.VocabularyOf(opts.Vocabulary)
+		if err != nil {
+			return nil, err
+		}
+		copts.Vocabulary = v
+	}
+	out, err := cegis.Synthesize(f, copts)
+	if err != nil && !errors.Is(err, cegis.ErrTimeout) {
+		return nil, err
+	}
+	if !out.Found {
+		return nil, ErrNotFound
+	}
+	s := &Summary{
+		Encoded:    out.Program.Encode(),
+		Readable:   out.Program.String(),
+		C:          vocab.CompileToC(out.Program, f.Name+"_summary"),
+		Memoryless: report.Memoryless,
+		Elapsed:    out.Elapsed,
+		prog:       out.Program,
+	}
+	if report.Memoryless {
+		s.Direction = report.Spec.Dir.String()
+	}
+	return s, nil
+}
+
+// Run executes the summary on a Go string, returning the offset the C loop
+// would return, with found=false for a NULL return. It panics on summaries
+// whose result is the invalid pointer (malformed programs never escape
+// Summarize).
+func (s *Summary) Run(input string) (offset int, found bool) {
+	res := vocab.Run(s.prog, cstr.Terminate(input))
+	switch res.Kind {
+	case vocab.Null:
+		return 0, false
+	case vocab.Ptr:
+		return res.Off, true
+	}
+	panic("core: summary produced an invalid pointer")
+}
+
+// Program exposes the decoded gadget program.
+func (s *Summary) Program() vocab.Program { return s.prog }
+
+// TestInput is a generated test: an input string plus the loop's behaviour
+// on it.
+type TestInput struct {
+	Input string
+	// Offset the loop returns (pointer result), meaningful when !Null.
+	Offset int
+	// Null reports a NULL return.
+	Null bool
+}
+
+// CoveringInputs generates one concrete input per distinct behaviour of the
+// summarised loop on strings up to maxLen — the testing application of §4.3:
+// the summary turns the loop into string-solver constraints, and one solver
+// model per feasible outcome covers every path without enumerating the
+// loop's exponentially many symbolic paths.
+func (s *Summary) CoveringInputs(maxLen int) []TestInput {
+	sym := strsolver.New("s", maxLen)
+	outcomes := vocab.RunSymbolic(vocab.Symbolize(s.prog), sym)
+	var out []TestInput
+	seen := map[string]bool{}
+	for _, o := range outcomes {
+		if o.Res.Kind == vocab.Invalid {
+			continue // undefined behaviour of the original loop
+		}
+		st, model := bv.CheckSat(0, o.Guard)
+		if st != sat.Sat {
+			continue
+		}
+		buf := sym.Concretize(model)
+		in := cstr.GoString(buf, 0)
+		if seen[in] {
+			continue
+		}
+		seen[in] = true
+		ti := TestInput{Input: in}
+		if o.Res.Kind == vocab.Null {
+			ti.Null = true
+		} else {
+			ti.Offset = o.Res.Off
+		}
+		out = append(out, ti)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Input < out[j].Input })
+	return out
+}
+
+// MemorylessReport is the outcome of VerifyMemoryless.
+type MemorylessReport struct {
+	Memoryless bool
+	Direction  string
+	Reason     string
+	Elapsed    time.Duration
+}
+
+// VerifyMemoryless runs the §3 bounded memorylessness verification on the
+// named function.
+func VerifyMemoryless(source, funcName string) (*MemorylessReport, error) {
+	f, err := lowerNamed(source, funcName)
+	if err != nil {
+		return nil, err
+	}
+	r := memoryless.Verify(f, 3)
+	out := &MemorylessReport{Memoryless: r.Memoryless, Reason: r.Reason, Elapsed: r.Elapsed}
+	if r.Memoryless {
+		out.Direction = r.Spec.Dir.String()
+	}
+	return out, nil
+}
+
+// CheckEquivalence verifies an encoded summary against the named loop on all
+// strings up to maxLen, returning a counterexample input when they differ.
+func CheckEquivalence(source, funcName, encoded string, maxLen int) (ok bool, counterexample string, err error) {
+	f, err := lowerNamed(source, funcName)
+	if err != nil {
+		return false, "", err
+	}
+	prog, err := vocab.Decode(encoded)
+	if err != nil {
+		return false, "", err
+	}
+	ok, cex, err := cegis.VerifyEquivalence(f, prog, maxLen)
+	if err != nil {
+		return false, "", err
+	}
+	if !ok && cex != nil {
+		return false, cstr.GoString(cex, 0), nil
+	}
+	return ok, "", nil
+}
+
+// CheckRefactoring verifies that a rewritten function (typically the loop
+// replaced by standard-library calls — strspn, strcspn, strchr, strlen —
+// which the symbolic executor models directly) behaves identically to the
+// original on all strings up to maxLen and on NULL. It returns a
+// distinguishing input when the refactoring is wrong — the validation step
+// behind the §4.5 pull requests.
+func CheckRefactoring(source, originalName, refactoredName string, maxLen int) (ok bool, counterexample string, err error) {
+	a, err := lowerNamed(source, originalName)
+	if err != nil {
+		return false, "", err
+	}
+	b, err := lowerNamed(source, refactoredName)
+	if err != nil {
+		return false, "", err
+	}
+	ok, cex, err := cegis.VerifyFunctionEquivalence(a, b, maxLen)
+	if err != nil {
+		return false, "", err
+	}
+	if !ok && cex != nil {
+		return false, cstr.GoString(cex, 0), nil
+	}
+	return ok, "", nil
+}
+
+// IdiomRewrite is the outcome of the loop-idiom compiler pass.
+type IdiomRewrite struct {
+	// Summary is the synthesised program in readable form.
+	Summary string
+	// OriginalIR and RewrittenIR are the function's IR before and after the
+	// pass (the rewritten form is loop-free, built from string.h calls).
+	OriginalIR  string
+	RewrittenIR string
+}
+
+// RewriteIdiom runs the LoopIdiomRecognize-style pass (§4.4's compiler
+// application) on the named function: summarise the loop, compile the
+// summary to loop-free calls into the C standard library, and prove the
+// replacement equivalent before returning it.
+func RewriteIdiom(source, funcName string, timeout time.Duration) (*IdiomRewrite, error) {
+	f, err := lowerNamed(source, funcName)
+	if err != nil {
+		return nil, err
+	}
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	r, err := idiom.Rewrite(f, cegis.Options{Timeout: timeout})
+	if err != nil {
+		return nil, err
+	}
+	return &IdiomRewrite{
+		Summary:     r.Program.String(),
+		OriginalIR:  f.String(),
+		RewrittenIR: r.Replaced.String(),
+	}, nil
+}
+
+// Candidate is a loop that survived the automatic filter pipeline of §4.1.1.
+type Candidate struct {
+	Function string
+	Stage    string // the filter that removed it, or "candidate"
+}
+
+// FindCandidates runs the automatic filter pipeline over every function in
+// the source, reporting each loop's fate.
+func FindCandidates(source string) ([]Candidate, error) {
+	file, err := cc.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	funcs, err := cir.LowerFile(file)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range funcs {
+		cir.Mem2Reg(f)
+	}
+	infos, _ := cir.ClassifyLoops(funcs)
+	stageNames := map[cir.FilterStage]string{
+		cir.StageInitial:    "outer-loop",
+		cir.StageInnerOK:    "pointer-call",
+		cir.StagePtrCallOK:  "array-write",
+		cir.StageNoWritesOK: "multiple-reads",
+		cir.StageCandidate:  "candidate",
+	}
+	var out []Candidate
+	for _, info := range infos {
+		out = append(out, Candidate{Function: info.Func.Name, Stage: stageNames[info.Stage]})
+	}
+	return out, nil
+}

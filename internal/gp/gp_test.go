@@ -1,0 +1,244 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskySolve(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [8, 7] -> x = [? ]; verify A x = b.
+	a := newMatrix(2)
+	a.set(0, 0, 4)
+	a.set(0, 1, 2)
+	a.set(1, 0, 2)
+	a.set(1, 1, 3)
+	c, err := factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := c.solve([]float64{8, 7})
+	got0 := 4*x[0] + 2*x[1]
+	got1 := 2*x[0] + 3*x[1]
+	if math.Abs(got0-8) > 1e-9 || math.Abs(got1-7) > 1e-9 {
+		t.Fatalf("solve wrong: %v", x)
+	}
+}
+
+func TestCholeskyRandomSPDProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.Intn(8)
+		// Build SPD matrix A = B B^T + I.
+		b := make([][]float64, n)
+		for i := range b {
+			b[i] = make([]float64, n)
+			for j := range b[i] {
+				b[i][j] = rng.NormFloat64()
+			}
+		}
+		a := newMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				sum := 0.0
+				for k := 0; k < n; k++ {
+					sum += b[i][k] * b[j][k]
+				}
+				if i == j {
+					sum++
+				}
+				a.set(i, j, sum)
+			}
+		}
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		c, err := factorize(a)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		x := c.solve(rhs)
+		for i := 0; i < n; i++ {
+			got := 0.0
+			for j := 0; j < n; j++ {
+				got += a.at(i, j) * x[j]
+			}
+			if math.Abs(got-rhs[i]) > 1e-6 {
+				t.Fatalf("iter %d: residual %g", iter, got-rhs[i])
+			}
+		}
+	}
+}
+
+func TestNotPositiveDefinite(t *testing.T) {
+	a := newMatrix(2)
+	a.set(0, 0, 1)
+	a.set(0, 1, 2)
+	a.set(1, 0, 2)
+	a.set(1, 1, 1)
+	if _, err := factorize(a); err == nil {
+		t.Fatal("indefinite matrix should fail")
+	}
+}
+
+func TestKernelProperties(t *testing.T) {
+	k := HammingRBF(2, 3)
+	f := func(raw uint16) bool {
+		a := bits(raw, 13)
+		// Symmetric and maximal on the diagonal.
+		b := bits(raw^0x5a, 13)
+		return k(a, b) == k(b, a) && k(a, a) >= k(a, b) && k(a, a) == 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bits(v uint16, n int) []bool {
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = v>>uint(i)&1 == 1
+	}
+	return out
+}
+
+func TestRegressorInterpolates(t *testing.T) {
+	// With tiny noise the GP must (nearly) interpolate its observations.
+	x := [][]bool{bits(0b101, 3), bits(0b010, 3), bits(0b111, 3)}
+	y := []float64{1, 5, 3}
+	r := NewRegressor(HammingRBF(4, 2), 1e-8)
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		mean, variance := r.Predict(x[i])
+		if math.Abs(mean-y[i]) > 1e-3 {
+			t.Errorf("point %d: mean %g, want %g", i, mean, y[i])
+		}
+		if variance > 1e-3 {
+			t.Errorf("point %d: variance %g should be tiny", i, variance)
+		}
+	}
+	// Away from data the variance must grow.
+	_, vFar := r.Predict(bits(0b000, 3))
+	if vFar < 1e-3 {
+		t.Errorf("far variance %g should be larger", vFar)
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	// EI is zero-ish well below the best, positive above it.
+	if ei := ExpectedImprovement(0, 1e-9, 10); ei != 0 {
+		t.Fatalf("EI far below best = %g", ei)
+	}
+	if ei := ExpectedImprovement(12, 1e-9, 10); math.Abs(ei-2) > 1e-6 {
+		t.Fatalf("EI above best = %g, want 2", ei)
+	}
+	// More uncertainty means more EI at the same mean.
+	lo := ExpectedImprovement(9, 0.1, 10)
+	hi := ExpectedImprovement(9, 2.0, 10)
+	if hi <= lo {
+		t.Fatalf("EI should grow with std: %g vs %g", lo, hi)
+	}
+}
+
+func TestMaximizeFindsOptimum(t *testing.T) {
+	// Objective over {0,1}^10: reward bits matching a target pattern, so a
+	// unique maximum exists at the target.
+	target := bits(0b1011001110, 10)
+	calls := 0
+	f := func(v []bool) float64 {
+		calls++
+		score := 0.0
+		for i := range v {
+			if v[i] == target[i] {
+				score++
+			}
+		}
+		return score
+	}
+	best, bestY, history := Maximize(f, 10, Options{Evaluations: 60, Seed: 1})
+	if calls != 60 || len(history) != 60 {
+		t.Fatalf("calls = %d, history = %d", calls, len(history))
+	}
+	if bestY < 9 {
+		t.Fatalf("best score %g; GP should get within one bit of the target", bestY)
+	}
+	if bestY == 10 {
+		for i := range best {
+			if best[i] != target[i] {
+				t.Fatal("best/bestY inconsistent")
+			}
+		}
+	}
+	// The optimizer must beat random search with the same budget.
+	rng := rand.New(rand.NewSource(1))
+	randBest := 0.0
+	for i := 0; i < 60; i++ {
+		v := make([]bool, 10)
+		for j := range v {
+			v[j] = rng.Intn(2) == 1
+		}
+		s := 0.0
+		for j := range v {
+			if v[j] == target[j] {
+				s++
+			}
+		}
+		if s > randBest {
+			randBest = s
+		}
+	}
+	if bestY < randBest {
+		t.Fatalf("GP (%g) should not lose to random search (%g)", bestY, randBest)
+	}
+}
+
+func TestMaximizeDeterministic(t *testing.T) {
+	f := func(v []bool) float64 {
+		s := 0.0
+		for i, x := range v {
+			if x {
+				s += float64(i)
+			}
+		}
+		return s
+	}
+	_, y1, h1 := Maximize(f, 6, Options{Evaluations: 20, Seed: 7})
+	_, y2, h2 := Maximize(f, 6, Options{Evaluations: 20, Seed: 7})
+	if y1 != y2 || len(h1) != len(h2) {
+		t.Fatal("same seed must reproduce the run")
+	}
+	for i := range h1 {
+		if h1[i].Y != h2[i].Y {
+			t.Fatal("histories diverge")
+		}
+	}
+}
+
+func TestMaximizeNoDuplicateEvaluations(t *testing.T) {
+	seen := map[string]int{}
+	f := func(v []bool) float64 {
+		k := ""
+		for _, x := range v {
+			if x {
+				k += "1"
+			} else {
+				k += "0"
+			}
+		}
+		seen[k]++
+		return 1
+	}
+	Maximize(f, 4, Options{Evaluations: 15, Seed: 2}) // domain size 15
+	for k, n := range seen {
+		if n > 1 {
+			t.Fatalf("candidate %s evaluated %d times", k, n)
+		}
+	}
+	if len(seen) != 15 {
+		t.Fatalf("should exhaust the domain: %d", len(seen))
+	}
+}

@@ -1,0 +1,247 @@
+package idiom
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"stringloops/internal/cc"
+	"stringloops/internal/cegis"
+	"stringloops/internal/cir"
+	"stringloops/internal/cstr"
+	"stringloops/internal/vocab"
+)
+
+func lower(t *testing.T, src string) *cir.Func {
+	t.Helper()
+	file, err := cc.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cir.LowerFunc(file.Funcs[0], file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// runPtr executes a char*(char*) function concretely, returning the result
+// in the interpreter's domain.
+func runPtr(t *testing.T, f *cir.Func, buf []byte) vocab.Result {
+	t.Helper()
+	mem := cir.NewMemory()
+	if buf == nil {
+		res, err := cir.Exec(f, []cir.CVal{cir.NullVal()}, mem, 0)
+		return mapRes(res, err, -1)
+	}
+	obj := mem.AllocData(append([]byte{}, buf...))
+	res, err := cir.Exec(f, []cir.CVal{cir.PtrVal(obj, 0)}, mem, 0)
+	return mapRes(res, err, obj)
+}
+
+func mapRes(res cir.ExecResult, err error, obj int) vocab.Result {
+	switch {
+	case err != nil:
+		return vocab.InvalidResult()
+	case res.Ret.IsNull():
+		return vocab.NullResult()
+	case res.Ret.IsPtr && res.Ret.Obj == obj:
+		return vocab.PtrResult(res.Ret.Off)
+	default:
+		return vocab.InvalidResult()
+	}
+}
+
+// checkRewrite runs the pass and cross-checks the replacement against the
+// original on a battery of inputs.
+func checkRewrite(t *testing.T, src string) *Result {
+	t.Helper()
+	f := lower(t, src)
+	r, err := Rewrite(f, cegis.Options{Timeout: time.Minute})
+	if err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	// The replacement must be loop-free.
+	if loops := cir.FindLoops(r.Replaced); len(loops) != 0 {
+		t.Fatalf("replacement still has %d loops", len(loops))
+	}
+	inputs := []string{"", " ", "abc", "  x", "::", "a:b", "123", "a1b2", "///", "x/y/z", "hello world"}
+	for _, in := range inputs {
+		buf := cstr.Terminate(in)
+		orig := runPtr(t, f, buf)
+		repl := runPtr(t, r.Replaced, buf)
+		if orig != repl {
+			t.Fatalf("on %q: original %+v, replacement %+v (program %s)",
+				in, orig, repl, r.Program.String())
+		}
+	}
+	if orig, repl := runPtr(t, f, nil), runPtr(t, r.Replaced, nil); orig != repl {
+		t.Fatalf("NULL: original %+v, replacement %+v", orig, repl)
+	}
+	return r
+}
+
+func TestRewriteSpanLoop(t *testing.T) {
+	r := checkRewrite(t, `
+char *skip(char *s) {
+  while (*s == ' ' || *s == '\t')
+    s++;
+  return s;
+}`)
+	if r.Program.Encode() != "P\t \x00F" && r.Program.Encode() != "P \t\x00F" {
+		t.Errorf("program %q", r.Program.Encode())
+	}
+}
+
+func TestRewriteCspnLoop(t *testing.T) {
+	checkRewrite(t, `
+char *find(char *s) {
+  while (*s && *s != ':')
+    s++;
+  return s;
+}`)
+}
+
+func TestRewriteStrchrLoop(t *testing.T) {
+	checkRewrite(t, `
+char *find(char *s) {
+  while (*s && *s != '@')
+    s++;
+  return *s == '@' ? s : 0;
+}`)
+}
+
+func TestRewriteStrlenLoop(t *testing.T) {
+	checkRewrite(t, `
+char *end(char *s) {
+  while (*s)
+    s++;
+  return s;
+}`)
+}
+
+func TestRewriteNullGuardedLoop(t *testing.T) {
+	checkRewrite(t, `
+char *skip(char *s) {
+  char *p;
+  for (p = s; p && *p == '/'; p++)
+    ;
+  return p;
+}`)
+}
+
+func TestRewriteRawmemchrLoop(t *testing.T) {
+	// Note: the '/' inputs in checkRewrite exercise the found case; absent
+	// characters are UB in both forms.
+	checkRewrite(t, `
+char *raw(char *s) {
+  while (*s != '/')
+    s++;
+  return s;
+}`)
+}
+
+func TestRewriteDigitLoopExpandsMeta(t *testing.T) {
+	r := checkRewrite(t, `
+char *skipnum(char *s) {
+  while (*s >= '0' && *s <= '9')
+    s++;
+  return s;
+}`)
+	// The emitted IR must carry the expanded digit set literal.
+	found := false
+	for _, lit := range r.Replaced.StrLits {
+		if lit == "0123456789" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("digit set not expanded: %v", r.Replaced.StrLits)
+	}
+}
+
+func TestRewriteBackwardLoopRefused(t *testing.T) {
+	f := lower(t, `
+char *rtrim(char *s) {
+  char *p = s + strlen(s) - 1;
+  while (p >= s && *p == ' ')
+    p--;
+  return p;
+}`)
+	_, err := Rewrite(f, cegis.Options{Timeout: time.Minute})
+	if !errors.Is(err, ErrNoLoopFreeForm) {
+		t.Fatalf("err = %v, want no-loop-free-form", err)
+	}
+}
+
+func TestRewriteUnsummarisableRefused(t *testing.T) {
+	f := lower(t, `
+char *mid(char *s) {
+  int n = 0;
+  while (s[n]) n++;
+  return s + n / 2;
+}`)
+	if _, err := Rewrite(f, cegis.Options{Timeout: 2 * time.Second, MaxProgSize: 4}); err == nil {
+		t.Fatal("unsummarisable loop must be refused")
+	}
+}
+
+func TestCompileIRRejectsMalformed(t *testing.T) {
+	// No return at all.
+	p, _ := vocab.Decode("I")
+	if _, ok := CompileIR(p, "x"); ok {
+		t.Fatal("return-free program accepted")
+	}
+	// Guarded return as the last instruction can run off the end.
+	p, _ = vocab.Decode("ZF")
+	if _, ok := CompileIR(p, "x"); ok {
+		t.Fatal("fall-off-the-end program accepted")
+	}
+	// Reverse has no loop-free form.
+	p, _ = vocab.Decode("VP \x00F")
+	if _, ok := CompileIR(p, "x"); ok {
+		t.Fatal("reverse program accepted")
+	}
+}
+
+func TestCompileIRMatchesInterpreterProperty(t *testing.T) {
+	// Compiled IR must agree with the vocab interpreter on all bounded
+	// buffers for a spread of programs.
+	progs := []string{
+		"P \x00F", "Nab\x00F", "CaF", "RbF", "Bab\x00F", "EF", "IF",
+		"ZFP \x00F", "ZFCaF", "SIF", "P \x00ICbF", "EF",
+	}
+	var bufs [][]byte
+	var rec func(prefix []byte)
+	alphabet := []byte{0, 'a', 'b', ' '}
+	rec = func(prefix []byte) {
+		if len(prefix) == 3 {
+			bufs = append(bufs, append(append([]byte{}, prefix...), 0))
+			return
+		}
+		for _, c := range alphabet {
+			rec(append(prefix, c))
+		}
+	}
+	rec(nil)
+	for _, enc := range progs {
+		p, err := vocab.Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, ok := CompileIR(p, "t")
+		if !ok {
+			t.Fatalf("%q did not compile", enc)
+		}
+		for _, buf := range bufs {
+			want := vocab.Run(p, buf)
+			got := runPtr(t, f, buf)
+			if got != want {
+				t.Fatalf("%q on %q: IR %+v, interpreter %+v", enc, buf, got, want)
+			}
+		}
+		if got, want := runPtr(t, f, nil), vocab.Run(p, nil); got != want {
+			t.Fatalf("%q on NULL: IR %+v, interpreter %+v", enc, got, want)
+		}
+	}
+}

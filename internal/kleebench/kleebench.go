@@ -1,0 +1,103 @@
+// Package kleebench is the harness for §4.3: comparing symbolic execution of
+// a string loop with (str.KLEE) and without (vanilla.KLEE) its summary.
+//
+// The vanilla configuration runs the loop's IR under the forking symbolic
+// executor with per-fork feasibility checks, exactly as KLEE would: on a
+// fully symbolic string of length n the loop forks per iteration and per
+// disjunct, so the path count — and with it the solver time — grows
+// exponentially in n (Figure 3's blow-up).
+//
+// The str configuration replaces the loop with its synthesised summary: the
+// symbolic gadget interpreter turns the summary into one guarded outcome per
+// possible result over the bounded string, and a single string-theory solver
+// query per outcome generates the same test coverage (one test input per
+// behaviour), which is the work KLEE performs when a string solver handles
+// the summarised constraint.
+package kleebench
+
+import (
+	"time"
+
+	"stringloops/internal/bv"
+	"stringloops/internal/cir"
+	"stringloops/internal/strsolver"
+	"stringloops/internal/symex"
+	"stringloops/internal/vocab"
+)
+
+// Measurement is the outcome of one run.
+type Measurement struct {
+	Mode          string // "vanilla" or "str"
+	Length        int    // symbolic string length
+	Time          time.Duration
+	Paths         int // explored paths (vanilla) or guarded outcomes (str)
+	Tests         int // satisfiable behaviours for which a test was produced
+	SolverQueries int
+	TimedOut      bool
+}
+
+// Vanilla symbolically executes the loop on a symbolic string of length n
+// with KLEE-style feasibility checking, producing one test per feasible
+// path.
+func Vanilla(loop *cir.Func, n int, timeout time.Duration) Measurement {
+	start := time.Now()
+	buf := symex.SymbolicString("s", n)
+	eng := &symex.Engine{
+		Objects:          [][]*bv.Term{buf},
+		CheckFeasibility: true,
+		Deadline:         start.Add(timeout),
+	}
+	paths, err := eng.Run(loop, []symex.Value{symex.PtrValue(0, bv.Int32(0))}, bv.True)
+	m := Measurement{
+		Mode:          "vanilla",
+		Length:        n,
+		Paths:         len(paths),
+		SolverQueries: eng.Stats.SolverQueries,
+		TimedOut:      err == symex.ErrTimeout,
+	}
+	// KLEE generates a concrete test input per terminated path.
+	for _, p := range paths {
+		if time.Now().After(start.Add(timeout)) {
+			m.TimedOut = true
+			break
+		}
+		st, _ := bv.CheckSat(0, p.Cond)
+		m.SolverQueries++
+		if st.String() == "sat" {
+			m.Tests++
+		}
+	}
+	m.Time = time.Since(start)
+	return m
+}
+
+// Str runs the summarised form: guarded outcomes from the symbolic gadget
+// interpreter, one string-solver query per outcome.
+func Str(summary vocab.Program, n int, timeout time.Duration) Measurement {
+	start := time.Now()
+	s := strsolver.New("s", n)
+	outcomes := vocab.RunSymbolic(vocab.Symbolize(summary), s)
+	m := Measurement{Mode: "str", Length: n, Paths: len(outcomes)}
+	for _, o := range outcomes {
+		if time.Now().After(start.Add(timeout)) {
+			m.TimedOut = true
+			break
+		}
+		st, _ := bv.CheckSat(0, o.Guard)
+		m.SolverQueries++
+		if st.String() == "sat" {
+			m.Tests++
+		}
+	}
+	m.Time = time.Since(start)
+	return m
+}
+
+// Speedup returns vanilla time over str time (the Figure 4 metric); timed-out
+// vanilla runs yield a lower bound.
+func Speedup(vanilla, str Measurement) float64 {
+	if str.Time <= 0 {
+		return 0
+	}
+	return float64(vanilla.Time) / float64(str.Time)
+}

@@ -1,0 +1,97 @@
+package kleebench
+
+import (
+	"testing"
+	"time"
+
+	"stringloops/internal/cc"
+	"stringloops/internal/cir"
+	"stringloops/internal/vocab"
+)
+
+const wsLoop = `
+#define whitespace(c) (((c) == ' ') || ((c) == '\t'))
+char* loopFunction(char* line) {
+  char *p;
+  for (p = line; p && *p && whitespace (*p); p++)
+    ;
+  return p;
+}`
+
+func lower(t *testing.T, src string) *cir.Func {
+	t.Helper()
+	file, err := cc.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cir.LowerFunc(file.Funcs[0], file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestVanillaPathGrowth(t *testing.T) {
+	f := lower(t, wsLoop)
+	m4 := Vanilla(f, 4, 30*time.Second)
+	m8 := Vanilla(f, 8, 30*time.Second)
+	if m4.TimedOut || m8.TimedOut {
+		t.Fatal("small lengths must not time out")
+	}
+	if m8.Paths <= m4.Paths {
+		t.Fatalf("vanilla paths must grow with length: %d then %d", m4.Paths, m8.Paths)
+	}
+	if m8.SolverQueries <= m4.SolverQueries {
+		t.Fatal("solver queries must grow with length")
+	}
+	if m4.Tests == 0 {
+		t.Fatal("vanilla should produce tests")
+	}
+}
+
+func TestStrStaysFlat(t *testing.T) {
+	prog, err := vocab.Decode("ZFP \t\x00F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4 := Str(prog, 4, 30*time.Second)
+	m12 := Str(prog, 12, 30*time.Second)
+	if m4.TimedOut || m12.TimedOut {
+		t.Fatal("str must not time out")
+	}
+	// Outcomes grow linearly (one per span length), far from exponentially.
+	if m12.Paths > 4*m4.Paths {
+		t.Fatalf("str outcomes should grow slowly: %d then %d", m4.Paths, m12.Paths)
+	}
+	if m12.Tests == 0 {
+		t.Fatal("str should produce tests")
+	}
+}
+
+func TestSpeedupAtModerateLength(t *testing.T) {
+	// The §4.3 headline: at moderate symbolic lengths the summary is much
+	// faster than forking through the loop.
+	f := lower(t, wsLoop)
+	prog, _ := vocab.Decode("ZFP \t\x00F")
+	n := 8
+	v := Vanilla(f, n, time.Minute)
+	s := Str(prog, n, time.Minute)
+	sp := Speedup(v, s)
+	if sp < 2 {
+		t.Fatalf("speedup at n=%d is %.1fx; expected the summary to win clearly (vanilla %v, str %v)",
+			n, sp, v.Time, s.Time)
+	}
+	// Both must cover the same set of behaviours (same test count): the
+	// loop's distinct return offsets 0..n plus NULL.
+	if v.Tests == 0 || s.Tests == 0 {
+		t.Fatal("both modes must generate tests")
+	}
+}
+
+func TestVanillaTimeout(t *testing.T) {
+	f := lower(t, wsLoop)
+	m := Vanilla(f, 16, 10*time.Millisecond)
+	if !m.TimedOut {
+		t.Skip("machine too fast for a 10ms timeout at n=16")
+	}
+}

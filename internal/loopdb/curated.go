@@ -1,0 +1,166 @@
+package loopdb
+
+// The curated corpus: 115 memoryless loops distributed over the 13 programs
+// with Table 3's per-program counts. Ground truth per entry:
+//
+//   - 77 synthesise under the paper's budget (SynthesisCounts);
+//   - 85 pass §3.3 memorylessness verification;
+//   - 10 synthesise but fail §3.3 (ctype calls / constant-offset reads —
+//     the paper's "tolower and isdigit" rejections);
+//   - 18 verify memoryless but exceed the synthesis budget (four-character
+//     sets — the libosip outliers — and meta-character-less letter runs);
+//   - 20 fail both (mid returns, lookahead, first-character memory,
+//     non-unit strides).
+
+// Corpus returns the 115 curated memoryless loops.
+func Corpus() []Loop {
+	var out []Loop
+	add := func(program string, l Loop) {
+		l.Program = program
+		l.Name = program + "/" + l.Name
+		out = append(out, l)
+	}
+
+	// bash: 14 loops, 12 synthesised.
+	add("bash", spanGuarded("skip_ws_guarded", ' ', '\t')) // Figure 1
+	add("bash", spanChar("skip_spaces", ' '))
+	add("bash", cspnChar("find_eq", '='))
+	add("bash", cspnChar("find_colon", ':'))
+	add("bash", chrTernary("find_slash", '/'))
+	add("bash", strlenEnd("to_end"))
+	add("bash", digitSpanCmp("skip_digits"))
+	add("bash", wsSpan3("skip_ws3"))
+	add("bash", rtrim("trim_slashes", '/'))
+	add("bash", spanTwo("skip_ws_pair", ' ', '\t'))
+	add("bash", cspnTwo("find_sep", ';', '&'))
+	add("bash", isdigitCall("skip_digits_ctype"))
+	add("bash", spanFour("skip_ifs", ' ', '\t', ';', ','))
+	add("bash", midReturn("mid_split"))
+
+	// diff: 5 loops, 3 synthesised.
+	add("diff", cspnChar("find_newline", '\n'))
+	add("diff", strlenEnd("to_end"))
+	add("diff", spanChar("skip_spaces", ' '))
+	add("diff", alphaSpan("skip_word"))
+	add("diff", lookahead("pair_commas", ','))
+
+	// awk: 3 loops, 3 synthesised.
+	add("awk", digitSpanCmp("skip_number"))
+	add("awk", wsCspn3("find_ws"))
+	add("awk", isblankCall("skip_blanks"))
+
+	// git: 33 loops, 18 synthesised.
+	add("git", spanGuarded("skip_ws_guarded", ' ', '\t'))
+	add("git", spanChar("skip_slashes", '/'))
+	add("git", spanChar("skip_spaces", ' '))
+	add("git", cspnChar("find_slash", '/'))
+	add("git", cspnChar("find_space", ' '))
+	add("git", rawChr("scan_newline", '\n'))
+	add("git", cspnTwo("find_ws_pair", ' ', '\t'))
+	add("git", chrTernary("find_colon", ':'))
+	add("git", chrTernary("find_comma", ','))
+	add("git", strlenEnd("to_end"))
+	add("git", digitSpanCmp("skip_digits"))
+	add("git", digitCspn("find_digit"))
+	add("git", wsSpan3("skip_ws3"))
+	add("git", rtrim("trim_slashes", '/'))
+	add("git", rtrim("trim_newlines", '\n'))
+	add("git", digitViaOffset("skip_digits_offset"))
+	add("git", isdigitCall("skip_digits_ctype"))
+	add("git", lastCharAccum("last_slash", '/'))
+	add("git", spanFour("skip_seps1", ' ', '\t', ',', ';'))
+	add("git", spanFour("skip_seps2", '/', '.', '-', '_'))
+	add("git", spanFour("skip_seps3", ' ', '\n', '\r', ':'))
+	add("git", spanFour("skip_seps4", '<', '>', '"', '\''))
+	add("git", alphaSpan("skip_ident1"))
+	add("git", alphaSpan("skip_ident2"))
+	add("git", alphaSpan("skip_ident3"))
+	add("git", midReturn("mid1"))
+	add("git", midReturn("mid2"))
+	add("git", midReturn("mid3"))
+	add("git", lookahead("pair_dots", '.'))
+	add("git", lookahead("pair_slashes", '/'))
+	add("git", firstCharRun("run_first1"))
+	add("git", firstCharRun("run_first2"))
+	add("git", strideTwo("hex_pairs", 'x'))
+
+	// grep: 3 loops, 1 synthesised.
+	add("grep", cspnChar("find_newline", '\n'))
+	add("grep", alphaSpan("skip_word"))
+	add("grep", strideTwo("stride", 'x'))
+
+	// m4: 5 loops, 1 synthesised.
+	add("m4", cspnChar("find_comma", ','))
+	add("m4", spanFour("skip_quotes", '`', '\'', '"', ' '))
+	add("m4", spanFour("skip_parens", '(', ')', '[', ']'))
+	add("m4", midReturn("mid"))
+	add("m4", firstCharRun("run_first"))
+
+	// make: 3 loops, 0 synthesised.
+	add("make", alphaSpan("skip_target"))
+	add("make", lookahead("pair_backslash", '\\'))
+	add("make", strideTwo("stride_spaces", ' '))
+
+	// patch: 13 loops, 9 synthesised.
+	add("patch", spanTwo("skip_ws_pair", ' ', '\t'))
+	add("patch", cspnChar("find_at", '@'))
+	add("patch", cspnChar("find_plus", '+'))
+	add("patch", chrTernary("find_dash", '-'))
+	add("patch", strlenEnd("to_end"))
+	add("patch", digitSpanCmp("skip_hunk_digits"))
+	add("patch", wsSpan3("skip_ws3"))
+	add("patch", rtrim("trim_spaces", ' '))
+	add("patch", tolowerSetCmp("skip_p_marker", 'p'))
+	add("patch", spanFour("skip_marks1", '+', '-', '!', '*'))
+	add("patch", spanFour("skip_marks2", '<', '>', '=', ' '))
+	add("patch", midReturn("mid"))
+	add("patch", firstCharRun("run_first"))
+
+	// sed: 0 loops.
+
+	// ssh: 2 loops, 2 synthesised.
+	add("ssh", cspnChar("find_comma", ','))
+	add("ssh", spanChar("skip_spaces", ' '))
+
+	// tar: 15 loops, 10 synthesised.
+	add("tar", spanChar("skip_slashes", '/'))
+	add("tar", spanChar("skip_zeros", '0'))
+	add("tar", cspnChar("find_slash", '/'))
+	add("tar", pbrkTernary("break_nl_slash", '/', '\n'))
+	add("tar", chrTernary("find_eq", '='))
+	add("tar", strlenEnd("to_end"))
+	add("tar", digitSpanCmp("skip_octal"))
+	add("tar", rtrim("trim_slashes", '/'))
+	add("tar", wsCspn3("find_ws"))
+	add("tar", isdigitCall("skip_digits_ctype"))
+	add("tar", spanFour("skip_pad", '0', ' ', '\r', '.'))
+	add("tar", alphaSpan("skip_name"))
+	add("tar", midReturn("mid"))
+	add("tar", lookahead("pair_slashes", '/'))
+	add("tar", strideTwo("stride", '0'))
+
+	// libosip: 13 loops, 12 synthesised.
+	add("libosip", spanTwo("skip_lws", ' ', '\t'))
+	add("libosip", spanGuarded("skip_lws_guarded", ' ', '\t'))
+	add("libosip", cspnChar("find_colon", ':'))
+	add("libosip", cspnChar("find_semi", ';'))
+	add("libosip", cspnChar("find_lt", '<'))
+	add("libosip", chrTernary("find_gt", '>'))
+	add("libosip", chrTernary("find_quote", '"'))
+	add("libosip", strlenEnd("to_end"))
+	add("libosip", digitSpanCmp("skip_digits"))
+	add("libosip", wsSpan3("skip_ws3"))
+	add("libosip", digitViaOffset("skip_digits_offset"))
+	add("libosip", isblankCall("skip_blanks"))
+	add("libosip", spanFour("skip_crlf_ws", ' ', '\t', '\r', ';')) // the >1h outlier
+
+	// wget: 6 loops, 6 synthesised.
+	add("wget", spanChar("skip_slashes", '/'))
+	add("wget", cspnChar("find_query", '?'))
+	add("wget", cspnTwo("find_amp_eq", '&', '='))
+	add("wget", chrTernary("find_frag", '#'))
+	add("wget", strlenEnd("to_end"))
+	add("wget", lastCharAccum("last_dot", '.'))
+
+	return out
+}

@@ -1,0 +1,169 @@
+// Package loopdb is the loop database of §4.1: the corpus standing in for
+// the 13 open-source programs the paper mines (bash, diff, awk, git, grep,
+// m4, make, patch, sed, ssh, tar, libosip, wget).
+//
+// The corpus has two layers (see DESIGN.md §3 for the substitution
+// rationale):
+//
+//   - Corpus() returns the 115 curated memoryless loops — hand-written ports
+//     of the loop patterns the paper describes, with per-program counts
+//     matching Table 3's denominators and ground-truth labels for which
+//     synthesise (77), which verify memoryless (85), and what program each
+//     should summarise to;
+//   - Population() additionally generates, per program, the full Table 2
+//     population (7423 loops): nested loops, pointer-calling loops,
+//     array-writing loops, multi-pointer loops and the manually excluded
+//     candidate categories, every one a real C function that the real filter
+//     pipeline classifies.
+package loopdb
+
+import (
+	"fmt"
+
+	"stringloops/internal/cc"
+	"stringloops/internal/cir"
+	"stringloops/internal/vocab"
+)
+
+// Category is a loop's ground-truth classification.
+type Category int
+
+// Categories, in pipeline order: the four automatic-filter fates, the six
+// manual-exclusion reasons of §4.1.2, and the memoryless survivors.
+const (
+	CatOuterLoop    Category = iota // removed: contains inner loops
+	CatPtrCall                      // removed: pointer-taking/returning call
+	CatArrayWrite                   // removed: writes into arrays
+	CatMultiRead                    // removed: reads several pointers
+	CatGoto                         // manual: goto leaves the loop
+	CatIO                           // manual: I/O side effects
+	CatNoPtrReturn                  // manual: does not return a pointer
+	CatReturnInBody                 // manual: return statement in the body
+	CatTooManyArgs                  // manual: too many arguments
+	CatMultiOutput                  // manual: more than one output
+	CatMemoryless                   // the 115 loops of §4.2
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatOuterLoop:
+		return "outer-loop"
+	case CatPtrCall:
+		return "pointer-call"
+	case CatArrayWrite:
+		return "array-write"
+	case CatMultiRead:
+		return "multi-read"
+	case CatGoto:
+		return "goto"
+	case CatIO:
+		return "io"
+	case CatNoPtrReturn:
+		return "no-pointer-return"
+	case CatReturnInBody:
+		return "return-in-body"
+	case CatTooManyArgs:
+		return "too-many-args"
+	case CatMultiOutput:
+		return "multi-output"
+	case CatMemoryless:
+		return "memoryless"
+	}
+	return "unknown"
+}
+
+// Programs lists the 13 studied programs in Table 2 order.
+var Programs = []string{
+	"bash", "diff", "awk", "git", "grep", "m4", "make",
+	"patch", "sed", "ssh", "tar", "libosip", "wget",
+}
+
+// Loop is one corpus entry.
+type Loop struct {
+	Program  string
+	Name     string
+	FuncName string
+	Source   string // a self-contained C translation unit
+	Category Category
+
+	// Ground truth for memoryless entries.
+	ExpectSynth      bool   // Table 3: synthesised under the paper's budget
+	ExpectMemoryless bool   // §3.3: passes memorylessness verification
+	WantProgram      string // expected summary encoding ("" = any verified)
+
+	// Ref is the Go transliteration of the loop (the "original native code"
+	// side of §4.4); nil for non-memoryless entries.
+	Ref func(buf []byte) vocab.Result
+}
+
+// Lower parses and lowers the loop's function to IR.
+func (l Loop) Lower() (*cir.Func, error) {
+	file, err := cc.Parse(l.Source)
+	if err != nil {
+		return nil, fmt.Errorf("loopdb: %s: %v", l.Name, err)
+	}
+	fn := file.Lookup(l.FuncName)
+	if fn == nil {
+		return nil, fmt.Errorf("loopdb: %s: function %s not found", l.Name, l.FuncName)
+	}
+	return cir.LowerFunc(fn, file)
+}
+
+// ByProgram filters loops by program name.
+func ByProgram(loops []Loop, program string) []Loop {
+	var out []Loop
+	for _, l := range loops {
+		if l.Program == program {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// MemorylessCounts is Table 3's denominator column: curated memoryless loops
+// per program (totalling 115).
+var MemorylessCounts = map[string]int{
+	"bash": 14, "diff": 5, "awk": 3, "git": 33, "grep": 3, "m4": 5,
+	"make": 3, "patch": 13, "sed": 0, "ssh": 2, "tar": 15,
+	"libosip": 13, "wget": 6,
+}
+
+// SynthesisCounts is Table 3's numerator column: loops the paper's 2-hour
+// full-vocabulary run summarises (totalling 77).
+var SynthesisCounts = map[string]int{
+	"bash": 12, "diff": 3, "awk": 3, "git": 18, "grep": 1, "m4": 1,
+	"make": 0, "patch": 9, "sed": 0, "ssh": 2, "tar": 10,
+	"libosip": 12, "wget": 6,
+}
+
+// Table2Row is one row of Table 2: loops remaining after each filter.
+type Table2Row struct {
+	Initial, Inner, PtrCalls, ArrayWrites, MultiReads int
+}
+
+// Table2 is the paper's Table 2, the population targets for the generator.
+var Table2 = map[string]Table2Row{
+	"bash":    {1085, 944, 438, 264, 45},
+	"diff":    {186, 140, 60, 40, 14},
+	"awk":     {608, 502, 210, 105, 17},
+	"git":     {2904, 2598, 725, 495, 108},
+	"grep":    {222, 172, 72, 42, 9},
+	"m4":      {328, 286, 126, 78, 12},
+	"make":    {334, 262, 129, 102, 13},
+	"patch":   {207, 172, 88, 67, 20},
+	"sed":     {125, 104, 35, 19, 1},
+	"ssh":     {604, 544, 227, 84, 12},
+	"tar":     {492, 432, 155, 106, 33},
+	"libosip": {100, 95, 39, 30, 25},
+	"wget":    {228, 197, 115, 83, 14},
+}
+
+// ManualExclusionTotals is §4.1.2's exclusion accounting (208 loops).
+var ManualExclusionTotals = map[Category]int{
+	CatGoto:         2,
+	CatIO:           3,
+	CatNoPtrReturn:  74,
+	CatReturnInBody: 70,
+	CatTooManyArgs:  28,
+	CatMultiOutput:  31,
+}

@@ -1,0 +1,242 @@
+package loopdb
+
+import (
+	"testing"
+
+	"stringloops/internal/cir"
+	"stringloops/internal/cstr"
+	"stringloops/internal/memoryless"
+	"stringloops/internal/vocab"
+)
+
+func TestCorpusCounts(t *testing.T) {
+	corpus := Corpus()
+	if len(corpus) != 115 {
+		t.Fatalf("corpus has %d loops, want 115", len(corpus))
+	}
+	perProg := map[string]int{}
+	perProgSynth := map[string]int{}
+	mem := 0
+	names := map[string]bool{}
+	for _, l := range corpus {
+		if names[l.Name] {
+			t.Errorf("duplicate name %s", l.Name)
+		}
+		names[l.Name] = true
+		perProg[l.Program]++
+		if l.ExpectSynth {
+			perProgSynth[l.Program]++
+		}
+		if l.ExpectMemoryless {
+			mem++
+		}
+		if l.Category != CatMemoryless {
+			t.Errorf("%s: category %v", l.Name, l.Category)
+		}
+		if l.Ref == nil {
+			t.Errorf("%s: missing Go transliteration", l.Name)
+		}
+	}
+	for _, p := range Programs {
+		if perProg[p] != MemorylessCounts[p] {
+			t.Errorf("%s: %d loops, want %d", p, perProg[p], MemorylessCounts[p])
+		}
+		if perProgSynth[p] != SynthesisCounts[p] {
+			t.Errorf("%s: %d synthesisable, want %d", p, perProgSynth[p], SynthesisCounts[p])
+		}
+	}
+	if mem != 85 {
+		t.Errorf("memoryless ground truth = %d, want 85 (§3.3)", mem)
+	}
+}
+
+// execLoop runs a lowered loop on a buffer, mapping into the result domain.
+func execLoop(t *testing.T, f *cir.Func, buf []byte) vocab.Result {
+	t.Helper()
+	mem := cir.NewMemory()
+	if buf == nil {
+		res, err := cir.Exec(f, []cir.CVal{cir.NullVal()}, mem, 0)
+		return mapResult(res, err, -1)
+	}
+	obj := mem.AllocData(append([]byte{}, buf...))
+	res, err := cir.Exec(f, []cir.CVal{cir.PtrVal(obj, 0)}, mem, 0)
+	return mapResult(res, err, obj)
+}
+
+func mapResult(res cir.ExecResult, err error, obj int) vocab.Result {
+	switch {
+	case err != nil:
+		return vocab.InvalidResult()
+	case res.Ret.IsNull():
+		return vocab.NullResult()
+	case res.Ret.IsPtr && res.Ret.Obj == obj:
+		return vocab.PtrResult(res.Ret.Off)
+	default:
+		return vocab.InvalidResult()
+	}
+}
+
+var refInputs = []string{
+	"", " ", "  \t", "abc", " a b ", "123abc", "abc123", "::x", "a:b;c",
+	"///path", "path///", "hello world\n", "0000", "\t\t", "xyz...", "a",
+	"@", "a@b", "   ", "aaa", "++--", "<tag>", "line1\nline2", "p", "PpQ",
+}
+
+func TestCorpusRefsMatchLoops(t *testing.T) {
+	for _, l := range Corpus() {
+		f, err := l.Lower()
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		for _, in := range refInputs {
+			buf := cstr.Terminate(in)
+			want := execLoop(t, f, buf)
+			got := l.Ref(buf)
+			if got != want {
+				t.Errorf("%s: Ref(%q) = %+v, loop = %+v", l.Name, in, got, want)
+			}
+		}
+		if got, want := l.Ref(nil), execLoop(t, f, nil); got != want {
+			t.Errorf("%s: Ref(NULL) = %+v, loop = %+v", l.Name, got, want)
+		}
+	}
+}
+
+func TestCorpusLoopsAreCandidates(t *testing.T) {
+	for _, l := range Corpus() {
+		f, err := l.Lower()
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		cir.Mem2Reg(f)
+		infos, counts := cir.ClassifyLoops([]*cir.Func{f})
+		if counts.Initial != 1 {
+			t.Errorf("%s: %d loops, want exactly 1", l.Name, counts.Initial)
+			continue
+		}
+		if infos[0].Stage != cir.StageCandidate {
+			t.Errorf("%s: filtered at stage %v, want candidate", l.Name, infos[0].Stage)
+		}
+	}
+}
+
+func TestCorpusMemorylessGroundTruth(t *testing.T) {
+	for _, l := range Corpus() {
+		f, err := l.Lower()
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		r := memoryless.Verify(f, 3)
+		if r.Memoryless != l.ExpectMemoryless {
+			t.Errorf("%s: Verify = %v (%s), ground truth %v",
+				l.Name, r.Memoryless, r.Reason, l.ExpectMemoryless)
+		}
+	}
+}
+
+func TestPopulationTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population classification is a few seconds")
+	}
+	pop := Population()
+	for _, prog := range Programs {
+		var funcs []*cir.Func
+		for _, l := range ByProgram(pop, prog) {
+			f, err := l.Lower()
+			if err != nil {
+				t.Fatalf("%s: %v", l.Name, err)
+			}
+			cir.Mem2Reg(f)
+			funcs = append(funcs, f)
+		}
+		_, counts := cir.ClassifyLoops(funcs)
+		want := Table2[prog]
+		got := Table2Row{counts.Initial, counts.Inner, counts.PtrCalls, counts.ArrayWrites, counts.MultiReads}
+		if got != want {
+			t.Errorf("%s: pipeline counts %+v, want %+v", prog, got, want)
+		}
+	}
+}
+
+func TestPopulationManualCategories(t *testing.T) {
+	pop := Population()
+	perCat := map[Category]int{}
+	for _, l := range pop {
+		switch l.Category {
+		case CatGoto, CatIO, CatNoPtrReturn, CatReturnInBody, CatTooManyArgs, CatMultiOutput:
+			perCat[l.Category]++
+		}
+	}
+	for cat, want := range ManualExclusionTotals {
+		if perCat[cat] != want {
+			t.Errorf("%v: %d loops, want %d", cat, perCat[cat], want)
+		}
+	}
+}
+
+func TestManualExclusionLoopsAreCandidates(t *testing.T) {
+	// One representative per manual category must survive the automatic
+	// pipeline (they are excluded manually, not automatically).
+	seen := map[Category]bool{}
+	for _, l := range Population() {
+		switch l.Category {
+		case CatGoto, CatIO, CatNoPtrReturn, CatReturnInBody, CatTooManyArgs, CatMultiOutput:
+			if seen[l.Category] {
+				continue
+			}
+			seen[l.Category] = true
+			f, err := l.Lower()
+			if err != nil {
+				t.Fatalf("%s: %v", l.Name, err)
+			}
+			cir.Mem2Reg(f)
+			infos, _ := cir.ClassifyLoops([]*cir.Func{f})
+			if len(infos) != 1 || infos[0].Stage != cir.StageCandidate {
+				t.Errorf("%s (%v): not a candidate: %+v", l.Name, l.Category, infos)
+			}
+		}
+	}
+}
+
+func TestPopulationGeneratedCategories(t *testing.T) {
+	// One representative per generated bucket classifies as intended.
+	reps := map[Category]cir.FilterStage{
+		CatOuterLoop:  cir.StageInitial,
+		CatPtrCall:    cir.StageInnerOK,
+		CatArrayWrite: cir.StagePtrCallOK,
+		CatMultiRead:  cir.StageNoWritesOK,
+	}
+	seen := map[Category]bool{}
+	for _, l := range Population() {
+		wantStage, ok := reps[l.Category]
+		if !ok || seen[l.Category] {
+			continue
+		}
+		seen[l.Category] = true
+		f, err := l.Lower()
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		cir.Mem2Reg(f)
+		infos, _ := cir.ClassifyLoops([]*cir.Func{f})
+		found := false
+		for _, info := range infos {
+			if info.Stage == wantStage {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s (%v): no loop classified at stage %v: %+v", l.Name, l.Category, wantStage, infos)
+		}
+	}
+}
+
+func TestByProgram(t *testing.T) {
+	corpus := Corpus()
+	if got := len(ByProgram(corpus, "bash")); got != 14 {
+		t.Fatalf("bash loops = %d", got)
+	}
+	if got := len(ByProgram(corpus, "sed")); got != 0 {
+		t.Fatalf("sed loops = %d", got)
+	}
+}

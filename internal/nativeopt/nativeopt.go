@@ -1,0 +1,87 @@
+// Package nativeopt is the harness for §4.4: does replacing a custom string
+// loop with its summary speed up native execution? The original loop runs as
+// its byte-at-a-time Go transliteration (loopdb.Loop.Ref); the summary runs
+// through vocab.CompileGo, whose character sets are precomputed lookup
+// tables and whose scans use the standard library's assembly-backed byte
+// search — the stand-in for glibc's SIMD string routines (DESIGN.md §3).
+package nativeopt
+
+import (
+	"fmt"
+	"time"
+
+	"stringloops/internal/vocab"
+)
+
+// Workload is the §4.4 input set: four strings of about twenty characters.
+// The paper stresses that string choice dominates the outcome; this mirrors
+// its setup without claiming representativeness.
+func Workload() [][]byte {
+	mk := func(s string) []byte { return append([]byte(s), 0) }
+	return [][]byte{
+		mk("   \t  indented line"),
+		mk("key=value;other=next"),
+		mk("/usr/local/bin/tool"),
+		mk("12345 trailing text "),
+	}
+}
+
+// Comparison reports one loop's native timing.
+type Comparison struct {
+	Name      string
+	Original  time.Duration // total for Iterations runs over the workload
+	Summary   time.Duration
+	Speedup   float64 // >1 means the summary is faster
+	Agreement bool    // both sides computed identical results
+}
+
+// Compare times original (the loop transliteration) against the compiled
+// summary on the workload.
+func Compare(name string, original func([]byte) vocab.Result, summary vocab.Program, workload [][]byte, iterations int) (Comparison, error) {
+	compiled := vocab.CompileGo(summary)
+	c := Comparison{Name: name, Agreement: true}
+	// Correctness first: both sides must agree on the workload.
+	for _, w := range workload {
+		if original(w) != compiled(w) {
+			c.Agreement = false
+			return c, fmt.Errorf("nativeopt: %s: summary disagrees with loop on %q", name, w)
+		}
+	}
+	// Interleave the two sides across several rounds and keep each side's
+	// best round: robust against frequency scaling and noisy neighbours.
+	const rounds = 5
+	perRound := iterations / rounds
+	if perRound == 0 {
+		perRound = 1
+	}
+	var sink vocab.Result
+	run := func(f func([]byte) vocab.Result) time.Duration {
+		start := time.Now()
+		for i := 0; i < perRound; i++ {
+			for _, w := range workload {
+				sink = f(w)
+			}
+		}
+		return time.Since(start)
+	}
+	best := func(cur, d time.Duration) time.Duration {
+		if cur == 0 || d < cur {
+			return d
+		}
+		return cur
+	}
+	// Warm both sides once before measuring.
+	run(original)
+	run(compiled)
+	for r := 0; r < rounds; r++ {
+		c.Original = best(c.Original, run(original))
+		c.Summary = best(c.Summary, run(compiled))
+	}
+	_ = sink
+	c.Original *= rounds
+	c.Summary *= rounds
+	if c.Summary > 0 {
+		c.Speedup = float64(c.Original) / float64(c.Summary)
+	}
+	return c, nil
+}

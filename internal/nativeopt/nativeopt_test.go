@@ -1,0 +1,76 @@
+package nativeopt
+
+import (
+	"testing"
+
+	"stringloops/internal/loopdb"
+	"stringloops/internal/vocab"
+)
+
+func TestWorkloadShape(t *testing.T) {
+	w := Workload()
+	if len(w) != 4 {
+		t.Fatalf("workload has %d strings, want 4 (§4.4)", len(w))
+	}
+	for _, s := range w {
+		if s[len(s)-1] != 0 {
+			t.Fatal("workload strings must be NUL-terminated")
+		}
+		if n := len(s) - 1; n < 15 || n > 25 {
+			t.Fatalf("workload string length %d; the paper uses ~20", n)
+		}
+	}
+}
+
+func TestCompareAgreementAndTiming(t *testing.T) {
+	// Whitespace skip: transliteration vs compiled P \t F summary.
+	corpus := loopdb.Corpus()
+	var loop loopdb.Loop
+	for _, l := range corpus {
+		if l.Name == "bash/skip_ws_pair" {
+			loop = l
+		}
+	}
+	if loop.Ref == nil {
+		t.Fatal("corpus loop not found")
+	}
+	prog, err := vocab.Decode(loop.WantProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compare(loop.Name, loop.Ref, prog, Workload(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Agreement {
+		t.Fatal("summary must agree with the loop")
+	}
+	if c.Original <= 0 || c.Summary <= 0 || c.Speedup <= 0 {
+		t.Fatalf("timings not recorded: %+v", c)
+	}
+}
+
+func TestCompareDetectsDisagreement(t *testing.T) {
+	ref := func(buf []byte) vocab.Result { return vocab.PtrResult(0) }
+	wrong, _ := vocab.Decode("EF")
+	if _, err := Compare("bogus", ref, wrong, Workload(), 10); err == nil {
+		t.Fatal("disagreement must be reported")
+	}
+}
+
+func TestCompareAllSynthesizedCorpusLoops(t *testing.T) {
+	// Every curated loop with a known summary must agree with its
+	// transliteration on the workload (a broad §4.4 correctness sweep).
+	for _, l := range loopdb.Corpus() {
+		if l.WantProgram == "" {
+			continue
+		}
+		prog, err := vocab.Decode(l.WantProgram)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if _, err := Compare(l.Name, l.Ref, prog, Workload(), 1); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}

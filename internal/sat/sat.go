@@ -1,0 +1,515 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT solver:
+// two-watched-literal unit propagation, first-UIP conflict analysis with
+// clause learning, VSIDS-style branching activity, phase saving and Luby
+// restarts. It is the decision procedure underneath the bit-vector layer
+// (package bv), playing the role STP/Z3 play for KLEE in the paper's
+// artifact.
+//
+// The API follows the MiniSat convention: variables are created with NewVar,
+// literals are built with Lit/NegLit, clauses are added with AddClause, and
+// Solve returns a model or UNSAT. Solving is single-shot per instance;
+// callers build a fresh Solver per query (queries in this project are small,
+// so incrementality is not worth its complexity).
+package sat
+
+// Lit is a literal: variable index shifted left once, low bit 1 for negated.
+type Lit int32
+
+// Lit returns the positive literal of variable v.
+func PosLit(v int) Lit { return Lit(v << 1) }
+
+// NegLit returns the negative literal of variable v.
+func NegLit(v int) Lit { return Lit(v<<1 | 1) }
+
+// Var returns the variable index of l.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg returns the complement literal.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// Sign reports whether l is the negated literal of its variable.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits   []Lit
+	learnt bool
+	act    float64
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit // a literal whose truth satisfies the clause, for fast skip
+}
+
+// Status is the result of Solve.
+type Status int8
+
+const (
+	// Unknown means the solver gave up (budget exceeded).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the instance is unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// Solver is a single-use CDCL SAT solver instance.
+type Solver struct {
+	numVars  int
+	clauses  []*clause
+	learnts  []*clause
+	watches  [][]watcher // indexed by literal
+	assign   []lbool     // indexed by variable
+	level    []int32     // decision level per variable
+	reason   []*clause   // antecedent clause per variable
+	trail    []Lit
+	trailLim []int // trail index at each decision level
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+	phase    []bool // saved phase per variable
+
+	ok        bool // false once a top-level conflict is found
+	conflicts int64
+	// MaxConflicts bounds the search; <=0 means unbounded. When exceeded,
+	// Solve returns Unknown.
+	MaxConflicts int64
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{ok: true, varInc: 1}
+	s.order = &varHeap{act: &s.activity}
+	return s
+}
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := s.numVars
+	s.numVars++
+	s.watches = append(s.watches, nil, nil)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.order.push(v)
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return s.numVars }
+
+func (s *Solver) valueLit(l Lit) lbool {
+	a := s.assign[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Sign() == (a == lFalse) {
+		return lTrue
+	}
+	return lFalse
+}
+
+// AddClause adds a clause over the given literals. It returns false if the
+// instance became trivially unsatisfiable. The literal slice is copied.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	// Simplify: drop duplicate and false literals, detect tautology.
+	seen := map[Lit]bool{}
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		if int(l.Var()) >= s.numVars {
+			panic("sat: literal references unallocated variable")
+		}
+		switch {
+		case seen[l.Neg()]:
+			return true // tautology: always satisfied
+		case seen[l]:
+			continue
+		case s.valueLit(l) == lTrue && s.level[l.Var()] == 0:
+			return true
+		case s.valueLit(l) == lFalse && s.level[l.Var()] == 0:
+			continue
+		}
+		seen[l] = true
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Neg()] = append(s.watches[l0.Neg()], watcher{c, l1})
+	s.watches[l1.Neg()] = append(s.watches[l1.Neg()], watcher{c, l0})
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Sign() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// propagate performs unit propagation; it returns the conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if confl != nil {
+				kept = append(kept, ws[i:]...)
+				break
+			}
+			if s.valueLit(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Normalise so the false literal p.Neg() is lits[1].
+			if c.lits[0] == p.Neg() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.valueLit(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.valueLit(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if s.valueLit(first) == lFalse {
+				confl = c
+				s.qhead = len(s.trail)
+			} else {
+				s.uncheckedEnqueue(first, c)
+			}
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt clause
+// (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	seen := make([]bool, s.numVars)
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		for _, q := range confl.lits {
+			if p != -1 && q == p {
+				continue
+			}
+			v := q.Var()
+			if !seen[v] && s.level[v] > 0 {
+				seen[v] = true
+				s.bumpVar(v)
+				if int(s.level[v]) >= s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Select next literal on the trail to resolve on.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Neg()
+
+	// Backtrack level: second-highest level in the learnt clause.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	return learnt, btLevel
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[level]; i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assign[v] == lTrue
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		s.order.pushIfAbsent(v)
+	}
+	s.trail = s.trail[:s.trailLim[level]]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) pickBranchVar() int {
+	for {
+		v, ok := s.order.pop()
+		if !ok {
+			return -1
+		}
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+}
+
+// Solve runs the CDCL search and returns the status. On Sat, Model reports
+// variable values.
+func (s *Solver) Solve() Status {
+	if !s.ok {
+		return Unsat
+	}
+	restartBase := int64(100)
+	for restart := 0; ; restart++ {
+		limit := restartBase * int64(luby(restart))
+		st := s.search(limit)
+		if st != Unknown {
+			return st
+		}
+		if s.MaxConflicts > 0 && s.conflicts >= s.MaxConflicts {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		s.cancelUntil(0)
+	}
+}
+
+func (s *Solver) search(conflictBudget int64) Status {
+	var budget int64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.conflicts++
+			budget++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, bt := s.analyze(confl)
+			s.cancelUntil(bt)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.varInc *= 1.0 / 0.95
+			continue
+		}
+		if budget >= conflictBudget {
+			return Unknown
+		}
+		if s.MaxConflicts > 0 && s.conflicts >= s.MaxConflicts {
+			return Unknown
+		}
+		v := s.pickBranchVar()
+		if v == -1 {
+			return Sat
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		if s.phase[v] {
+			s.uncheckedEnqueue(PosLit(v), nil)
+		} else {
+			s.uncheckedEnqueue(NegLit(v), nil)
+		}
+	}
+}
+
+// Model returns the value of variable v in the satisfying assignment found by
+// the last successful Solve. Unassigned variables (possible when the formula
+// does not constrain them) report false.
+func (s *Solver) Model(v int) bool { return s.assign[v] == lTrue }
+
+// luby returns the i-th element of the Luby restart sequence
+// (1,1,2,1,1,2,4,...).
+func luby(i int) int {
+	// Find the finite subsequence containing index i and its size.
+	size, seq := 1, 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		seq--
+		i %= size
+	}
+	return 1 << uint(seq)
+}
+
+// varHeap is a max-heap of variables ordered by activity.
+type varHeap struct {
+	heap []int
+	pos  []int // variable -> index in heap, -1 if absent
+	act  *[]float64
+}
+
+func (h *varHeap) less(a, b int) bool { return (*h.act)[h.heap[a]] > (*h.act)[h.heap[b]] }
+
+func (h *varHeap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.pos[h.heap[a]] = a
+	h.pos[h.heap[b]] = b
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *varHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.heap) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.heap) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *varHeap) push(v int) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] != -1 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pushIfAbsent(v int) { h.push(v) }
+
+func (h *varHeap) pop() (int, bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[v] = -1
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return v, true
+}
+
+func (h *varHeap) update(v int) {
+	if v < len(h.pos) && h.pos[v] != -1 {
+		h.up(h.pos[v])
+	}
+}

@@ -1,0 +1,287 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(PosLit(a))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	if !s.Model(a) {
+		t.Fatal("model should set a true")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(PosLit(a))
+	s.AddClause(NegLit(a))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v", got)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	if s.AddClause() {
+		t.Fatal("empty clause should report failure")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v", got)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(PosLit(a), NegLit(a))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+}
+
+func TestUnitPropagationChain(t *testing.T) {
+	// a; a->b; b->c; c->d  implies all true.
+	s := New()
+	a, b, c, d := s.NewVar(), s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a))
+	s.AddClause(NegLit(a), PosLit(b))
+	s.AddClause(NegLit(b), PosLit(c))
+	s.AddClause(NegLit(c), PosLit(d))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	for _, v := range []int{a, b, c, d} {
+		if !s.Model(v) {
+			t.Fatalf("var %d should be true", v)
+		}
+	}
+}
+
+func TestPigeonhole3into2Unsat(t *testing.T) {
+	// 3 pigeons, 2 holes: classic small UNSAT requiring real search.
+	s := New()
+	// x[p][h]: pigeon p in hole h
+	var x [3][2]int
+	for p := 0; p < 3; p++ {
+		for h := 0; h < 2; h++ {
+			x[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < 3; p++ {
+		s.AddClause(PosLit(x[p][0]), PosLit(x[p][1]))
+	}
+	for h := 0; h < 2; h++ {
+		for p1 := 0; p1 < 3; p1++ {
+			for p2 := p1 + 1; p2 < 3; p2++ {
+				s.AddClause(NegLit(x[p1][h]), NegLit(x[p2][h]))
+			}
+		}
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("pigeonhole Solve = %v", got)
+	}
+}
+
+func TestPigeonhole5into4Unsat(t *testing.T) {
+	const pigeons, holes = 5, 4
+	s := New()
+	x := make([][]int, pigeons)
+	for p := range x {
+		x[p] = make([]int, holes)
+		for h := range x[p] {
+			x[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = PosLit(x[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(NegLit(x[p1][h]), NegLit(x[p2][h]))
+			}
+		}
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("pigeonhole Solve = %v", got)
+	}
+}
+
+func TestGraphColoringSat(t *testing.T) {
+	// A 5-cycle is 3-colourable but not 2-colourable.
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	build := func(colors int) *Solver {
+		s := New()
+		x := make([][]int, 5)
+		for v := range x {
+			x[v] = make([]int, colors)
+			for c := range x[v] {
+				x[v][c] = s.NewVar()
+			}
+			lits := make([]Lit, colors)
+			for c := range lits {
+				lits[c] = PosLit(x[v][c])
+			}
+			s.AddClause(lits...)
+		}
+		for _, e := range edges {
+			for c := 0; c < colors; c++ {
+				s.AddClause(NegLit(x[e[0]][c]), NegLit(x[e[1]][c]))
+			}
+		}
+		return s
+	}
+	if got := build(2).Solve(); got != Unsat {
+		t.Fatalf("5-cycle 2-coloring = %v, want unsat", got)
+	}
+	if got := build(3).Solve(); got != Sat {
+		t.Fatalf("5-cycle 3-coloring = %v, want sat", got)
+	}
+}
+
+// bruteForce decides satisfiability of clauses over n variables by
+// enumeration; the reference oracle for randomized testing.
+func bruteForce(n int, clauses [][]Lit) bool {
+	for m := 0; m < 1<<uint(n); m++ {
+		ok := true
+		for _, c := range clauses {
+			cOK := false
+			for _, l := range c {
+				val := m>>uint(l.Var())&1 == 1
+				if l.Sign() {
+					val = !val
+				}
+				if val {
+					cOK = true
+					break
+				}
+			}
+			if !cOK {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		n := 3 + rng.Intn(8)
+		numClauses := 1 + rng.Intn(5*n)
+		var clauses [][]Lit
+		s := New()
+		for i := 0; i < n; i++ {
+			s.NewVar()
+		}
+		for i := 0; i < numClauses; i++ {
+			width := 1 + rng.Intn(3)
+			clause := make([]Lit, width)
+			for j := range clause {
+				v := rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					clause[j] = PosLit(v)
+				} else {
+					clause[j] = NegLit(v)
+				}
+			}
+			clauses = append(clauses, clause)
+			s.AddClause(clause...)
+		}
+		want := bruteForce(n, clauses)
+		got := s.Solve()
+		if want && got != Sat {
+			t.Fatalf("iter %d: solver says %v, brute force says sat", iter, got)
+		}
+		if !want && got != Unsat {
+			t.Fatalf("iter %d: solver says %v, brute force says unsat", iter, got)
+		}
+		if got == Sat {
+			// Verify the model actually satisfies every clause.
+			for ci, c := range clauses {
+				ok := false
+				for _, l := range c {
+					val := s.Model(l.Var())
+					if l.Sign() {
+						val = !val
+					}
+					if val {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("iter %d: model violates clause %d", iter, ci)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxConflictsBudget(t *testing.T) {
+	// A hard pigeonhole instance with a tiny budget must return Unknown.
+	const pigeons, holes = 9, 8
+	s := New()
+	x := make([][]int, pigeons)
+	for p := range x {
+		x[p] = make([]int, holes)
+		for h := range x[p] {
+			x[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = PosLit(x[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(NegLit(x[p1][h]), NegLit(x[p2][h]))
+			}
+		}
+	}
+	s.MaxConflicts = 50
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("budgeted Solve = %v, want unknown", got)
+	}
+}
+
+func TestLubySequence(t *testing.T) {
+	want := []int{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(i); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLitAccessors(t *testing.T) {
+	p, n := PosLit(7), NegLit(7)
+	if p.Var() != 7 || n.Var() != 7 {
+		t.Fatal("Var broken")
+	}
+	if p.Sign() || !n.Sign() {
+		t.Fatal("Sign broken")
+	}
+	if p.Neg() != n || n.Neg() != p {
+		t.Fatal("Neg broken")
+	}
+}

@@ -1,0 +1,277 @@
+// Package strsolver is a bounded string theory over the bit-vector layer: the
+// analog of the Z3str/CVC4 string solvers the paper relies on (§4.3). It
+// models a C string as a fixed-size buffer of symbolic bytes whose final byte
+// is NUL, and compiles the predicates of the string vocabulary — strchr,
+// strrchr, strspn, strcspn, strpbrk, rawmemchr, strlen — into bit-vector
+// constraints. Because buffers are bounded, every predicate is expressible as
+// a finite formula; the small-model theorem of §3 is what makes bounded
+// reasoning sufficient for the paper's loops.
+package strsolver
+
+import (
+	"fmt"
+
+	"stringloops/internal/bv"
+	"stringloops/internal/cstr"
+)
+
+// SymString is a bounded symbolic C string: MaxLen symbolic content bytes
+// followed by a forced NUL terminator. Content bytes may themselves be NUL,
+// so a SymString of capacity N ranges over all strings of length 0..N.
+type SymString struct {
+	// Bytes has length MaxLen+1; Bytes[MaxLen] is the constant 0.
+	Bytes []*bv.Term
+}
+
+// New returns a fresh symbolic string of capacity maxLen whose content bytes
+// are the solver variables name[0..maxLen).
+func New(name string, maxLen int) *SymString {
+	s := &SymString{Bytes: make([]*bv.Term, maxLen+1)}
+	for i := 0; i < maxLen; i++ {
+		s.Bytes[i] = bv.Var(fmt.Sprintf("%s[%d]", name, i), 8)
+	}
+	s.Bytes[maxLen] = bv.Byte(0)
+	return s
+}
+
+// FromConcrete wraps a concrete NUL-terminated buffer as a SymString of
+// constant terms. The buffer's final byte must be NUL.
+func FromConcrete(buf []byte) *SymString {
+	if len(buf) == 0 || buf[len(buf)-1] != 0 {
+		panic("strsolver: concrete buffer must be NUL-terminated")
+	}
+	s := &SymString{Bytes: make([]*bv.Term, len(buf))}
+	for i, b := range buf {
+		s.Bytes[i] = bv.Byte(b)
+	}
+	return s
+}
+
+// MaxLen returns the capacity of the string (number of content bytes).
+func (s *SymString) MaxLen() int { return len(s.Bytes) - 1 }
+
+// At returns the byte term at offset i. Offsets beyond the buffer are an
+// out-of-bounds read; callers guard them.
+func (s *SymString) At(i int) *bv.Term { return s.Bytes[i] }
+
+// Concretize returns the concrete buffer described by the assignment.
+func (s *SymString) Concretize(a *bv.Assignment) []byte {
+	out := make([]byte, len(s.Bytes))
+	for i, t := range s.Bytes {
+		out[i] = byte(t.Eval(a))
+	}
+	return out
+}
+
+// LenIs returns the constraint strlen(s) == n.
+func (s *SymString) LenIs(n int) *bv.Bool {
+	if n < 0 || n > s.MaxLen() {
+		return bv.False
+	}
+	cond := bv.Eq(s.Bytes[n], bv.Byte(0))
+	for i := 0; i < n; i++ {
+		cond = bv.BAnd2(cond, bv.Ne(s.Bytes[i], bv.Byte(0)))
+	}
+	return cond
+}
+
+// LenAtLeast returns the constraint strlen(s) >= n.
+func (s *SymString) LenAtLeast(n int) *bv.Bool {
+	cond := bv.True
+	for i := 0; i < n && i < len(s.Bytes); i++ {
+		cond = bv.BAnd2(cond, bv.Ne(s.Bytes[i], bv.Byte(0)))
+	}
+	if n > s.MaxLen() {
+		return bv.False
+	}
+	return cond
+}
+
+// Set is the second argument of the strspn-family functions: a sequence of
+// member bytes, possibly symbolic (during synthesis the members are the
+// unknowns). A member equal to a meta-character matches its class rather than
+// itself, mirroring cstr.MatchSet.
+type Set struct {
+	Members []*bv.Term
+}
+
+// ConcreteSet builds a Set of constant members.
+func ConcreteSet(chars []byte) Set {
+	s := Set{Members: make([]*bv.Term, len(chars))}
+	for i, c := range chars {
+		s.Members[i] = bv.Byte(c)
+	}
+	return s
+}
+
+// memberMatches returns the condition that set member a matches character c,
+// including meta-character semantics.
+func memberMatches(a, c *bv.Term) *bv.Bool {
+	isDigitC := bv.BAnd2(bv.Ule(bv.Byte('0'), c), bv.Ule(c, bv.Byte('9')))
+	isSpaceC := bv.BOrAll(bv.Eq(c, bv.Byte(' ')), bv.Eq(c, bv.Byte('\t')), bv.Eq(c, bv.Byte('\n')))
+	return bv.BOrAll(
+		bv.BAnd2(bv.Eq(a, bv.Byte(cstr.MetaDigit)), isDigitC),
+		bv.BAnd2(bv.Eq(a, bv.Byte(cstr.MetaSpace)), isSpaceC),
+		bv.BAndAll(bv.Ne(a, bv.Byte(cstr.MetaDigit)), bv.Ne(a, bv.Byte(cstr.MetaSpace)), bv.Eq(c, a)),
+	)
+}
+
+// Contains returns the condition that c is matched by the set. NUL never
+// matches, matching C semantics for character sets.
+func (s Set) Contains(c *bv.Term) *bv.Bool {
+	cond := bv.False
+	for _, m := range s.Members {
+		cond = bv.BOr2(cond, memberMatches(m, c))
+	}
+	return bv.BAnd2(cond, bv.Ne(c, bv.Byte(0)))
+}
+
+// ---- Function predicates ----
+//
+// Each XxxIs(s, from, j, ...) returns the constraint that the corresponding C
+// function, applied to the string suffix starting at concrete offset from,
+// yields the concrete result j. Enumerating j over its finite range yields a
+// complete case split, which is how the symbolic gadget interpreter encodes a
+// gadget step (the "guarded concrete offsets" representation of DESIGN.md §5).
+
+// SpnIs returns the constraint strspn(s+from, set) == n (n relative to from).
+func (s *SymString) SpnIs(from, n int, set Set) *bv.Bool {
+	if from+n > s.MaxLen() {
+		return bv.False
+	}
+	cond := bv.True
+	for i := from; i < from+n; i++ {
+		cond = bv.BAnd2(cond, set.Contains(s.Bytes[i]))
+	}
+	// The span stops at from+n: either the terminator or a non-member.
+	stop := bv.BOr2(bv.Eq(s.Bytes[from+n], bv.Byte(0)), bv.BNot1(set.Contains(s.Bytes[from+n])))
+	return bv.BAnd2(cond, stop)
+}
+
+// CspnIs returns the constraint strcspn(s+from, set) == n.
+func (s *SymString) CspnIs(from, n int, set Set) *bv.Bool {
+	if from+n > s.MaxLen() {
+		return bv.False
+	}
+	cond := bv.True
+	for i := from; i < from+n; i++ {
+		cond = bv.BAnd2(cond, bv.BAnd2(bv.BNot1(set.Contains(s.Bytes[i])), bv.Ne(s.Bytes[i], bv.Byte(0))))
+	}
+	stop := bv.BOr2(bv.Eq(s.Bytes[from+n], bv.Byte(0)), set.Contains(s.Bytes[from+n]))
+	return bv.BAnd2(cond, stop)
+}
+
+// ChrIs returns the constraint strchr(s+from, c) == s+j, i.e. the first
+// occurrence of c at or after from is at absolute offset j. c may be NUL, in
+// which case this is the position of the terminator (C semantics).
+func (s *SymString) ChrIs(from, j int, c *bv.Term) *bv.Bool {
+	if j < from || j > s.MaxLen() {
+		return bv.False
+	}
+	cond := bv.Eq(s.Bytes[j], c)
+	for i := from; i < j; i++ {
+		cond = bv.BAndAll(cond, bv.Ne(s.Bytes[i], c), bv.Ne(s.Bytes[i], bv.Byte(0)))
+	}
+	return cond
+}
+
+// ChrNone returns the constraint strchr(s+from, c) == NULL: c does not occur
+// before (or at) the terminator. Only possible for c != NUL.
+func (s *SymString) ChrNone(from int, c *bv.Term) *bv.Bool {
+	cond := bv.Ne(c, bv.Byte(0))
+	// There is a terminator at some k with no occurrence of c before it.
+	cases := bv.False
+	for k := from; k <= s.MaxLen(); k++ {
+		kase := bv.Eq(s.Bytes[k], bv.Byte(0))
+		for i := from; i < k; i++ {
+			kase = bv.BAndAll(kase, bv.Ne(s.Bytes[i], bv.Byte(0)), bv.Ne(s.Bytes[i], c))
+		}
+		cases = bv.BOr2(cases, kase)
+	}
+	return bv.BAnd2(cond, cases)
+}
+
+// alive returns the condition that offset i lies within the live string
+// starting at from (no terminator strictly before i).
+func (s *SymString) alive(from, i int) *bv.Bool {
+	cond := bv.True
+	for k := from; k < i; k++ {
+		cond = bv.BAnd2(cond, bv.Ne(s.Bytes[k], bv.Byte(0)))
+	}
+	return cond
+}
+
+// RchrIs returns the constraint strrchr(s+from, c) == s+j: the last
+// occurrence of c within the live string is at absolute offset j.
+func (s *SymString) RchrIs(from, j int, c *bv.Term) *bv.Bool {
+	if j < from || j > s.MaxLen() {
+		return bv.False
+	}
+	// j is live and holds c.
+	cond := bv.BAnd2(s.alive(from, j), bv.Eq(s.Bytes[j], c))
+	if jv, ok := c.IsConst(); !ok || jv != 0 {
+		// For non-NUL c, j must be before the terminator.
+		cond = bv.BAnd2(cond, bv.BOr2(bv.Ne(s.Bytes[j], bv.Byte(0)), bv.Eq(c, bv.Byte(0))))
+	}
+	// No later live occurrence of c.
+	for i := j + 1; i <= s.MaxLen(); i++ {
+		later := bv.BAnd2(s.alive(from, i), bv.Eq(s.Bytes[i], c))
+		cond = bv.BAnd2(cond, bv.BNot1(later))
+	}
+	return cond
+}
+
+// RchrNone returns the constraint strrchr(s+from, c) == NULL.
+func (s *SymString) RchrNone(from int, c *bv.Term) *bv.Bool {
+	return s.ChrNone(from, c) // same condition: no occurrence at all
+}
+
+// PbrkIs returns the constraint strpbrk(s+from, set) == s+j.
+func (s *SymString) PbrkIs(from, j int, set Set) *bv.Bool {
+	if j < from || j > s.MaxLen() {
+		return bv.False
+	}
+	cond := set.Contains(s.Bytes[j])
+	for i := from; i < j; i++ {
+		cond = bv.BAndAll(cond, bv.BNot1(set.Contains(s.Bytes[i])), bv.Ne(s.Bytes[i], bv.Byte(0)))
+	}
+	return cond
+}
+
+// PbrkNone returns the constraint strpbrk(s+from, set) == NULL.
+func (s *SymString) PbrkNone(from int, set Set) *bv.Bool {
+	cases := bv.False
+	for k := from; k <= s.MaxLen(); k++ {
+		kase := bv.Eq(s.Bytes[k], bv.Byte(0))
+		for i := from; i < k; i++ {
+			kase = bv.BAndAll(kase, bv.Ne(s.Bytes[i], bv.Byte(0)), bv.BNot1(set.Contains(s.Bytes[i])))
+		}
+		cases = bv.BOr2(cases, kase)
+	}
+	return cases
+}
+
+// RawchrIs returns the constraint rawmemchr(s+from, c) == s+j: the first
+// occurrence of c scanning without regard for the terminator. Within the
+// bounded buffer a missing occurrence means the C code would read past the
+// end (undefined behaviour); RawchrNone captures that case.
+func (s *SymString) RawchrIs(from, j int, c *bv.Term) *bv.Bool {
+	if j < from || j > s.MaxLen() {
+		return bv.False
+	}
+	cond := bv.Eq(s.Bytes[j], c)
+	for i := from; i < j; i++ {
+		cond = bv.BAnd2(cond, bv.Ne(s.Bytes[i], c))
+	}
+	return cond
+}
+
+// RawchrNone returns the constraint that c occurs nowhere in the buffer at or
+// after from — the undefined-behaviour case of rawmemchr.
+func (s *SymString) RawchrNone(from int, c *bv.Term) *bv.Bool {
+	cond := bv.True
+	for i := from; i <= s.MaxLen(); i++ {
+		cond = bv.BAnd2(cond, bv.Ne(s.Bytes[i], c))
+	}
+	return cond
+}

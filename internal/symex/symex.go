@@ -1,0 +1,705 @@
+// Package symex is a forking symbolic executor over the cir IR — the role
+// KLEE plays in the paper's artifact. It executes a function on symbolic
+// string buffers (arrays of bit-vector byte terms), forking at branches whose
+// condition is not constant under the path constraints, optionally checking
+// feasibility with the SAT-backed bit-vector solver, and returning the set of
+// terminal paths with their conditions and return values.
+//
+// The executor supports exactly the shapes the paper's loops need: one or
+// more read-only string objects, integer locals, pointer arithmetic, the
+// ctype.h character intrinsics, and undefined-behaviour detection
+// (out-of-bounds reads, null dereferences) as error paths.
+package symex
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"stringloops/internal/bv"
+	"stringloops/internal/cir"
+	"stringloops/internal/sat"
+)
+
+// Value is a symbolic IR value: either a 32-bit integer term or a pointer
+// (concrete object id + 32-bit offset term). The null pointer has Obj == -1.
+type Value struct {
+	IsPtr bool
+	Term  *bv.Term // integer value when !IsPtr
+	Obj   int
+	Off   *bv.Term // offset when IsPtr and Obj >= 0
+}
+
+// IntValue wraps a 32-bit term.
+func IntValue(t *bv.Term) Value { return Value{Term: t} }
+
+// ConstValue wraps a constant integer.
+func ConstValue(v int64) Value { return Value{Term: bv.Int32(v)} }
+
+// PtrValue builds a pointer value.
+func PtrValue(obj int, off *bv.Term) Value { return Value{IsPtr: true, Obj: obj, Off: off} }
+
+// NullValue is the null pointer.
+func NullValue() Value { return Value{IsPtr: true, Obj: -1} }
+
+// IsNull reports whether v is the null pointer.
+func (v Value) IsNull() bool { return v.IsPtr && v.Obj == -1 }
+
+// Path is one terminal execution path.
+type Path struct {
+	Cond *bv.Bool
+	Ret  Value
+	Err  error // nil for a normal return
+}
+
+// Errors attached to failing paths.
+var (
+	// ErrOOB is an out-of-bounds read (C undefined behaviour).
+	ErrOOB = errors.New("symex: out-of-bounds access")
+	// ErrNullDeref is a null-pointer dereference.
+	ErrNullDeref = errors.New("symex: null dereference")
+	// ErrStepLimit means one path exceeded the step budget.
+	ErrStepLimit = errors.New("symex: step limit exceeded")
+	// ErrUnsupported marks operations outside the modelled subset.
+	ErrUnsupported = errors.New("symex: unsupported operation")
+	// ErrTimeout means the whole run exceeded its deadline.
+	ErrTimeout = errors.New("symex: deadline exceeded")
+	// ErrPathLimit means the run exceeded its path budget.
+	ErrPathLimit = errors.New("symex: path limit exceeded")
+)
+
+// Stats counts work done by a run.
+type Stats struct {
+	Paths         int
+	Forks         int
+	SolverQueries int
+	SolverTime    time.Duration
+	Steps         int
+}
+
+// Engine executes functions against a fixed set of symbolic data objects.
+type Engine struct {
+	// Objects are the read-only data objects (symbolic string buffers); a
+	// pointer value with Obj == i indexes Objects[i]. Each buffer's final
+	// term should be the NUL constant for C strings.
+	Objects [][]*bv.Term
+	// MaxSteps bounds instructions per path (default 1<<16).
+	MaxSteps int
+	// MaxPaths bounds the number of terminal paths (default 1<<20).
+	MaxPaths int
+	// CheckFeasibility enables a solver call at every fork, pruning
+	// infeasible sides — KLEE's behaviour, and the cost centre of the
+	// vanilla configuration in §4.3.
+	CheckFeasibility bool
+	// SolverBudget bounds each feasibility query (SAT conflicts; 0 = off).
+	SolverBudget int64
+	// Deadline aborts the run when exceeded (zero = none).
+	Deadline time.Time
+
+	Stats Stats
+
+	// pending collects terminal paths emitted by forking intrinsics
+	// (stringCall); Run drains it into the result set.
+	pending []Path
+}
+
+// state is one in-flight execution path.
+type state struct {
+	regs  []Value
+	cells map[int]Value
+	cond  *bv.Bool
+	block *cir.Block
+	prev  *cir.Block
+	idx   int // next instruction index in block
+	steps int
+}
+
+func (s *state) fork() *state {
+	ns := &state{
+		regs:  make([]Value, len(s.regs)),
+		cells: make(map[int]Value, len(s.cells)),
+		cond:  s.cond,
+		block: s.block,
+		prev:  s.prev,
+		idx:   s.idx,
+		steps: s.steps,
+	}
+	copy(ns.regs, s.regs)
+	for k, v := range s.cells {
+		ns.cells[k] = v
+	}
+	return ns
+}
+
+// Run symbolically executes f on args under the initial condition init
+// (pass bv.True for none). It returns all terminal paths.
+func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) ([]Path, error) {
+	if e.MaxSteps <= 0 {
+		e.MaxSteps = 1 << 16
+	}
+	if e.MaxPaths <= 0 {
+		e.MaxPaths = 1 << 20
+	}
+	if len(args) != len(f.Params) {
+		return nil, fmt.Errorf("symex: %s expects %d args, got %d", f.Name, len(f.Params), len(args))
+	}
+	st := &state{
+		regs:  make([]Value, f.NumRegs),
+		cells: map[int]Value{},
+		cond:  init,
+		block: f.Entry(),
+	}
+	for i, p := range f.Params {
+		st.regs[p.Reg] = args[i]
+	}
+	// String literals become extra concrete objects.
+	strBase := len(e.Objects)
+	for _, slit := range f.StrLits {
+		buf := make([]*bv.Term, len(slit)+1)
+		for i := 0; i < len(slit); i++ {
+			buf[i] = bv.Byte(slit[i])
+		}
+		buf[len(slit)] = bv.Byte(0)
+		e.Objects = append(e.Objects, buf)
+	}
+	defer func() { e.Objects = e.Objects[:strBase] }()
+
+	var paths []Path
+	work := []*state{st}
+	nextCell := 1 << 20 // cell ids; disjoint from data-object ids
+
+	emit := func(s *state, ret Value, err error) {
+		paths = append(paths, Path{Cond: s.cond, Ret: ret, Err: err})
+		e.Stats.Paths++
+	}
+
+	for len(work) > 0 {
+		if !e.Deadline.IsZero() && time.Now().After(e.Deadline) {
+			return paths, ErrTimeout
+		}
+		if len(paths) > e.MaxPaths {
+			return paths, ErrPathLimit
+		}
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+
+		// Evaluate phis simultaneously on block entry.
+		if s.idx == 0 {
+			var phiRegs []int
+			var phiVals []Value
+			phiErr := false
+			for _, in := range s.block.Instrs {
+				if in.Op != cir.OpPhi {
+					break
+				}
+				found := false
+				for i, pb := range in.Blocks {
+					if pb == s.prev {
+						phiVals = append(phiVals, e.operand(s, f, in.Args[i]))
+						phiRegs = append(phiRegs, in.Res)
+						found = true
+						break
+					}
+				}
+				if !found {
+					emit(s, Value{}, fmt.Errorf("%w: phi without incoming edge", ErrUnsupported))
+					phiErr = true
+					break
+				}
+			}
+			if phiErr {
+				continue
+			}
+			for i, r := range phiRegs {
+				s.regs[r] = phiVals[i]
+			}
+		}
+
+	instrLoop:
+		for s.idx < len(s.block.Instrs) {
+			in := s.block.Instrs[s.idx]
+			s.idx++
+			if in.Op == cir.OpPhi {
+				continue
+			}
+			s.steps++
+			e.Stats.Steps++
+			if s.steps > e.MaxSteps {
+				emit(s, Value{}, ErrStepLimit)
+				break instrLoop
+			}
+			switch in.Op {
+			case cir.OpAlloca:
+				id := nextCell
+				nextCell++
+				s.cells[id] = Value{}
+				s.regs[in.Res] = PtrValue(id, bv.Int32(0))
+			case cir.OpLoad:
+				v, err := e.load(s, f, in)
+				if err != nil {
+					emit(s, Value{}, err)
+					break instrLoop
+				}
+				s.regs[in.Res] = v
+			case cir.OpStore:
+				if err := e.store(s, f, in); err != nil {
+					emit(s, Value{}, err)
+					break instrLoop
+				}
+			case cir.OpBin:
+				v, err := e.binop(s, f, in)
+				if err != nil {
+					emit(s, Value{}, err)
+					break instrLoop
+				}
+				s.regs[in.Res] = v
+			case cir.OpCmp:
+				v, err := e.cmpop(s, f, in)
+				if err != nil {
+					emit(s, Value{}, err)
+					break instrLoop
+				}
+				s.regs[in.Res] = v
+			case cir.OpGep:
+				p := e.operand(s, f, in.Args[0])
+				idx := e.operand(s, f, in.Args[1])
+				if !p.IsPtr || idx.IsPtr {
+					emit(s, Value{}, fmt.Errorf("%w: bad gep operands", ErrUnsupported))
+					break instrLoop
+				}
+				if p.IsNull() {
+					emit(s, Value{}, ErrNullDeref)
+					break instrLoop
+				}
+				s.regs[in.Res] = PtrValue(p.Obj, bv.Add(p.Off, bv.MulC(idx.Term, int64(in.Scale))))
+			case cir.OpCall:
+				switch in.Sub {
+				case "strspn", "strcspn", "strchr", "rawmemchr", "strpbrk", "strrchr":
+					var handled bool
+					var err error
+					work, handled, err = e.stringCall(s, f, in, work)
+					paths = append(paths, e.pending...)
+					e.pending = nil
+					if err != nil {
+						emit(s, Value{}, err)
+						break instrLoop
+					}
+					if handled {
+						if in.Sub == "strspn" || in.Sub == "strcspn" {
+							continue // inline result; keep executing
+						}
+						// The call forked; its successors (if feasible) are
+						// on the worklist and resume after the call.
+						break instrLoop
+					}
+				}
+				v, err := e.call(s, f, in)
+				if err != nil {
+					emit(s, Value{}, err)
+					break instrLoop
+				}
+				s.regs[in.Res] = v
+			case cir.OpBr:
+				s.prev, s.block, s.idx = s.block, in.Blocks[0], 0
+				work = append(work, s)
+				break instrLoop
+			case cir.OpCondBr:
+				c := e.operand(s, f, in.Args[0])
+				var condTrue *bv.Bool
+				if c.IsPtr {
+					condTrue = bv.BoolConst(!c.IsNull())
+				} else {
+					condTrue = bv.Ne(c.Term, bv.Int32(0))
+				}
+				work = e.branch(s, condTrue, in.Blocks[0], in.Blocks[1], work)
+				break instrLoop
+			case cir.OpRet:
+				var ret Value
+				if len(in.Args) > 0 {
+					ret = e.operand(s, f, in.Args[0])
+				}
+				emit(s, ret, nil)
+				break instrLoop
+			default:
+				emit(s, Value{}, fmt.Errorf("%w: opcode %d", ErrUnsupported, in.Op))
+				break instrLoop
+			}
+			if s.idx >= len(s.block.Instrs) {
+				emit(s, Value{}, fmt.Errorf("%w: block falls through", ErrUnsupported))
+				break instrLoop
+			}
+		}
+	}
+	return paths, nil
+}
+
+// branch forks s on cond, scheduling feasible sides, and returns the updated
+// worklist.
+func (e *Engine) branch(s *state, cond *bv.Bool, thenB, elseB *cir.Block, work []*state) []*state {
+	take := func(st *state, c *bv.Bool, b *cir.Block) []*state {
+		st.cond = bv.BAnd2(st.cond, c)
+		if st.cond == bv.False {
+			return work
+		}
+		if e.CheckFeasibility && !e.feasible(st.cond) {
+			return work
+		}
+		st.prev, st.block, st.idx = st.block, b, 0
+		return append(work, st)
+	}
+	switch cond {
+	case bv.True:
+		return take(s, bv.True, thenB)
+	case bv.False:
+		return take(s, bv.True, elseB)
+	}
+	e.Stats.Forks++
+	other := s.fork()
+	work = take(s, cond, thenB)
+	work = take(other, bv.BNot1(cond), elseB)
+	return work
+}
+
+// feasible asks the solver whether cond is satisfiable; on budget exhaustion
+// it conservatively answers true.
+func (e *Engine) feasible(cond *bv.Bool) bool {
+	e.Stats.SolverQueries++
+	start := time.Now()
+	st, _ := bv.CheckSat(e.SolverBudget, cond)
+	e.Stats.SolverTime += time.Since(start)
+	return st != sat.Unsat
+}
+
+func (e *Engine) operand(s *state, f *cir.Func, o cir.Operand) Value {
+	switch o.Kind {
+	case cir.KReg:
+		return s.regs[o.Reg]
+	case cir.KConst:
+		return ConstValue(o.Imm)
+	case cir.KNull:
+		return NullValue()
+	case cir.KStr:
+		// String literal objects were appended after the engine's own; the
+		// literal index maps to that region.
+		return PtrValue(len(e.Objects)-len(f.StrLits)+o.Str, bv.Int32(0))
+	}
+	panic("symex: bad operand")
+}
+
+// load handles cell loads directly and data loads via a bounded select.
+func (e *Engine) load(s *state, f *cir.Func, in *cir.Instr) (Value, error) {
+	p := e.operand(s, f, in.Args[0])
+	if !p.IsPtr {
+		return Value{}, fmt.Errorf("%w: load through integer", ErrUnsupported)
+	}
+	if p.IsNull() {
+		return Value{}, ErrNullDeref
+	}
+	if v, ok := s.cells[p.Obj]; ok {
+		return v, nil
+	}
+	if p.Obj >= len(e.Objects) {
+		return Value{}, ErrOOB
+	}
+	buf := e.Objects[p.Obj]
+	switch in.Sub {
+	case "1s", "1u":
+		b, err := e.selectByte(s, buf, p.Off)
+		if err != nil {
+			return Value{}, err
+		}
+		if in.Sub == "1s" {
+			return IntValue(bv.Sext(b, 32)), nil
+		}
+		return IntValue(bv.Zext(b, 32)), nil
+	default:
+		return Value{}, fmt.Errorf("%w: %q load from string object", ErrUnsupported, in.Sub)
+	}
+}
+
+// selectByte reads buf[off]. A constant offset reads directly; a symbolic
+// offset builds an ite chain and adds the in-bounds constraint to the path
+// (out-of-bounds reads on all-feasible offsets surface as ErrOOB).
+func (e *Engine) selectByte(s *state, buf []*bv.Term, off *bv.Term) (*bv.Term, error) {
+	if v, ok := off.IsConst(); ok {
+		if int(int32(v)) < 0 || int(int32(v)) >= len(buf) {
+			return nil, ErrOOB
+		}
+		return buf[int32(v)], nil
+	}
+	inBounds := bv.Ult(off, bv.Int32(int64(len(buf))))
+	newCond := bv.BAnd2(s.cond, inBounds)
+	if newCond == bv.False || (e.CheckFeasibility && !e.feasible(newCond)) {
+		return nil, ErrOOB
+	}
+	s.cond = newCond
+	val := buf[len(buf)-1]
+	for i := len(buf) - 2; i >= 0; i-- {
+		val = bv.Ite(bv.Eq(off, bv.Int32(int64(i))), buf[i], val)
+	}
+	return val, nil
+}
+
+func (e *Engine) store(s *state, f *cir.Func, in *cir.Instr) error {
+	p := e.operand(s, f, in.Args[1])
+	v := e.operand(s, f, in.Args[0])
+	if !p.IsPtr {
+		return fmt.Errorf("%w: store through integer", ErrUnsupported)
+	}
+	if p.IsNull() {
+		return ErrNullDeref
+	}
+	if _, ok := s.cells[p.Obj]; ok {
+		s.cells[p.Obj] = v
+		return nil
+	}
+	return fmt.Errorf("%w: store into string object (summarised loops are read-only)", ErrUnsupported)
+}
+
+func (e *Engine) binop(s *state, f *cir.Func, in *cir.Instr) (Value, error) {
+	a := e.operand(s, f, in.Args[0])
+	b := e.operand(s, f, in.Args[1])
+	if in.Sub == "psub" {
+		if !a.IsPtr || !b.IsPtr || a.Obj != b.Obj || a.IsNull() {
+			return Value{}, fmt.Errorf("%w: pointer difference across objects", ErrUnsupported)
+		}
+		return IntValue(bv.Sub(a.Off, b.Off)), nil
+	}
+	if a.IsPtr || b.IsPtr {
+		return Value{}, fmt.Errorf("%w: pointer operand in %s", ErrUnsupported, in.Sub)
+	}
+	x, y := a.Term, b.Term
+	switch in.Sub {
+	case "add":
+		return IntValue(bv.Add(x, y)), nil
+	case "sub":
+		return IntValue(bv.Sub(x, y)), nil
+	case "and":
+		return IntValue(bv.And(x, y)), nil
+	case "or":
+		return IntValue(bv.Or(x, y)), nil
+	case "xor":
+		return IntValue(bv.Xor(x, y)), nil
+	case "mul":
+		if c, ok := y.IsConst(); ok {
+			return IntValue(bv.MulC(x, int64(int32(c)))), nil
+		}
+		if c, ok := x.IsConst(); ok {
+			return IntValue(bv.MulC(y, int64(int32(c)))), nil
+		}
+		return Value{}, fmt.Errorf("%w: symbolic multiplication", ErrUnsupported)
+	case "div", "rem":
+		c, ok := y.IsConst()
+		if !ok || c == 0 || (c&(c-1)) != 0 {
+			return Value{}, fmt.Errorf("%w: division by non-power-of-two", ErrUnsupported)
+		}
+		k := 0
+		for c>>uint(k+1) != 0 {
+			k++
+		}
+		if in.Sub == "div" {
+			// Valid only for non-negative dividends; the loops that divide
+			// (pointer differences scaled by element size) satisfy this.
+			return IntValue(bv.LshrC(x, k)), nil
+		}
+		return IntValue(bv.And(x, bv.Int32(int64(c-1)))), nil
+	case "shl", "shr", "sar":
+		c, ok := y.IsConst()
+		if !ok {
+			return Value{}, fmt.Errorf("%w: symbolic shift amount", ErrUnsupported)
+		}
+		k := int(c & 31)
+		switch in.Sub {
+		case "shl":
+			return IntValue(bv.ShlC(x, k)), nil
+		case "shr":
+			return IntValue(bv.LshrC(x, k)), nil
+		default:
+			return IntValue(bv.AshrC(x, k)), nil
+		}
+	}
+	return Value{}, fmt.Errorf("%w: binop %q", ErrUnsupported, in.Sub)
+}
+
+func boolToInt(b *bv.Bool) *bv.Term { return bv.Ite(b, bv.Int32(1), bv.Int32(0)) }
+
+func (e *Engine) cmpop(s *state, f *cir.Func, in *cir.Instr) (Value, error) {
+	a := e.operand(s, f, in.Args[0])
+	b := e.operand(s, f, in.Args[1])
+	if a.IsPtr || b.IsPtr {
+		if !a.IsPtr || !b.IsPtr {
+			return Value{}, fmt.Errorf("%w: mixed comparison", ErrUnsupported)
+		}
+		switch in.Sub {
+		case "eq", "ne":
+			var eq *bv.Bool
+			switch {
+			case a.IsNull() && b.IsNull():
+				eq = bv.True
+			case a.IsNull() != b.IsNull():
+				eq = bv.False
+			case a.Obj != b.Obj:
+				eq = bv.False
+			default:
+				eq = bv.Eq(a.Off, b.Off)
+			}
+			if in.Sub == "ne" {
+				eq = bv.BNot1(eq)
+			}
+			return IntValue(boolToInt(eq)), nil
+		}
+		if a.IsNull() || b.IsNull() || a.Obj != b.Obj {
+			return Value{}, fmt.Errorf("%w: relational pointer comparison across objects", ErrUnsupported)
+		}
+		// Pointer order within one object is the order of the (possibly
+		// negative) byte offsets, so compare them signed.
+		signed := map[string]string{"ult": "slt", "ule": "sle", "ugt": "sgt", "uge": "sge"}
+		sub := in.Sub
+		if m, ok := signed[sub]; ok {
+			sub = m
+		}
+		return e.intCmp(sub, a.Off, b.Off)
+	}
+	return e.intCmp(in.Sub, a.Term, b.Term)
+}
+
+func (e *Engine) intCmp(sub string, x, y *bv.Term) (Value, error) {
+	var c *bv.Bool
+	switch sub {
+	case "eq":
+		c = bv.Eq(x, y)
+	case "ne":
+		c = bv.Ne(x, y)
+	case "slt":
+		c = bv.Slt(x, y)
+	case "sle":
+		c = bv.Sle(x, y)
+	case "sgt":
+		c = bv.Slt(y, x)
+	case "sge":
+		c = bv.Sle(y, x)
+	case "ult":
+		c = bv.Ult(x, y)
+	case "ule":
+		c = bv.Ule(x, y)
+	case "ugt":
+		c = bv.Ult(y, x)
+	case "uge":
+		c = bv.Ule(y, x)
+	default:
+		return Value{}, fmt.Errorf("%w: comparison %q", ErrUnsupported, sub)
+	}
+	return IntValue(boolToInt(c)), nil
+}
+
+// call implements the ctype.h intrinsics and strlen symbolically.
+func (e *Engine) call(s *state, f *cir.Func, in *cir.Instr) (Value, error) {
+	if len(in.Args) != 1 {
+		return Value{}, fmt.Errorf("%w: call %s", ErrUnsupported, in.Sub)
+	}
+	a := e.operand(s, f, in.Args[0])
+	if in.Sub == "strlen" {
+		return e.strlenCall(s, a)
+	}
+	if a.IsPtr {
+		return Value{}, fmt.Errorf("%w: pointer argument to %s", ErrUnsupported, in.Sub)
+	}
+	c := a.Term
+	between := func(lo, hi byte) *bv.Bool {
+		return bv.BAnd2(bv.Sle(bv.Int32(int64(lo)), c), bv.Sle(c, bv.Int32(int64(hi))))
+	}
+	oneOf := func(chars ...byte) *bv.Bool {
+		out := bv.False
+		for _, ch := range chars {
+			out = bv.BOr2(out, bv.Eq(c, bv.Int32(int64(ch))))
+		}
+		return out
+	}
+	switch in.Sub {
+	case "isdigit":
+		return IntValue(boolToInt(between('0', '9'))), nil
+	case "isspace":
+		return IntValue(boolToInt(oneOf(' ', '\t', '\n', '\r', '\v', '\f'))), nil
+	case "isblank":
+		return IntValue(boolToInt(oneOf(' ', '\t'))), nil
+	case "isupper":
+		return IntValue(boolToInt(between('A', 'Z'))), nil
+	case "islower":
+		return IntValue(boolToInt(between('a', 'z'))), nil
+	case "isalpha":
+		return IntValue(boolToInt(bv.BOr2(between('A', 'Z'), between('a', 'z')))), nil
+	case "isalnum":
+		return IntValue(boolToInt(bv.BOrAll(between('0', '9'), between('A', 'Z'), between('a', 'z')))), nil
+	case "toupper":
+		return IntValue(bv.Ite(between('a', 'z'), bv.Sub(c, bv.Int32(32)), c)), nil
+	case "tolower":
+		return IntValue(bv.Ite(between('A', 'Z'), bv.Add(c, bv.Int32(32)), c)), nil
+	case "putchar":
+		return a, nil
+	}
+	return Value{}, fmt.Errorf("%w: call to %q", ErrUnsupported, in.Sub)
+}
+
+// strlenCall builds the symbolic strlen of a string object from a (possibly
+// symbolic) offset: a nested ite over the bounded buffer. Buffers end in a
+// forced NUL, so the scan always terminates inside the buffer.
+func (e *Engine) strlenCall(s *state, p Value) (Value, error) {
+	if !p.IsPtr {
+		return Value{}, fmt.Errorf("%w: strlen of integer", ErrUnsupported)
+	}
+	if p.IsNull() {
+		return Value{}, ErrNullDeref
+	}
+	if _, ok := s.cells[p.Obj]; ok || p.Obj >= len(e.Objects) {
+		return Value{}, fmt.Errorf("%w: strlen of non-string object", ErrUnsupported)
+	}
+	buf := e.Objects[p.Obj]
+	// lenFrom[k] = length of the string starting at k.
+	lenFrom := make([]*bv.Term, len(buf))
+	if v, ok := buf[len(buf)-1].IsConst(); !ok || v != 0 {
+		return Value{}, fmt.Errorf("%w: strlen of unterminated buffer", ErrUnsupported)
+	}
+	lenFrom[len(buf)-1] = bv.Int32(0)
+	for k := len(buf) - 2; k >= 0; k-- {
+		lenFrom[k] = bv.Ite(bv.Eq(buf[k], bv.Byte(0)), bv.Int32(0), bv.Add(lenFrom[k+1], bv.Int32(1)))
+	}
+	if v, ok := p.Off.IsConst(); ok {
+		k := int(int32(v))
+		if k < 0 || k >= len(buf) {
+			return Value{}, ErrOOB
+		}
+		return IntValue(lenFrom[k]), nil
+	}
+	inBounds := bv.Ult(p.Off, bv.Int32(int64(len(buf))))
+	newCond := bv.BAnd2(s.cond, inBounds)
+	if newCond == bv.False || (e.CheckFeasibility && !e.feasible(newCond)) {
+		return Value{}, ErrOOB
+	}
+	s.cond = newCond
+	val := lenFrom[len(buf)-1]
+	for k := len(buf) - 2; k >= 0; k-- {
+		val = bv.Ite(bv.Eq(p.Off, bv.Int32(int64(k))), lenFrom[k], val)
+	}
+	return IntValue(val), nil
+}
+
+// SymbolicString builds a symbolic NUL-terminated buffer of capacity maxLen
+// (maxLen content bytes ranging over all values, final byte forced NUL),
+// returning the byte terms.
+func SymbolicString(name string, maxLen int) []*bv.Term {
+	buf := make([]*bv.Term, maxLen+1)
+	for i := 0; i < maxLen; i++ {
+		buf[i] = bv.Var(fmt.Sprintf("%s[%d]", name, i), 8)
+	}
+	buf[maxLen] = bv.Byte(0)
+	return buf
+}
+
+// ConcreteString wraps a concrete NUL-terminated buffer as constant terms.
+func ConcreteString(buf []byte) []*bv.Term {
+	out := make([]*bv.Term, len(buf))
+	for i, b := range buf {
+		out[i] = bv.Byte(b)
+	}
+	return out
+}

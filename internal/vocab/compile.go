@@ -1,0 +1,466 @@
+package vocab
+
+import (
+	"fmt"
+	"strings"
+
+	"stringloops/internal/cstr"
+)
+
+// This file compiles gadget programs back to executable forms: C source for
+// the refactoring application (§4.5) and native Go closures for the
+// optimisation study (§4.4). The Go compiler precomputes character-set
+// lookup tables and leans on the standard library's assembly-backed byte
+// search, standing in for glibc's SIMD string routines.
+
+// CompileToC renders the program as a C function with the paper's
+// loopFunction signature. Simple programs compile to idiomatic one-liners
+// (the refactorings submitted upstream in §4.5); general programs compile to
+// the mechanical skip-flag form shown in §2.2.
+func CompileToC(p Program, name string) string {
+	if s, ok := prettyC(p); ok {
+		return fmt.Sprintf("char *%s(char *s) {\n%s}\n", name, s)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "char *%s(char *s) {\n", name)
+	sb.WriteString("  char *result = s;\n")
+	sb.WriteString("  int skipInstruction = 0;\n")
+	if p.Uses(OpReverse) {
+		sb.WriteString("  char *rev = reverse_string(s); /* helper: heap copy, reversed */\n")
+	}
+	for i, in := range p {
+		body := instrC(in, i == 0)
+		sb.WriteString("  if (!skipInstruction) {\n")
+		for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+			sb.WriteString("    " + line + "\n")
+		}
+		sb.WriteString("  } else skipInstruction = 0;\n")
+	}
+	sb.WriteString("  return (char *)-1; /* invalid pointer: ran out of instructions */\n")
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func instrC(in Instr, first bool) string {
+	switch in.Op {
+	case OpRawmemchr:
+		return fmt.Sprintf("result = rawmemchr(result, %s);", cChar(in.Arg[0]))
+	case OpStrchr:
+		return fmt.Sprintf("result = strchr(result, %s);", cChar(in.Arg[0]))
+	case OpStrrchr:
+		return fmt.Sprintf("result = strrchr(result, %s);", cChar(in.Arg[0]))
+	case OpStrpbrk:
+		return fmt.Sprintf("result = strpbrk(result, %s);", cSet(in.Arg))
+	case OpStrspn:
+		return fmt.Sprintf("result += strspn(result, %s);", cSet(in.Arg))
+	case OpStrcspn:
+		return fmt.Sprintf("result += strcspn(result, %s);", cSet(in.Arg))
+	case OpIsNullptr:
+		return "skipInstruction = result != NULL;"
+	case OpIsStart:
+		return "skipInstruction = result != s;"
+	case OpIncrement:
+		return "result++;"
+	case OpSetToEnd:
+		return "result = s + strlen(s);"
+	case OpSetToStart:
+		return "result = s;"
+	case OpReverse:
+		return "result = rev; s = rev;"
+	case OpReturn:
+		return "return result;"
+	}
+	return "/* unknown */"
+}
+
+// prettyC recognises the handful of shapes that cover most synthesised
+// programs and emits the idiomatic replacement the paper's pull requests
+// used.
+func prettyC(p Program) (string, bool) {
+	// [gadget..., F] with no control gadgets.
+	if len(p) == 2 && p[1].Op == OpReturn {
+		switch p[0].Op {
+		case OpStrspn:
+			return fmt.Sprintf("  return s + strspn(s, %s);\n", cSet(p[0].Arg)), true
+		case OpStrcspn:
+			return fmt.Sprintf("  return s + strcspn(s, %s);\n", cSet(p[0].Arg)), true
+		case OpStrchr:
+			return fmt.Sprintf("  return strchr(s, %s);\n", cChar(p[0].Arg[0])), true
+		case OpStrrchr:
+			return fmt.Sprintf("  return strrchr(s, %s);\n", cChar(p[0].Arg[0])), true
+		case OpStrpbrk:
+			return fmt.Sprintf("  return strpbrk(s, %s);\n", cSet(p[0].Arg)), true
+		case OpRawmemchr:
+			return fmt.Sprintf("  return rawmemchr(s, %s);\n", cChar(p[0].Arg[0])), true
+		case OpSetToEnd:
+			return "  return s + strlen(s);\n", true
+		}
+	}
+	// [Z, F, gadget..., F]: NULL guard prefix.
+	if len(p) >= 3 && p[0].Op == OpIsNullptr && p[1].Op == OpReturn {
+		inner, ok := prettyC(p[2:])
+		if ok {
+			return "  if (s == NULL)\n    return NULL;\n" + inner, true
+		}
+	}
+	// [V, strspn, F]: the backward trailing-trim idiom.
+	if len(p) == 3 && p[0].Op == OpReverse && p[1].Op == OpStrspn && p[2].Op == OpReturn {
+		set := cstr.ExpandMeta(p[1].Arg)
+		cond := fmt.Sprintf("strchr(%s, *p)", cSet(p[1].Arg))
+		if len(set) == 1 {
+			cond = fmt.Sprintf("*p == %s", cChar(set[0]))
+		}
+		return fmt.Sprintf("  char *p = s + strlen(s) - 1;\n  while (p >= s && %s)\n    p--;\n  return p;\n", cond), true
+	}
+	return "", false
+}
+
+func cChar(c byte) string {
+	switch c {
+	case '\'':
+		return `'\''`
+	case '\\':
+		return `'\\'`
+	case '\t':
+		return `'\t'`
+	case '\n':
+		return `'\n'`
+	case 0:
+		return `'\0'`
+	default:
+		if c >= 32 && c <= 126 {
+			return fmt.Sprintf("'%c'", c)
+		}
+		return fmt.Sprintf("'\\x%02x'", c)
+	}
+}
+
+func cSet(arg []byte) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for _, c := range cstr.ExpandMeta(arg) {
+		switch c {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			if c >= 32 && c <= 126 {
+				sb.WriteByte(c)
+			} else {
+				fmt.Fprintf(&sb, "\\x%02x", c)
+			}
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// CompiledFunc is a natively compiled summary: it runs the program against a
+// NUL-terminated buffer (nil = NULL input).
+type CompiledFunc func(buf []byte) Result
+
+// CompileGo compiles the program into a Go closure. Common shapes get
+// specialised closures that go straight to the standard library's
+// assembly-backed byte search (the moral equivalent of calling glibc's SIMD
+// strchr); character sets become 256-entry lookup tables built once at
+// compile time. Everything else falls back to a generic step machine — the
+// native-execution side of §4.4.
+func CompileGo(p Program) CompiledFunc {
+	if f := specializeGo(p); f != nil {
+		return f
+	}
+	return compileGoGeneric(p)
+}
+
+// specializeGo recognises the shapes most synthesised programs take and
+// returns a direct closure, or nil.
+func specializeGo(p Program) CompiledFunc {
+	// Optional ZF prefix: NULL-guarded body.
+	if len(p) >= 3 && p[0].Op == OpIsNullptr && p[1].Op == OpReturn {
+		inner := specializeGo(p[2:])
+		if inner == nil {
+			return nil
+		}
+		return func(buf []byte) Result {
+			if buf == nil {
+				return NullResult()
+			}
+			return inner(buf)
+		}
+	}
+	setTable := func(arg []byte) *[256]bool {
+		var tbl [256]bool
+		for _, c := range cstr.ExpandMeta(arg) {
+			tbl[c] = true
+		}
+		return &tbl
+	}
+	// Backward trim: V P<set> F.
+	if len(p) == 3 && p[0].Op == OpReverse && p[1].Op == OpStrspn && p[2].Op == OpReturn {
+		tbl := setTable(p[1].Arg)
+		return func(buf []byte) Result {
+			if buf == nil {
+				return InvalidResult()
+			}
+			i := cstr.Strlen(buf, 0) - 1
+			for i >= 0 && tbl[buf[i]] {
+				i--
+			}
+			return PtrResult(i)
+		}
+	}
+	if len(p) != 2 || p[1].Op != OpReturn {
+		return nil
+	}
+	in := p[0]
+	switch in.Op {
+	case OpSetToEnd:
+		return func(buf []byte) Result {
+			if buf == nil {
+				return InvalidResult()
+			}
+			return PtrResult(cstr.Strlen(buf, 0))
+		}
+	case OpStrchr:
+		c := in.Arg[0]
+		return func(buf []byte) Result {
+			if buf == nil {
+				return InvalidResult()
+			}
+			if j := cstr.Strchr(buf, 0, c); j != cstr.NotFound {
+				return PtrResult(j)
+			}
+			return NullResult()
+		}
+	case OpStrrchr:
+		c := in.Arg[0]
+		return func(buf []byte) Result {
+			if buf == nil {
+				return InvalidResult()
+			}
+			if j := cstr.Strrchr(buf, 0, c); j != cstr.NotFound {
+				return PtrResult(j)
+			}
+			return NullResult()
+		}
+	case OpRawmemchr:
+		c := in.Arg[0]
+		return func(buf []byte) Result {
+			if buf == nil {
+				return InvalidResult()
+			}
+			if j := cstr.Memchr(buf, 0, c, len(buf)); j != cstr.NotFound {
+				return PtrResult(j)
+			}
+			return InvalidResult()
+		}
+	case OpStrcspn:
+		if len(in.Arg) == 1 && in.Arg[0] != cstr.MetaDigit && in.Arg[0] != cstr.MetaSpace {
+			// One delimiter: a single optimized byte search bounded by the
+			// terminator.
+			c := in.Arg[0]
+			return func(buf []byte) Result {
+				if buf == nil {
+					return InvalidResult()
+				}
+				if j := cstr.Strchr(buf, 0, c); j != cstr.NotFound {
+					return PtrResult(j)
+				}
+				return PtrResult(cstr.Strlen(buf, 0))
+			}
+		}
+		tbl := setTable(in.Arg)
+		return func(buf []byte) Result {
+			if buf == nil {
+				return InvalidResult()
+			}
+			i := 0
+			for buf[i] != 0 && !tbl[buf[i]] {
+				i++
+			}
+			return PtrResult(i)
+		}
+	case OpStrspn:
+		tbl := setTable(in.Arg)
+		return func(buf []byte) Result {
+			if buf == nil {
+				return InvalidResult()
+			}
+			i := 0
+			for tbl[buf[i]] {
+				i++
+			}
+			return PtrResult(i)
+		}
+	case OpStrpbrk:
+		tbl := setTable(in.Arg)
+		return func(buf []byte) Result {
+			if buf == nil {
+				return InvalidResult()
+			}
+			i := 0
+			for buf[i] != 0 && !tbl[buf[i]] {
+				i++
+			}
+			if buf[i] == 0 {
+				return NullResult()
+			}
+			return PtrResult(i)
+		}
+	}
+	return nil
+}
+
+func compileGoGeneric(p Program) CompiledFunc {
+	type step struct {
+		op    Op
+		c     byte
+		table *[256]bool
+	}
+	steps := make([]step, len(p))
+	for i, in := range p {
+		st := step{op: in.Op}
+		if in.Op.TakesChar() {
+			st.c = in.Arg[0]
+		}
+		if in.Op.TakesSet() {
+			var tbl [256]bool
+			for _, c := range cstr.ExpandMeta(in.Arg) {
+				tbl[c] = true
+			}
+			st.table = &tbl
+		}
+		steps[i] = st
+	}
+	return func(buf []byte) Result {
+		isNullInput := buf == nil
+		cur := buf
+		reversed := false
+		n := 0
+		kind := Ptr
+		off := 0
+		if isNullInput {
+			kind = Null
+		}
+		skip := false
+		finish := func() Result {
+			switch kind {
+			case Null:
+				return NullResult()
+			case Invalid:
+				return InvalidResult()
+			}
+			if reversed {
+				return PtrResult(n - 1 - off)
+			}
+			return PtrResult(off)
+		}
+		strOK := func() bool { return kind == Ptr && off >= 0 && off < len(cur) }
+		for i, st := range steps {
+			if skip {
+				skip = false
+				continue
+			}
+			switch st.op {
+			case OpReverse:
+				if i != 0 || isNullInput {
+					return InvalidResult()
+				}
+				cur = cstr.Reverse(cur, 0)
+				reversed = true
+				n = len(cur) - 1
+				off = 0
+			case OpRawmemchr:
+				if !strOK() {
+					return InvalidResult()
+				}
+				j := cstr.Memchr(cur, off, st.c, len(cur)-off)
+				if j == cstr.NotFound {
+					return InvalidResult()
+				}
+				off = j
+			case OpStrchr:
+				if !strOK() {
+					return InvalidResult()
+				}
+				if j := cstr.Strchr(cur, off, st.c); j == cstr.NotFound {
+					kind = Null
+				} else {
+					off = j
+				}
+			case OpStrrchr:
+				if !strOK() {
+					return InvalidResult()
+				}
+				if j := cstr.Strrchr(cur, off, st.c); j == cstr.NotFound {
+					kind = Null
+				} else {
+					off = j
+				}
+			case OpStrpbrk:
+				if !strOK() {
+					return InvalidResult()
+				}
+				j := off
+				for cur[j] != 0 && !st.table[cur[j]] {
+					j++
+				}
+				if cur[j] == 0 {
+					kind = Null
+				} else {
+					off = j
+				}
+			case OpStrspn:
+				if !strOK() {
+					return InvalidResult()
+				}
+				for cur[off] != 0 && st.table[cur[off]] {
+					off++
+				}
+			case OpStrcspn:
+				if !strOK() {
+					return InvalidResult()
+				}
+				for cur[off] != 0 && !st.table[cur[off]] {
+					off++
+				}
+			case OpIsNullptr:
+				skip = kind != Null
+			case OpIsStart:
+				if isNullInput {
+					skip = kind != Null
+				} else {
+					skip = !(kind == Ptr && off == 0)
+				}
+			case OpIncrement:
+				if kind != Ptr {
+					return InvalidResult()
+				}
+				off++
+			case OpSetToEnd:
+				if isNullInput {
+					return InvalidResult()
+				}
+				kind = Ptr
+				off = cstr.Strlen(cur, 0)
+			case OpSetToStart:
+				if isNullInput {
+					kind = Null
+				} else {
+					kind = Ptr
+					off = 0
+				}
+			case OpReturn:
+				return finish()
+			default:
+				return InvalidResult()
+			}
+		}
+		return InvalidResult()
+	}
+}

@@ -1,0 +1,51 @@
+package vocab
+
+import (
+	"testing"
+
+	"stringloops/internal/cstr"
+)
+
+// FuzzDecode checks that arbitrary byte strings either fail to decode or
+// round-trip exactly, and that decoded programs can always be interpreted
+// without panicking.
+func FuzzDecode(f *testing.F) {
+	f.Add("P \t\x00F")
+	f.Add("ZFP \t\x00F")
+	f.Add("EF")
+	f.Add("VCxF")
+	f.Add("M\aF")
+	f.Add("\x00\x01\x02")
+	f.Fuzz(func(t *testing.T, enc string) {
+		p, err := Decode(enc)
+		if err != nil {
+			return
+		}
+		if got := p.Encode(); got != enc {
+			t.Fatalf("round trip %q -> %q", enc, got)
+		}
+		// Interpretation must be total on any decoded program.
+		Run(p, cstr.Terminate("ab c"))
+		Run(p, cstr.Terminate(""))
+		Run(p, nil)
+		CompileGo(p)(cstr.Terminate("xy"))
+	})
+}
+
+// FuzzRunAgainstCompiled cross-checks the interpreter against the compiled
+// form on fuzzer-chosen programs and inputs.
+func FuzzRunAgainstCompiled(f *testing.F) {
+	f.Add("P \x00F", "  ab")
+	f.Add("C:F", "k:v")
+	f.Add("VPx\x00F", "axxx")
+	f.Fuzz(func(t *testing.T, enc, input string) {
+		p, err := Decode(enc)
+		if err != nil {
+			return
+		}
+		buf := cstr.Terminate(input)
+		if got, want := CompileGo(p)(buf), Run(p, buf); got != want {
+			t.Fatalf("%q on %q: compiled %+v, interpreted %+v", enc, input, got, want)
+		}
+	})
+}

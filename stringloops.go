@@ -1,0 +1,137 @@
+// Package stringloops computes summaries of string loops in C, reproducing
+// "Computing Summaries of String Loops in C for Better Testing and
+// Refactoring" (PLDI 2019).
+//
+// Given C source containing a memoryless string loop — a loop over a
+// char* that carries no information between iterations, such as
+//
+//	char *skip(char *s) {
+//	    while (*s == ' ' || *s == '\t')
+//	        s++;
+//	    return s;
+//	}
+//
+// Summarize synthesises an equivalent straight-line program over the C
+// standard string functions (here: s + strspn(s, " \t")) using
+// counterexample-guided inductive synthesis over a built-in symbolic
+// execution engine and SAT-backed string solver. The summary is checked
+// equivalent on all strings up to a small bound; when the loop additionally
+// passes the memorylessness verification (VerifyMemoryless), the paper's
+// small-model theorems extend that equivalence to strings of every length.
+//
+// Summaries serve three applications: replacing loops with library calls
+// (refactoring, Summary.C), accelerating symbolic execution by dispatching
+// loops to a string solver, and speeding up native execution through
+// vendor-optimised string routines. The cmd/ directory reproduces every
+// table and figure of the paper's evaluation; see DESIGN.md and
+// EXPERIMENTS.md.
+package stringloops
+
+import (
+	"time"
+
+	"stringloops/internal/core"
+)
+
+// Options configures Summarize. The zero value matches the paper's main
+// experiment: the full 13-gadget vocabulary, maximum program size 9,
+// character sets of up to 3 characters, bounded equivalence on strings of
+// length up to 3, and a 30-second budget.
+type Options struct {
+	// Vocabulary restricts the gadgets, given as Table 1 opcode letters
+	// (e.g. "MPNIFV", the paper's best reduced vocabulary). Empty means all.
+	Vocabulary string
+	// MaxProgramSize bounds the encoded summary length.
+	MaxProgramSize int
+	// MaxSetSize bounds strspn-family set arguments.
+	MaxSetSize int
+	// MaxExampleLength is the bounded-equivalence string length.
+	MaxExampleLength int
+	// Timeout bounds synthesis.
+	Timeout time.Duration
+	// RequireMemoryless makes Summarize fail unless the §3 verification
+	// proves the loop memoryless, upgrading the bounded equivalence to all
+	// string lengths.
+	RequireMemoryless bool
+}
+
+// Summary is a synthesised loop summary.
+type Summary = core.Summary
+
+// MemorylessReport is the §3 verification outcome.
+type MemorylessReport = core.MemorylessReport
+
+// TestInput is a generated covering test (see Summary.CoveringInputs).
+type TestInput = core.TestInput
+
+// Candidate is a loop classified by the automatic filter pipeline.
+type Candidate = core.Candidate
+
+// Errors re-exported from the pipeline.
+var (
+	ErrNotFound       = core.ErrNotFound
+	ErrNoLoopFunction = core.ErrNoLoopFunction
+	ErrNotMemoryless  = core.ErrNotMemoryless
+)
+
+func (o Options) toCore() core.Options {
+	return core.Options{
+		Vocabulary:        o.Vocabulary,
+		MaxProgramSize:    o.MaxProgramSize,
+		MaxSetSize:        o.MaxSetSize,
+		MaxExampleLength:  o.MaxExampleLength,
+		Timeout:           o.Timeout,
+		RequireMemoryless: o.RequireMemoryless,
+	}
+}
+
+// Summarize synthesises a summary for the first char *f(char *) function in
+// the C source.
+func Summarize(source string, opts Options) (*Summary, error) {
+	return core.Summarize(source, "", opts.toCore())
+}
+
+// SummarizeFunc synthesises a summary for the named function.
+func SummarizeFunc(source, funcName string, opts Options) (*Summary, error) {
+	return core.Summarize(source, funcName, opts.toCore())
+}
+
+// VerifyMemoryless runs the §3 bounded memorylessness verification on the
+// named function (empty name picks the first char *f(char *) function).
+func VerifyMemoryless(source, funcName string) (*MemorylessReport, error) {
+	return core.VerifyMemoryless(source, funcName)
+}
+
+// CheckEquivalence verifies an encoded summary (the Table 1 byte encoding)
+// against the named loop on all strings up to maxLen, returning a
+// counterexample input when they differ.
+func CheckEquivalence(source, funcName, encodedSummary string, maxLen int) (ok bool, counterexample string, err error) {
+	return core.CheckEquivalence(source, funcName, encodedSummary, maxLen)
+}
+
+// FindCandidates runs the automatic loop-filter pipeline of §4.1.1 over all
+// functions in the source, reporting each loop's fate ("candidate" loops are
+// the ones worth summarising).
+func FindCandidates(source string) ([]Candidate, error) {
+	return core.FindCandidates(source)
+}
+
+// IdiomRewrite is the outcome of RewriteIdiom.
+type IdiomRewrite = core.IdiomRewrite
+
+// RewriteIdiom runs the LoopIdiomRecognize-style compiler pass on the named
+// function: the loop is summarised, the summary compiled to loop-free IR
+// over C standard-library calls, and the replacement proven equivalent — the
+// compiler-writer application of §4.4.
+func RewriteIdiom(source, funcName string, timeout time.Duration) (*IdiomRewrite, error) {
+	return core.RewriteIdiom(source, funcName, timeout)
+}
+
+// CheckRefactoring verifies that a rewritten function — typically the loop
+// replaced by standard-library calls, which the symbolic executor models
+// directly — behaves identically to the original on all strings up to maxLen
+// and on NULL, returning a distinguishing input otherwise. This validates
+// §4.5-style patches before submitting them.
+func CheckRefactoring(source, originalName, refactoredName string, maxLen int) (ok bool, counterexample string, err error) {
+	return core.CheckRefactoring(source, originalName, refactoredName, maxLen)
+}

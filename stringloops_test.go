@@ -1,0 +1,53 @@
+package stringloops_test
+
+import (
+	"fmt"
+	"log"
+	"testing"
+	"time"
+
+	"stringloops"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	src := `char *skip(char *s) { while (*s == '/') s++; return s; }`
+	s, err := stringloops.Summarize(src, stringloops.Options{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Encoded != "P/\x00F" {
+		t.Errorf("encoded %q", s.Encoded)
+	}
+	ok, _, err := stringloops.CheckEquivalence(src, "skip", s.Encoded, 3)
+	if err != nil || !ok {
+		t.Fatalf("own summary must verify: %v %v", ok, err)
+	}
+	r, err := stringloops.VerifyMemoryless(src, "")
+	if err != nil || !r.Memoryless {
+		t.Fatalf("memoryless: %+v %v", r, err)
+	}
+	cands, err := stringloops.FindCandidates(src)
+	if err != nil || len(cands) != 1 || cands[0].Stage != "candidate" {
+		t.Fatalf("candidates: %+v %v", cands, err)
+	}
+}
+
+// Example demonstrates the package's primary entry point on the paper's
+// Figure 1 loop.
+func Example() {
+	src := `
+#define whitespace(c) (((c) == ' ') || ((c) == '\t'))
+char* loopFunction(char* line) {
+  char *p;
+  for (p = line; p && *p && whitespace (*p); p++)
+    ;
+  return p;
+}`
+	summary, err := stringloops.Summarize(src, stringloops.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	off, _ := summary.Run("  \thello")
+	fmt.Println("skips", off, "characters")
+	// Output: skips 3 characters
+}
