@@ -236,16 +236,17 @@ func BenchmarkMemorylessVerification(b *testing.B) {
 func BenchmarkAblationGuardedOffsets(b *testing.B) {
 	prog, _ := vocab.Decode("P \t\x00F")
 	const maxLen = 6
+	tin := bv.NewInterner()
 	inSet := func(c *bv.Term) *bv.Bool {
-		return bv.BOr2(bv.Eq(c, bv.Byte(' ')), bv.Eq(c, bv.Byte('\t')))
+		return tin.BOr2(tin.Eq(c, tin.Byte(' ')), tin.Eq(c, tin.Byte('\t')))
 	}
 	b.Run("guarded", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			s := strsolver.New("s", maxLen)
-			outcomes := vocab.RunSymbolic(vocab.Symbolize(prog), s)
+			s := strsolver.New(tin, "s", maxLen)
+			outcomes := vocab.RunSymbolic(vocab.Symbolize(tin, prog), s)
 			sats := 0
 			for _, o := range outcomes {
-				if st, _ := bv.CheckSat(0, o.Guard); st == sat.Sat {
+				if st, _ := bv.CheckSat(nil, 0, o.Guard); st == sat.Sat {
 					sats++
 				}
 			}
@@ -256,20 +257,20 @@ func BenchmarkAblationGuardedOffsets(b *testing.B) {
 	})
 	b.Run("naive-ite", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			s := strsolver.New("s", maxLen)
+			s := strsolver.New(tin, "s", maxLen)
 			// Dense encoding: the span as one nested-ite term.
-			span := bv.Int32(maxLen)
+			span := tin.Int32(maxLen)
 			for j := maxLen - 1; j >= 0; j-- {
-				stop := bv.BOr2(bv.Eq(s.At(j), bv.Byte(0)), bv.BNot1(inSet(s.At(j))))
+				stop := tin.BOr2(tin.Eq(s.At(j), tin.Byte(0)), tin.BNot1(inSet(s.At(j))))
 				prefixOK := bv.True
 				for k := 0; k < j; k++ {
-					prefixOK = bv.BAnd2(prefixOK, bv.BAnd2(inSet(s.At(k)), bv.Ne(s.At(k), bv.Byte(0))))
+					prefixOK = tin.BAnd2(prefixOK, tin.BAnd2(inSet(s.At(k)), tin.Ne(s.At(k), tin.Byte(0))))
 				}
-				span = bv.Ite(bv.BAnd2(prefixOK, stop), bv.Int32(int64(j)), span)
+				span = tin.Ite(tin.BAnd2(prefixOK, stop), tin.Int32(int64(j)), span)
 			}
 			sats := 0
 			for j := 0; j <= maxLen; j++ {
-				if st, _ := bv.CheckSat(0, bv.Eq(span, bv.Int32(int64(j)))); st == sat.Sat {
+				if st, _ := bv.CheckSat(nil, 0, tin.Eq(span, tin.Int32(int64(j)))); st == sat.Sat {
 					sats++
 				}
 			}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"time"
 
+	"stringloops/internal/engine"
 	"stringloops/internal/loopdb"
 	"stringloops/internal/memoryless"
 )
@@ -17,18 +18,32 @@ import (
 func main() {
 	maxLen := flag.Int("maxlen", 3, "bounded-check string length")
 	verbose := flag.Bool("v", false, "per-loop results")
+	jobs := flag.Int("j", 1, "parallel verification workers (<1 = one per CPU)")
 	flag.Parse()
+
+	// Verify on a worker pool (each loop builds its own solver pipeline),
+	// then aggregate serially in corpus order so the output is stable.
+	loops := loopdb.Corpus()
+	reports := make([]memoryless.Report, len(loops))
+	lowerErrs := make([]error, len(loops))
+	engine.Map(engine.Workers(*jobs, len(loops)), len(loops), func(i int) {
+		f, err := loops[i].Lower()
+		if err != nil {
+			lowerErrs[i] = err
+			return
+		}
+		reports[i] = memoryless.VerifyBudget(f, *maxLen, nil)
+	})
 
 	verified, total := 0, 0
 	var elapsed time.Duration
 	perProg := map[string][2]int{}
-	for _, l := range loopdb.Corpus() {
-		f, err := l.Lower()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "memverify: %v\n", err)
+	for i, l := range loops {
+		if lowerErrs[i] != nil {
+			fmt.Fprintf(os.Stderr, "memverify: %v\n", lowerErrs[i])
 			os.Exit(1)
 		}
-		r := memoryless.Verify(f, *maxLen)
+		r := reports[i]
 		total++
 		elapsed += r.Elapsed
 		pp := perProg[l.Program]

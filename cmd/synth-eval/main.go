@@ -26,6 +26,7 @@ func main() {
 	maxSize := flag.Int("maxsize", 9, "maximum encoded program size")
 	maxSet := flag.Int("maxset", 3, "maximum strspn-family set size (4 reaches the libosip outliers)")
 	verbose := flag.Bool("v", false, "per-loop progress")
+	jobs := flag.Int("j", 1, "parallel synthesis workers (<1 = one per CPU)")
 	flag.Parse()
 	if !*table3 && !*figure2 {
 		*table3, *figure2 = true, true
@@ -36,10 +37,10 @@ func main() {
 	if !*verbose {
 		progress = nil
 	}
-	fmt.Printf("synthesising %d loops (timeout %v, max size %d, max set %d)...\n",
-		len(loopdb.Corpus()), *timeout, *maxSize, *maxSet)
+	fmt.Printf("synthesising %d loops (timeout %v, max size %d, max set %d, %d workers)...\n",
+		len(loopdb.Corpus()), *timeout, *maxSize, *maxSet, *jobs)
 	start := time.Now()
-	records := harness.SynthesizeCorpus(loopdb.Corpus(), opts, progress)
+	records := harness.SynthesizeCorpusParallel(loopdb.Corpus(), opts, progress, *jobs)
 	fmt.Printf("sweep finished in %v\n\n", time.Since(start).Round(time.Second))
 
 	if *table3 {

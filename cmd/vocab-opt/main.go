@@ -26,11 +26,12 @@ func main() {
 	maxSize := flag.Int("maxsize", 7, "maximum program size inside s(v) (paper: 7)")
 	baselineBudget := flag.Duration("baseline", 5*time.Second, "per-loop budget for the full-vocabulary baseline (paper: 2h)")
 	seed := flag.Int64("seed", 1, "GP seed")
+	jobs := flag.Int("j", 1, "parallel synthesis workers inside s(v) (<1 = one per CPU)")
 	flag.Parse()
 
 	loops := loopdb.Corpus()
 	fmt.Printf("baseline: full vocabulary, max size 9, %v per loop...\n", *baselineBudget)
-	baseline := harness.CountSynthesized(loops, cegis.Options{Timeout: *baselineBudget})
+	baseline := harness.CountSynthesizedParallel(loops, cegis.Options{Timeout: *baselineBudget}, *jobs)
 	fmt.Printf("baseline synthesises %d/%d loops\n\n", baseline, len(loops))
 
 	eval := 0
@@ -44,11 +45,11 @@ func main() {
 			return 0
 		}
 		start := time.Now()
-		n := harness.CountSynthesized(loops, cegis.Options{
+		n := harness.CountSynthesizedParallel(loops, cegis.Options{
 			Vocabulary:  v,
 			Timeout:     *timeout,
 			MaxProgSize: *maxSize,
-		})
+		}, *jobs)
 		eval++
 		fmt.Printf("eval %2d: %-13s -> %2d loops (%v)\n",
 			eval, v.Letters(), n, time.Since(start).Round(time.Second))

@@ -1,6 +1,7 @@
 package bv
 
 import (
+	"stringloops/internal/engine"
 	"stringloops/internal/sat"
 )
 
@@ -17,6 +18,9 @@ type Solver struct {
 	status   sat.Status
 	// MaxConflicts bounds the underlying SAT search (0 = unbounded).
 	MaxConflicts int64
+	// Budget, when non-nil, is threaded into the SAT search: conflicts are
+	// charged to it and cancellation makes Check return Unknown promptly.
+	Budget *engine.Budget
 }
 
 // NewSolver returns an empty bit-vector solver.
@@ -276,6 +280,7 @@ func (s *Solver) Assert(b *Bool) {
 // Check decides the asserted constraints.
 func (s *Solver) Check() sat.Status {
 	s.sat.MaxConflicts = s.MaxConflicts
+	s.sat.Budget = s.Budget
 	s.status = s.sat.Solve()
 	return s.status
 }
@@ -329,10 +334,12 @@ func (s *Solver) modelAssignment() *Assignment {
 
 // CheckSat decides the conjunction of the given formulas and, when
 // satisfiable, returns a model assignment. maxConflicts bounds the search
-// (0 = unbounded).
-func CheckSat(maxConflicts int64, formulas ...*Bool) (sat.Status, *Assignment) {
+// (0 = unbounded) and the optional budget b carries run-wide cancellation
+// and conflict accounting into the SAT layer.
+func CheckSat(b *engine.Budget, maxConflicts int64, formulas ...*Bool) (sat.Status, *Assignment) {
 	s := NewSolver()
 	s.MaxConflicts = maxConflicts
+	s.Budget = b
 	for _, f := range formulas {
 		s.Assert(f)
 	}
@@ -345,9 +352,10 @@ func CheckSat(maxConflicts int64, formulas ...*Bool) (sat.Status, *Assignment) {
 
 // IsValid reports whether f holds under all assignments (by refutation). The
 // second result is a counterexample assignment when f is not valid, and the
-// status is Unknown if the search budget was exhausted.
-func IsValid(maxConflicts int64, f *Bool) (valid bool, counterexample *Assignment, st sat.Status) {
-	status, model := CheckSat(maxConflicts, BNot1(f))
+// status is Unknown if the search budget was exhausted. The negated formula
+// is built with the receiving interner.
+func (in *Interner) IsValid(b *engine.Budget, maxConflicts int64, f *Bool) (valid bool, counterexample *Assignment, st sat.Status) {
+	status, model := CheckSat(b, maxConflicts, in.BNot1(f))
 	switch status {
 	case sat.Unsat:
 		return true, nil, status

@@ -1,17 +1,28 @@
 package bv
 
-import "sync"
+import (
+	"sync"
+
+	"stringloops/internal/engine"
+)
 
 // Hash-consing: every constructor funnels through intern/internBool, so
-// structurally equal nodes are pointer-equal. This keeps expression DAGs
-// from exploding (symbolic execution rebuilds the same subterms constantly),
-// makes the pointer-equality rewrites in the smart constructors fire, and
-// turns the per-node caches in the evaluator and bit-blaster into true
-// DAG-linear algorithms.
+// structurally equal nodes built by the same Interner are pointer-equal.
+// This keeps expression DAGs from exploding (symbolic execution rebuilds the
+// same subterms constantly), makes the pointer-equality rewrites in the
+// smart constructors fire, and turns the per-node caches in the evaluator
+// and bit-blaster into true DAG-linear algorithms.
 //
-// The tables are process-global and guarded by a mutex; when they grow past
-// a soft cap they are cleared, which only costs future sharing (pointer
-// equality still implies structural equality afterwards).
+// The tables live on an Interner rather than in package globals, so every
+// pipeline (one synthesis run, one verification, one corpus worker) owns its
+// own tables: concurrent runs neither serialise on a shared lock nor evict
+// each other's nodes at the soft cap, and dropping the Interner releases the
+// whole DAG at once. Pointer equality is therefore a *per-interner*
+// invariant: terms from the same Interner are pointer-equal iff structurally
+// equal; terms from different Interners may be structurally equal without
+// being pointer-equal — which is always safe, because every rewrite keyed on
+// pointer equality (a == b, cond == True) only assumes the forward
+// direction, pointer-equal ⇒ structurally equal.
 
 type termKey struct {
 	kind  Kind
@@ -30,38 +41,98 @@ type boolKey struct {
 	x, y *Term
 }
 
-const internSoftCap = 1 << 21
+// DefaultSoftCap is the default per-interner table size at which the tables
+// are cleared; see Interner.SetSoftCap.
+const DefaultSoftCap = 1 << 21
 
-var (
-	internMu sync.Mutex
-	termTab  = make(map[termKey]*Term)
-	boolTab  = make(map[boolKey]*Bool)
-)
+// Interner owns the hash-cons tables of one pipeline. The zero value is not
+// usable; call NewInterner. An Interner is safe for concurrent use by
+// multiple goroutines (one pipeline may still fan work out internally), but
+// the intended discipline is one Interner per concurrent run.
+type Interner struct {
+	mu      sync.Mutex
+	termTab map[termKey]*Term
+	boolTab map[boolKey]*Bool
+	softCap int
+	budget  *engine.Budget
+	nodes   int64
+}
 
-func intern(t *Term) *Term {
+// NewInterner returns an empty interner with the default soft cap.
+func NewInterner() *Interner {
+	return &Interner{
+		termTab: make(map[termKey]*Term),
+		boolTab: make(map[boolKey]*Bool),
+		softCap: DefaultSoftCap,
+	}
+}
+
+// SetSoftCap bounds each hash-cons table. When a table grows past the cap it
+// is cleared, which only costs future sharing: nodes already handed out stay
+// valid, and pointer equality still implies structural equality afterwards —
+// the tables only deduplicate *future* constructions against each other.
+// A cap <= 0 restores the default. Returns the interner for chaining.
+func (in *Interner) SetSoftCap(cap int) *Interner {
+	if cap <= 0 {
+		cap = DefaultSoftCap
+	}
+	in.mu.Lock()
+	in.softCap = cap
+	in.mu.Unlock()
+	return in
+}
+
+// SetBudget charges every newly interned node to b (engine.Budget AddNodes),
+// so a node-limited budget can stop a pipeline whose expression DAG grows
+// without bound. A nil budget disables charging. Returns the interner for
+// chaining.
+func (in *Interner) SetBudget(b *engine.Budget) *Interner {
+	in.mu.Lock()
+	in.budget = b
+	in.mu.Unlock()
+	return in
+}
+
+// Nodes reports how many distinct nodes this interner has created (monotone;
+// clearing the tables at the soft cap does not reset it).
+func (in *Interner) Nodes() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.nodes
+}
+
+func (in *Interner) intern(t *Term) *Term {
 	k := termKey{kind: t.Kind, width: t.Width, val: t.Val, name: t.Name, cond: t.Cond, a: t.A, b: t.B}
-	internMu.Lock()
-	defer internMu.Unlock()
-	if old, ok := termTab[k]; ok {
+	in.mu.Lock()
+	if old, ok := in.termTab[k]; ok {
+		in.mu.Unlock()
 		return old
 	}
-	if len(termTab) >= internSoftCap {
-		termTab = make(map[termKey]*Term)
+	if len(in.termTab) >= in.softCap {
+		in.termTab = make(map[termKey]*Term)
 	}
-	termTab[k] = t
+	in.termTab[k] = t
+	in.nodes++
+	b := in.budget
+	in.mu.Unlock()
+	b.AddNodes(1)
 	return t
 }
 
-func internBool(b *Bool) *Bool {
+func (in *Interner) internBool(b *Bool) *Bool {
 	k := boolKey{kind: b.Kind, val: b.Val, name: b.Name, a: b.A, b: b.B, x: b.X, y: b.Y}
-	internMu.Lock()
-	defer internMu.Unlock()
-	if old, ok := boolTab[k]; ok {
+	in.mu.Lock()
+	if old, ok := in.boolTab[k]; ok {
+		in.mu.Unlock()
 		return old
 	}
-	if len(boolTab) >= internSoftCap {
-		boolTab = make(map[boolKey]*Bool)
+	if len(in.boolTab) >= in.softCap {
+		in.boolTab = make(map[boolKey]*Bool)
 	}
-	boolTab[k] = b
+	in.boolTab[k] = b
+	in.nodes++
+	bud := in.budget
+	in.mu.Unlock()
+	bud.AddNodes(1)
 	return b
 }

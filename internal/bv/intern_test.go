@@ -1,0 +1,73 @@
+package bv
+
+import (
+	"errors"
+	"testing"
+
+	"stringloops/internal/engine"
+)
+
+func TestInternerPointerEquality(t *testing.T) {
+	in := NewInterner()
+	x := in.Var("x", 8)
+	a := in.Add(x, in.Byte(1))
+	b := in.Add(in.Var("x", 8), in.Byte(1))
+	if a != b {
+		t.Fatal("structurally equal terms from one interner must be pointer-equal")
+	}
+}
+
+func TestSeparateInternersShareNothing(t *testing.T) {
+	in1, in2 := NewInterner(), NewInterner()
+	a := in1.Add(in1.Var("x", 8), in1.Byte(1))
+	b := in2.Add(in2.Var("x", 8), in2.Byte(1))
+	if a == b {
+		t.Fatal("distinct interners must not share nodes")
+	}
+	// Mixing is safe: rewrites only rely on pointer-equal => structurally
+	// equal, so a cross-interner combination must still evaluate correctly.
+	f := in1.Eq(a, b)
+	if valid, _, _ := in1.IsValid(nil, 0, f); !valid {
+		t.Fatal("x+1 == x+1 must hold across interners")
+	}
+}
+
+func TestSoftCapClearKeepsNodesValid(t *testing.T) {
+	in := NewInterner().SetSoftCap(4)
+	old := in.Add(in.Var("x", 8), in.Byte(1))
+	// Blow past the cap so the term table is cleared at least once.
+	for i := 0; i < 64; i++ {
+		in.Byte(byte(i))
+	}
+	// The handed-out node stays valid, and rebuilding the same shape yields a
+	// fresh (non-shared) but structurally identical node.
+	rebuilt := in.Add(in.Var("x", 8), in.Byte(1))
+	if old.String() != rebuilt.String() {
+		t.Fatalf("rebuilt %v, want %v", rebuilt, old)
+	}
+}
+
+func TestInternerChargesNodeBudget(t *testing.T) {
+	b := engine.NewBudget(nil, engine.Limits{Nodes: 8})
+	in := NewInterner().SetBudget(b)
+	for i := 0; i < 32; i++ {
+		in.Byte(byte(i))
+	}
+	if !b.Exceeded() || !errors.Is(b.Err(), engine.ErrBudget) {
+		t.Fatalf("node budget not charged: err=%v nodes=%d", b.Err(), b.Nodes())
+	}
+	if in.Nodes() < 8 {
+		t.Fatalf("Nodes() = %d, want >= 8", in.Nodes())
+	}
+}
+
+func TestInternerDedupDoesNotRecharge(t *testing.T) {
+	b := engine.NewBudget(nil, engine.Limits{Nodes: 100})
+	in := NewInterner().SetBudget(b)
+	for i := 0; i < 50; i++ {
+		in.Byte(7) // same node every time
+	}
+	if got := b.Nodes(); got != 1 {
+		t.Fatalf("interning the same node 50 times charged %d nodes, want 1", got)
+	}
+}

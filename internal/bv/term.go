@@ -82,26 +82,26 @@ func maskFor(width int) uint64 {
 
 // Const returns a constant term of the given width; the value is truncated to
 // the width.
-func Const(width int, val uint64) *Term {
+func (in *Interner) Const(width int, val uint64) *Term {
 	if width < 1 || width > 64 {
 		panic(fmt.Sprintf("bv: invalid width %d", width))
 	}
-	return intern(&Term{Kind: KConst, Width: width, Val: val & maskFor(width)})
+	return in.intern(&Term{Kind: KConst, Width: width, Val: val & maskFor(width)})
 }
 
 // Byte returns an 8-bit constant.
-func Byte(b byte) *Term { return Const(8, uint64(b)) }
+func (in *Interner) Byte(b byte) *Term { return in.Const(8, uint64(b)) }
 
 // Int32 returns a 32-bit constant.
-func Int32(v int64) *Term { return Const(32, uint64(v)) }
+func (in *Interner) Int32(v int64) *Term { return in.Const(32, uint64(v)) }
 
 // Var returns a fresh-by-name variable term of the given width. Two Var calls
 // with the same name denote the same solver variable.
-func Var(name string, width int) *Term {
+func (in *Interner) Var(name string, width int) *Term {
 	if width < 1 || width > 64 {
 		panic(fmt.Sprintf("bv: invalid width %d", width))
 	}
-	return intern(&Term{Kind: KVar, Width: width, Name: name})
+	return in.intern(&Term{Kind: KVar, Width: width, Name: name})
 }
 
 // IsConst reports whether t is a constant, and its value if so.
@@ -119,24 +119,24 @@ func checkSameWidth(op string, a, b *Term) {
 }
 
 // Not returns the bitwise complement of a.
-func Not(a *Term) *Term {
+func (in *Interner) Not(a *Term) *Term {
 	if v, ok := a.IsConst(); ok {
-		return Const(a.Width, ^v)
+		return in.Const(a.Width, ^v)
 	}
 	if a.Kind == KNot {
 		return a.A
 	}
-	return intern(&Term{Kind: KNot, Width: a.Width, A: a})
+	return in.intern(&Term{Kind: KNot, Width: a.Width, A: a})
 }
 
 // And returns the bitwise conjunction of a and b.
-func And(a, b *Term) *Term {
+func (in *Interner) And(a, b *Term) *Term {
 	checkSameWidth("and", a, b)
 	av, aok := a.IsConst()
 	bv_, bok := b.IsConst()
 	switch {
 	case aok && bok:
-		return Const(a.Width, av&bv_)
+		return in.Const(a.Width, av&bv_)
 	case aok && av == 0:
 		return a
 	case bok && bv_ == 0:
@@ -148,17 +148,17 @@ func And(a, b *Term) *Term {
 	case a == b:
 		return a
 	}
-	return intern(&Term{Kind: KAnd, Width: a.Width, A: a, B: b})
+	return in.intern(&Term{Kind: KAnd, Width: a.Width, A: a, B: b})
 }
 
 // Or returns the bitwise disjunction of a and b.
-func Or(a, b *Term) *Term {
+func (in *Interner) Or(a, b *Term) *Term {
 	checkSameWidth("or", a, b)
 	av, aok := a.IsConst()
 	bv_, bok := b.IsConst()
 	switch {
 	case aok && bok:
-		return Const(a.Width, av|bv_)
+		return in.Const(a.Width, av|bv_)
 	case aok && av == 0:
 		return b
 	case bok && bv_ == 0:
@@ -170,35 +170,35 @@ func Or(a, b *Term) *Term {
 	case a == b:
 		return a
 	}
-	return intern(&Term{Kind: KOr, Width: a.Width, A: a, B: b})
+	return in.intern(&Term{Kind: KOr, Width: a.Width, A: a, B: b})
 }
 
 // Xor returns the bitwise exclusive-or of a and b.
-func Xor(a, b *Term) *Term {
+func (in *Interner) Xor(a, b *Term) *Term {
 	checkSameWidth("xor", a, b)
 	av, aok := a.IsConst()
 	bv_, bok := b.IsConst()
 	switch {
 	case aok && bok:
-		return Const(a.Width, av^bv_)
+		return in.Const(a.Width, av^bv_)
 	case aok && av == 0:
 		return b
 	case bok && bv_ == 0:
 		return a
 	case a == b:
-		return Const(a.Width, 0)
+		return in.Const(a.Width, 0)
 	}
-	return intern(&Term{Kind: KXor, Width: a.Width, A: a, B: b})
+	return in.intern(&Term{Kind: KXor, Width: a.Width, A: a, B: b})
 }
 
 // Add returns a+b (modular).
-func Add(a, b *Term) *Term {
+func (in *Interner) Add(a, b *Term) *Term {
 	checkSameWidth("add", a, b)
 	av, aok := a.IsConst()
 	bv_, bok := b.IsConst()
 	switch {
 	case aok && bok:
-		return Const(a.Width, av+bv_)
+		return in.Const(a.Width, av+bv_)
 	case aok && av == 0:
 		return b
 	case bok && bv_ == 0:
@@ -210,32 +210,32 @@ func Add(a, b *Term) *Term {
 	}
 	if cb, ok := b.IsConst(); ok && a.Kind == KAdd {
 		if ca, ok2 := a.B.IsConst(); ok2 {
-			return Add(a.A, Const(a.Width, ca+cb))
+			return in.Add(a.A, in.Const(a.Width, ca+cb))
 		}
 	}
-	return intern(&Term{Kind: KAdd, Width: a.Width, A: a, B: b})
+	return in.intern(&Term{Kind: KAdd, Width: a.Width, A: a, B: b})
 }
 
 // Sub returns a-b (modular).
-func Sub(a, b *Term) *Term {
+func (in *Interner) Sub(a, b *Term) *Term {
 	checkSameWidth("sub", a, b)
 	av, aok := a.IsConst()
 	bv_, bok := b.IsConst()
 	switch {
 	case aok && bok:
-		return Const(a.Width, av-bv_)
+		return in.Const(a.Width, av-bv_)
 	case bok && bv_ == 0:
 		return a
 	case a == b:
-		return Const(a.Width, 0)
+		return in.Const(a.Width, 0)
 	case bok:
-		return Add(a, Const(a.Width, -bv_))
+		return in.Add(a, in.Const(a.Width, -bv_))
 	}
-	return intern(&Term{Kind: KSub, Width: a.Width, A: a, B: b})
+	return in.intern(&Term{Kind: KSub, Width: a.Width, A: a, B: b})
 }
 
 // Ite returns the term equal to a when cond holds and b otherwise.
-func Ite(cond *Bool, a, b *Term) *Term {
+func (in *Interner) Ite(cond *Bool, a, b *Term) *Term {
 	checkSameWidth("ite", a, b)
 	switch {
 	case cond == True:
@@ -251,39 +251,39 @@ func Ite(cond *Bool, a, b *Term) *Term {
 		}
 		return b
 	}
-	return intern(&Term{Kind: KIte, Width: a.Width, Cond: cond, A: a, B: b})
+	return in.intern(&Term{Kind: KIte, Width: a.Width, Cond: cond, A: a, B: b})
 }
 
 // ShlC returns a shifted left by the constant k (modular).
-func ShlC(a *Term, k int) *Term {
+func (in *Interner) ShlC(a *Term, k int) *Term {
 	if k == 0 {
 		return a
 	}
 	if k >= a.Width {
-		return Const(a.Width, 0)
+		return in.Const(a.Width, 0)
 	}
 	if v, ok := a.IsConst(); ok {
-		return Const(a.Width, v<<uint(k))
+		return in.Const(a.Width, v<<uint(k))
 	}
-	return intern(&Term{Kind: KShlC, Width: a.Width, Val: uint64(k), A: a})
+	return in.intern(&Term{Kind: KShlC, Width: a.Width, Val: uint64(k), A: a})
 }
 
 // LshrC returns a logically shifted right by the constant k.
-func LshrC(a *Term, k int) *Term {
+func (in *Interner) LshrC(a *Term, k int) *Term {
 	if k == 0 {
 		return a
 	}
 	if k >= a.Width {
-		return Const(a.Width, 0)
+		return in.Const(a.Width, 0)
 	}
 	if v, ok := a.IsConst(); ok {
-		return Const(a.Width, v>>uint(k))
+		return in.Const(a.Width, v>>uint(k))
 	}
-	return intern(&Term{Kind: KLshrC, Width: a.Width, Val: uint64(k), A: a})
+	return in.intern(&Term{Kind: KLshrC, Width: a.Width, Val: uint64(k), A: a})
 }
 
 // AshrC returns a arithmetically shifted right by the constant k.
-func AshrC(a *Term, k int) *Term {
+func (in *Interner) AshrC(a *Term, k int) *Term {
 	if k == 0 {
 		return a
 	}
@@ -293,50 +293,50 @@ func AshrC(a *Term, k int) *Term {
 		if k >= a.Width {
 			k = a.Width - 1
 		}
-		return Const(a.Width, uint64(sv>>uint(k)))
+		return in.Const(a.Width, uint64(sv>>uint(k)))
 	}
 	if k >= a.Width {
 		k = a.Width - 1
 	}
-	return intern(&Term{Kind: KAshrC, Width: a.Width, Val: uint64(k), A: a})
+	return in.intern(&Term{Kind: KAshrC, Width: a.Width, Val: uint64(k), A: a})
 }
 
 // MulC returns a multiplied by the constant c, built from shifts and adds
 // (the IR only ever multiplies by constants: gep scales and literal factors).
-func MulC(a *Term, c int64) *Term {
+func (in *Interner) MulC(a *Term, c int64) *Term {
 	if v, ok := a.IsConst(); ok {
-		return Const(a.Width, v*uint64(c))
+		return in.Const(a.Width, v*uint64(c))
 	}
 	neg := c < 0
 	u := uint64(c)
 	if neg {
 		u = uint64(-c)
 	}
-	acc := Const(a.Width, 0)
+	acc := in.Const(a.Width, 0)
 	for k := 0; k < a.Width && u != 0; k++ {
 		if u&1 == 1 {
-			acc = Add(acc, ShlC(a, k))
+			acc = in.Add(acc, in.ShlC(a, k))
 		}
 		u >>= 1
 	}
 	if neg {
-		return Sub(Const(a.Width, 0), acc)
+		return in.Sub(in.Const(a.Width, 0), acc)
 	}
 	return acc
 }
 
 // Sext sign-extends a to the given wider width using the xor/sub identity.
-func Sext(a *Term, width int) *Term {
+func (in *Interner) Sext(a *Term, width int) *Term {
 	if width == a.Width {
 		return a
 	}
 	bias := uint64(1) << (a.Width - 1)
-	z := Zext(a, width)
-	return Sub(Xor(z, Const(width, bias)), Const(width, bias))
+	z := in.Zext(a, width)
+	return in.Sub(in.Xor(z, in.Const(width, bias)), in.Const(width, bias))
 }
 
 // Zext zero-extends a to the given wider width.
-func Zext(a *Term, width int) *Term {
+func (in *Interner) Zext(a *Term, width int) *Term {
 	if width < a.Width {
 		panic("bv: zext to narrower width")
 	}
@@ -344,15 +344,15 @@ func Zext(a *Term, width int) *Term {
 		return a
 	}
 	if v, ok := a.IsConst(); ok {
-		return Const(width, v)
+		return in.Const(width, v)
 	}
-	return intern(&Term{Kind: KZext, Width: width, A: a})
+	return in.intern(&Term{Kind: KZext, Width: width, A: a})
 }
 
 // ---- Boolean constructors ----
 
 // BoolConst returns the boolean constant v.
-func BoolConst(v bool) *Bool {
+func (in *Interner) BoolConst(v bool) *Bool {
 	if v {
 		return True
 	}
@@ -360,10 +360,10 @@ func BoolConst(v bool) *Bool {
 }
 
 // BoolVar returns a named boolean variable.
-func BoolVar(name string) *Bool { return internBool(&Bool{Kind: BVar, Name: name}) }
+func (in *Interner) BoolVar(name string) *Bool { return in.internBool(&Bool{Kind: BVar, Name: name}) }
 
 // BNot1 returns the negation of a.
-func BNot1(a *Bool) *Bool {
+func (in *Interner) BNot1(a *Bool) *Bool {
 	switch {
 	case a == True:
 		return False
@@ -372,11 +372,11 @@ func BNot1(a *Bool) *Bool {
 	case a.Kind == BNot:
 		return a.A
 	}
-	return internBool(&Bool{Kind: BNot, A: a})
+	return in.internBool(&Bool{Kind: BNot, A: a})
 }
 
 // BAnd2 returns the conjunction of a and b.
-func BAnd2(a, b *Bool) *Bool {
+func (in *Interner) BAnd2(a, b *Bool) *Bool {
 	switch {
 	case a == False || b == False:
 		return False
@@ -387,11 +387,11 @@ func BAnd2(a, b *Bool) *Bool {
 	case a == b:
 		return a
 	}
-	return internBool(&Bool{Kind: BAnd, A: a, B: b})
+	return in.internBool(&Bool{Kind: BAnd, A: a, B: b})
 }
 
 // BOr2 returns the disjunction of a and b.
-func BOr2(a, b *Bool) *Bool {
+func (in *Interner) BOr2(a, b *Bool) *Bool {
 	switch {
 	case a == True || b == True:
 		return True
@@ -402,35 +402,37 @@ func BOr2(a, b *Bool) *Bool {
 	case a == b:
 		return a
 	}
-	return internBool(&Bool{Kind: BOr, A: a, B: b})
+	return in.internBool(&Bool{Kind: BOr, A: a, B: b})
 }
 
 // BAndAll folds a list of booleans with conjunction.
-func BAndAll(bs ...*Bool) *Bool {
+func (in *Interner) BAndAll(bs ...*Bool) *Bool {
 	out := True
 	for _, b := range bs {
-		out = BAnd2(out, b)
+		out = in.BAnd2(out, b)
 	}
 	return out
 }
 
 // BOrAll folds a list of booleans with disjunction.
-func BOrAll(bs ...*Bool) *Bool {
+func (in *Interner) BOrAll(bs ...*Bool) *Bool {
 	out := False
 	for _, b := range bs {
-		out = BOr2(out, b)
+		out = in.BOr2(out, b)
 	}
 	return out
 }
 
 // Implies returns a -> b.
-func Implies(a, b *Bool) *Bool { return BOr2(BNot1(a), b) }
+func (in *Interner) Implies(a, b *Bool) *Bool { return in.BOr2(in.BNot1(a), b) }
 
 // BIte returns the boolean if-then-else.
-func BIte(c, a, b *Bool) *Bool { return BOr2(BAnd2(c, a), BAnd2(BNot1(c), b)) }
+func (in *Interner) BIte(c, a, b *Bool) *Bool {
+	return in.BOr2(in.BAnd2(c, a), in.BAnd2(in.BNot1(c), b))
+}
 
 // Eq returns the atom a = b.
-func Eq(a, b *Term) *Bool {
+func (in *Interner) Eq(a, b *Term) *Bool {
 	checkSameWidth("eq", a, b)
 	if a == b {
 		return True
@@ -438,64 +440,64 @@ func Eq(a, b *Term) *Bool {
 	av, aok := a.IsConst()
 	bv_, bok := b.IsConst()
 	if aok && bok {
-		return BoolConst(av == bv_)
+		return in.BoolConst(av == bv_)
 	}
-	return internBool(&Bool{Kind: BEq, X: a, Y: b})
+	return in.internBool(&Bool{Kind: BEq, X: a, Y: b})
 }
 
 // Ne returns the atom a != b.
-func Ne(a, b *Term) *Bool { return BNot1(Eq(a, b)) }
+func (in *Interner) Ne(a, b *Term) *Bool { return in.BNot1(in.Eq(a, b)) }
 
 // Ult returns the unsigned comparison a < b.
-func Ult(a, b *Term) *Bool {
+func (in *Interner) Ult(a, b *Term) *Bool {
 	checkSameWidth("ult", a, b)
 	av, aok := a.IsConst()
 	bv_, bok := b.IsConst()
 	switch {
 	case aok && bok:
-		return BoolConst(av < bv_)
+		return in.BoolConst(av < bv_)
 	case bok && bv_ == 0:
 		return False
 	case a == b:
 		return False
 	}
-	return internBool(&Bool{Kind: BUlt, X: a, Y: b})
+	return in.internBool(&Bool{Kind: BUlt, X: a, Y: b})
 }
 
 // Ule returns the unsigned comparison a <= b.
-func Ule(a, b *Term) *Bool {
+func (in *Interner) Ule(a, b *Term) *Bool {
 	checkSameWidth("ule", a, b)
 	av, aok := a.IsConst()
 	bv_, bok := b.IsConst()
 	switch {
 	case aok && bok:
-		return BoolConst(av <= bv_)
+		return in.BoolConst(av <= bv_)
 	case aok && av == 0:
 		return True
 	case a == b:
 		return True
 	}
-	return internBool(&Bool{Kind: BUle, X: a, Y: b})
+	return in.internBool(&Bool{Kind: BUle, X: a, Y: b})
 }
 
 // Ugt returns a > b, Uge returns a >= b (unsigned).
-func Ugt(a, b *Term) *Bool { return Ult(b, a) }
+func (in *Interner) Ugt(a, b *Term) *Bool { return in.Ult(b, a) }
 
 // Uge returns a >= b (unsigned).
-func Uge(a, b *Term) *Bool { return Ule(b, a) }
+func (in *Interner) Uge(a, b *Term) *Bool { return in.Ule(b, a) }
 
 // Slt returns the signed comparison a < b, implemented by biasing the sign
 // bit: a <s b iff (a ^ msb) <u (b ^ msb).
-func Slt(a, b *Term) *Bool {
+func (in *Interner) Slt(a, b *Term) *Bool {
 	checkSameWidth("slt", a, b)
-	msb := Const(a.Width, uint64(1)<<(a.Width-1))
-	return Ult(Xor(a, msb), Xor(b, msb))
+	msb := in.Const(a.Width, uint64(1)<<(a.Width-1))
+	return in.Ult(in.Xor(a, msb), in.Xor(b, msb))
 }
 
 // Sle returns the signed comparison a <= b.
-func Sle(a, b *Term) *Bool {
-	msb := Const(a.Width, uint64(1)<<(a.Width-1))
-	return Ule(Xor(a, msb), Xor(b, msb))
+func (in *Interner) Sle(a, b *Term) *Bool {
+	msb := in.Const(a.Width, uint64(1)<<(a.Width-1))
+	return in.Ule(in.Xor(a, msb), in.Xor(b, msb))
 }
 
 // ---- Concrete evaluation (used for testing and model-based evaluation) ----

@@ -1,0 +1,73 @@
+package cegis
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"stringloops/internal/engine"
+)
+
+// promptly is the latency bound for an already-exhausted budget to unwind
+// the whole stack. It is deliberately generous — test machines are slow and
+// shared — but still orders of magnitude below what a real search costs.
+const promptly = 5 * time.Second
+
+// midLoop is unsummarisable (returns the middle of the string), so without
+// a budget the search runs to the size cap.
+const midLoop = `
+char *mid(char *s) {
+  char *p = s;
+  int n = 0;
+  while (p[n]) n++;
+  return s + n / 2;
+}`
+
+func TestSynthesizeHonoursCancelledContext(t *testing.T) {
+	f := lowerLoop(t, midLoop)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before synthesis even starts
+	start := time.Now()
+	out, err := Synthesize(f, Options{
+		Budget:      engine.NewBudget(ctx, engine.Limits{}),
+		MaxProgSize: 6,
+	})
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if out.Found {
+		t.Fatal("cancelled synthesis must not report a program")
+	}
+	if d := time.Since(start); d > promptly {
+		t.Fatalf("cancelled synthesis took %v to return", d)
+	}
+}
+
+func TestSynthesizeShortBudgetReturnsPromptly(t *testing.T) {
+	f := lowerLoop(t, midLoop)
+	start := time.Now()
+	out, err := Synthesize(f, Options{
+		Budget:      engine.NewBudget(nil, engine.Limits{Timeout: 50 * time.Millisecond}),
+		MaxProgSize: 6,
+	})
+	if err != nil && err != ErrTimeout {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if out.Found {
+		t.Fatalf("must not synthesise the unsummarisable loop; got %q", out.Program.Encode())
+	}
+	if d := time.Since(start); d > promptly {
+		t.Fatalf("50ms budget took %v to return", d)
+	}
+}
+
+func TestSynthesizeForkLimit(t *testing.T) {
+	// A one-fork limit trips during the initial path exploration; the
+	// exhaustion must surface as ErrTimeout, not as an unsupported loop.
+	f := lowerLoop(t, midLoop)
+	b := engine.NewBudget(nil, engine.Limits{Forks: 1})
+	_, err := Synthesize(f, Options{Budget: b, MaxProgSize: 6})
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}

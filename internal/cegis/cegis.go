@@ -24,6 +24,7 @@ import (
 	"stringloops/internal/bv"
 	"stringloops/internal/cir"
 	"stringloops/internal/cstr"
+	"stringloops/internal/engine"
 	"stringloops/internal/sat"
 	"stringloops/internal/strsolver"
 	"stringloops/internal/symex"
@@ -49,6 +50,11 @@ type Options struct {
 	Timeout time.Duration
 	// SolverBudget bounds each solver query in SAT conflicts (0 = unbounded).
 	SolverBudget int64
+	// Budget, when non-nil, replaces the Timeout-derived budget: synthesis
+	// polls it between skeletons and candidate iterations, charges solver
+	// conflicts and symbolic-execution forks to it, and returns ErrTimeout
+	// promptly once it is exhausted or its context is cancelled.
+	Budget *engine.Budget
 	// DisablePruning turns off candidate canonicalisation (for the ablation
 	// benchmark).
 	DisablePruning bool
@@ -102,7 +108,8 @@ type Outcome struct {
 
 // Errors.
 var (
-	// ErrTimeout means the time budget expired before a program was found.
+	// ErrTimeout means the budget expired (timeout, cancellation, or a
+	// resource cap) before a program was found.
 	ErrTimeout = errors.New("cegis: timeout")
 	// ErrUnsupportedLoop means the loop uses operations outside the symbolic
 	// executor's subset.
@@ -125,7 +132,8 @@ type Synthesizer struct {
 	origSym  []origPath
 	origNull vocab.Result
 	cexs     [][]byte // counterexample buffers (NUL-terminated)
-	deadline time.Time
+	bvin     *bv.Interner
+	budget   *engine.Budget
 	stats    Stats
 }
 
@@ -133,7 +141,7 @@ type Synthesizer struct {
 // char *loopFunction(char *) shape (one pointer parameter, pointer return).
 func New(loop *cir.Func, opts Options) (*Synthesizer, error) {
 	opts = opts.withDefaults()
-	s := &Synthesizer{opts: opts, loop: loop}
+	s := &Synthesizer{opts: opts, loop: loop, bvin: bv.NewInterner(), budget: opts.Budget}
 	if len(loop.Params) != 1 || loop.Params[0].Ty != cir.TyPtr {
 		return nil, fmt.Errorf("cegis: %s does not have the loopFunction signature", loop.Name)
 	}
@@ -145,9 +153,9 @@ func New(loop *cir.Func, opts Options) (*Synthesizer, error) {
 
 	// The loop's symbolic paths on a fresh symbolic string of max_ex_size
 	// (line 10 of Algorithm 2), merged: computed once, reused per candidate.
-	buf := symex.SymbolicString("s", opts.MaxExSize)
-	s.symStr = &strsolver.SymString{Bytes: buf}
-	paths, err := symbolicPaths(loop, buf, opts.SolverBudget)
+	buf := symex.SymbolicString(s.bvin, "s", opts.MaxExSize)
+	s.symStr = strsolver.Wrap(s.bvin, buf)
+	paths, err := symbolicPaths(loop, s.bvin, s.budget, buf, opts.SolverBudget)
 	if err != nil {
 		return nil, err
 	}
@@ -160,13 +168,18 @@ func New(loop *cir.Func, opts Options) (*Synthesizer, error) {
 // infeasible iterations of loops over symbolic cursors (without it, a
 // backward scan whose guard never folds syntactically would spin to the
 // step limit).
-func symbolicPaths(f *cir.Func, buf []*bv.Term, solverBudget int64) ([]origPath, error) {
+func symbolicPaths(f *cir.Func, bvin *bv.Interner, budget *engine.Budget, buf []*bv.Term, solverBudget int64) ([]origPath, error) {
 	eng := &symex.Engine{
 		Objects:          [][]*bv.Term{buf},
 		CheckFeasibility: true,
 		SolverBudget:     solverBudget,
+		In:               bvin,
+		Budget:           budget,
 	}
-	paths, runErr := eng.Run(f, []symex.Value{symex.PtrValue(0, bv.Int32(0))}, bv.True)
+	paths, runErr := eng.Run(f, []symex.Value{symex.PtrValue(0, bvin.Int32(0))}, bv.True)
+	if errors.Is(runErr, symex.ErrTimeout) {
+		return nil, ErrTimeout
+	}
 	if runErr != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnsupportedLoop, runErr)
 	}
@@ -214,12 +227,13 @@ func VerifyFunctionEquivalence(a, b *cir.Func, maxLen int) (bool, []byte, error)
 		return false, nil, nil
 	}
 
-	buf := symex.SymbolicString("s", maxLen)
-	pathsA, err := symbolicPaths(a, buf, 0)
+	bvin := bv.NewInterner()
+	buf := symex.SymbolicString(bvin, "s", maxLen)
+	pathsA, err := symbolicPaths(a, bvin, nil, buf, 0)
 	if err != nil {
 		return false, nil, err
 	}
-	pathsB, err := symbolicPaths(b, buf, 0)
+	pathsB, err := symbolicPaths(b, bvin, nil, buf, 0)
 	if err != nil {
 		return false, nil, err
 	}
@@ -229,15 +243,15 @@ func VerifyFunctionEquivalence(a, b *cir.Func, maxLen int) (bool, []byte, error)
 			if pa.kind != pb.kind {
 				continue
 			}
-			clause := bv.BAnd2(pa.cond, pb.cond)
+			clause := bvin.BAnd2(pa.cond, pb.cond)
 			if pa.kind == vocab.Ptr {
-				clause = bv.BAnd2(clause, bv.Eq(pa.off, pb.off))
+				clause = bvin.BAnd2(clause, bvin.Eq(pa.off, pb.off))
 			}
-			equal = bv.BOr2(equal, clause)
+			equal = bvin.BOr2(equal, clause)
 		}
 	}
 	solver := bv.NewSolver()
-	solver.Assert(bv.BNot1(equal))
+	solver.Assert(bvin.BNot1(equal))
 	switch solver.Check() {
 	case sat.Unsat:
 		return true, nil, nil
@@ -277,8 +291,12 @@ func (s *Synthesizer) runOriginal(cex []byte) vocab.Result {
 // Synthesize runs the CEGIS main loop, deepening the program size until a
 // verified program is found or the budget expires.
 func (s *Synthesizer) Synthesize() (Outcome, error) {
-	start := time.Now()
-	s.deadline = start.Add(s.opts.Timeout)
+	if s.budget == nil {
+		s.budget = engine.NewBudget(nil, engine.Limits{Timeout: s.opts.Timeout})
+	}
+	s.bvin.SetBudget(s.budget)
+	startE := s.budget.Elapsed()
+	elapsed := func() time.Duration { return s.budget.Elapsed() - startE }
 	for size := s.opts.MinProgSize; size <= s.opts.MaxProgSize; size++ {
 		if !s.opts.DisableCexReuse {
 			// counterexamples persist across sizes
@@ -287,13 +305,13 @@ func (s *Synthesizer) Synthesize() (Outcome, error) {
 		}
 		prog, err := s.searchSize(size)
 		if err != nil {
-			return Outcome{Elapsed: time.Since(start), Stats: s.stats}, err
+			return Outcome{Elapsed: elapsed(), Stats: s.stats}, err
 		}
 		if prog != nil {
-			return Outcome{Found: true, Program: prog, Elapsed: time.Since(start), Stats: s.stats}, nil
+			return Outcome{Found: true, Program: prog, Elapsed: elapsed(), Stats: s.stats}, nil
 		}
 	}
-	return Outcome{Elapsed: time.Since(start), Stats: s.stats}, nil
+	return Outcome{Elapsed: elapsed(), Stats: s.stats}, nil
 }
 
 // searchSize enumerates skeletons of exactly the given encoded size.
@@ -301,7 +319,7 @@ func (s *Synthesizer) searchSize(size int) (vocab.Program, error) {
 	var found vocab.Program
 	err := s.enumerate(size, nil, func(skel []shape) error {
 		s.stats.Skeletons++
-		if time.Now().After(s.deadline) {
+		if s.budget.Exceeded() {
 			return ErrTimeout
 		}
 		prog, err := s.trySkeleton(skel)
@@ -429,7 +447,7 @@ func pruneShape(prefix []shape, next shape) bool {
 // skeleton is exhausted or a program is verified.
 func (s *Synthesizer) trySkeleton(skel []shape) (vocab.Program, error) {
 	// NULL-input behaviour depends only on the skeleton; test it first.
-	symProg, argVars := symbolizeSkeleton(skel)
+	symProg, argVars := symbolizeSkeleton(s.bvin, skel)
 	if symProg.RunNullInput() != s.origNull {
 		return nil, nil
 	}
@@ -447,7 +465,7 @@ func (s *Synthesizer) trySkeleton(skel []shape) (vocab.Program, error) {
 
 	// Iterate: solve arguments against all counterexamples, verify, repeat.
 	for {
-		if time.Now().After(s.deadline) {
+		if s.budget.Exceeded() {
 			return nil, ErrTimeout
 		}
 		args, ok := s.solveArgs(symProg, argVars)
@@ -467,13 +485,13 @@ func (s *Synthesizer) trySkeleton(skel []shape) (vocab.Program, error) {
 
 // symbolizeSkeleton builds the symbolic program for a skeleton, returning
 // the argument variables in program order.
-func symbolizeSkeleton(skel []shape) (vocab.SymProgram, []*bv.Term) {
+func symbolizeSkeleton(bvin *bv.Interner, skel []shape) (vocab.SymProgram, []*bv.Term) {
 	var prog vocab.SymProgram
 	var vars []*bv.Term
 	for i, sh := range skel {
 		in := vocab.SymInstr{Op: sh.op}
 		for j := 0; j < sh.argLen; j++ {
-			v := bv.Var(fmt.Sprintf("arg%d_%d", i, j), 8)
+			v := bvin.Var(fmt.Sprintf("arg%d_%d", i, j), 8)
 			in.Arg = append(in.Arg, v)
 			vars = append(vars, v)
 		}
@@ -502,31 +520,33 @@ func concretize(skel []shape, args []byte) vocab.Program {
 // original loop on every counterexample (lines 3-8 of Algorithm 2).
 func (s *Synthesizer) solveArgs(symProg vocab.SymProgram, argVars []*bv.Term) ([]byte, bool) {
 	s.stats.ArgSolverCalls++
+	bvin := s.bvin
 	solver := bv.NewSolver()
 	solver.MaxConflicts = s.opts.SolverBudget
+	solver.Budget = s.budget
 	// Arguments are non-NUL (the encoding terminates sets with NUL) and set
 	// members are strictly increasing, removing permutation symmetry.
 	for _, v := range argVars {
-		solver.Assert(bv.Ne(v, bv.Byte(0)))
+		solver.Assert(bvin.Ne(v, bvin.Byte(0)))
 		if s.opts.DisableMetaChars {
-			solver.Assert(bv.Ne(v, bv.Byte(cstr.MetaDigit)))
-			solver.Assert(bv.Ne(v, bv.Byte(cstr.MetaSpace)))
+			solver.Assert(bvin.Ne(v, bvin.Byte(cstr.MetaDigit)))
+			solver.Assert(bvin.Ne(v, bvin.Byte(cstr.MetaSpace)))
 		}
 	}
 	for _, in := range symProg {
 		if in.Op.TakesSet() {
 			for j := 0; j+1 < len(in.Arg); j++ {
-				solver.Assert(bv.Ult(in.Arg[j], in.Arg[j+1]))
+				solver.Assert(bvin.Ult(in.Arg[j], in.Arg[j+1]))
 			}
 		}
 	}
 	for _, cex := range s.cexs {
 		want := s.runOriginal(cex)
-		outcomes := vocab.RunSymbolic(symProg, strsolver.FromConcrete(cex))
+		outcomes := vocab.RunSymbolic(symProg, strsolver.FromConcrete(bvin, cex))
 		match := bv.False
 		for _, o := range outcomes {
 			if o.Res == want {
-				match = bv.BOr2(match, o.Guard)
+				match = bvin.BOr2(match, o.Guard)
 			}
 		}
 		solver.Assert(match)
@@ -547,7 +567,8 @@ func (s *Synthesizer) solveArgs(symProg vocab.SymProgram, argVars []*bv.Term) ([
 // returns nil.
 func (s *Synthesizer) verify(prog vocab.Program) (vocab.Program, error) {
 	s.stats.VerifyQueries++
-	outcomes := vocab.RunSymbolic(vocab.Symbolize(prog), s.symStr)
+	bvin := s.bvin
+	outcomes := vocab.RunSymbolic(vocab.Symbolize(bvin, prog), s.symStr)
 
 	equal := bv.False
 	for _, op := range s.origSym {
@@ -555,17 +576,18 @@ func (s *Synthesizer) verify(prog vocab.Program) (vocab.Program, error) {
 			if op.kind != o.Res.Kind {
 				continue
 			}
-			clause := bv.BAnd2(op.cond, o.Guard)
+			clause := bvin.BAnd2(op.cond, o.Guard)
 			if op.kind == vocab.Ptr {
-				clause = bv.BAnd2(clause, bv.Eq(op.off, bv.Int32(int64(o.Res.Off))))
+				clause = bvin.BAnd2(clause, bvin.Eq(op.off, bvin.Int32(int64(o.Res.Off))))
 			}
-			equal = bv.BOr2(equal, clause)
+			equal = bvin.BOr2(equal, clause)
 		}
 	}
 	// isEq must always hold (IsAlwaysTrue, line 18): refute it.
 	solver := bv.NewSolver()
 	solver.MaxConflicts = s.opts.SolverBudget
-	solver.Assert(bv.BNot1(equal))
+	solver.Budget = s.budget
+	solver.Assert(bvin.BNot1(equal))
 	st := solver.Check()
 	switch st {
 	case sat.Unsat:

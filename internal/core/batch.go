@@ -1,0 +1,43 @@
+package core
+
+import (
+	"stringloops/internal/engine"
+)
+
+// BatchItem is one loop to summarise in a SummarizeAll run.
+type BatchItem struct {
+	// Source is the C source containing the loop.
+	Source string
+	// Func names the loop function; empty picks the first char *f(char *)
+	// function, as in Summarize.
+	Func string
+	// Opts configures this item's run. When Opts.Budget is nil each item
+	// gets its own Timeout-derived budget, so one stuck loop cannot starve
+	// the others; a caller-supplied Budget is shared across every item that
+	// carries it, giving whole-batch cancellation.
+	Opts Options
+}
+
+// BatchResult is the outcome for the item at the same index.
+type BatchResult struct {
+	// Index is the item's position in the input slice; results always come
+	// back in input order regardless of worker count.
+	Index   int
+	Summary *Summary
+	Err     error
+}
+
+// SummarizeAll summarises every item on a bounded pool of workers. Each item
+// runs its own pipeline — interner, solver stack, budget — so runs share no
+// mutable state and the per-item results are independent of scheduling:
+// SummarizeAll(items, 8) and SummarizeAll(items, 1) return element-wise
+// identical outcomes. workers < 1 means one worker per CPU; workers == 1
+// degenerates to a plain serial loop on the calling goroutine.
+func SummarizeAll(items []BatchItem, workers int) []BatchResult {
+	results := make([]BatchResult, len(items))
+	engine.Map(engine.Workers(workers, len(items)), len(items), func(i int) {
+		s, err := Summarize(items[i].Source, items[i].Func, items[i].Opts)
+		results[i] = BatchResult{Index: i, Summary: s, Err: err}
+	})
+	return results
+}

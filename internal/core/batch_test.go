@@ -1,0 +1,112 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"stringloops/internal/engine"
+)
+
+// batchItems builds a small corpus of quick loops (plus one malformed item
+// so error outcomes are exercised too). Each item gets its own
+// Timeout-derived budget.
+func batchItems() []BatchItem {
+	srcs := []string{
+		figure1,
+		`char *f(char *s) { while (*s == ' ') s++; return s; }`,
+		`char *f(char *s) { while (*s == 'a') s++; return s; }`,
+		`char *f(char *s) { while (*s == 'b') s++; return s; }`,
+		`char *f(char *s) { while (*s == 'x') s++; return s; }`,
+		`char *f(char *s) { while (*s == '.') s++; return s; }`,
+		`char *f(char *s) { while (*s == 'z') s++; return s; }`,
+		`char *f(char *s) { while (*s == '_') s++; return s; }`,
+		`int notaloop(int x) { return x; }`, // errors with ErrNoLoopFunction
+	}
+	items := make([]BatchItem, len(srcs))
+	for i, src := range srcs {
+		items[i] = BatchItem{Source: src, Opts: Options{Timeout: time.Minute}}
+	}
+	return items
+}
+
+// TestSummarizeAllParallelMatchesSerial is the determinism check (and, under
+// `go test -race`, the data-race regression test for the whole pipeline): 9
+// loops summarised on 8 workers must produce element-wise identical outcomes
+// to a serial run, because every item owns its interner, solver stack and
+// budget.
+func TestSummarizeAllParallelMatchesSerial(t *testing.T) {
+	items := batchItems()
+	serial := SummarizeAll(items, 1)
+	parallel := SummarizeAll(items, 8)
+	if len(serial) != len(items) || len(parallel) != len(items) {
+		t.Fatalf("result lengths: serial %d, parallel %d, want %d",
+			len(serial), len(parallel), len(items))
+	}
+	for i := range items {
+		s, p := serial[i], parallel[i]
+		if s.Index != i || p.Index != i {
+			t.Errorf("item %d: indices %d/%d out of order", i, s.Index, p.Index)
+		}
+		switch {
+		case s.Err != nil || p.Err != nil:
+			if s.Err == nil || p.Err == nil || s.Err.Error() != p.Err.Error() {
+				t.Errorf("item %d: errors differ: serial %v, parallel %v", i, s.Err, p.Err)
+			}
+		case s.Summary.Encoded != p.Summary.Encoded:
+			t.Errorf("item %d: programs differ: serial %q, parallel %q",
+				i, s.Summary.Encoded, p.Summary.Encoded)
+		case s.Summary.Memoryless != p.Summary.Memoryless ||
+			s.Summary.Direction != p.Summary.Direction:
+			t.Errorf("item %d: memoryless reports differ: serial %v/%s, parallel %v/%s",
+				i, s.Summary.Memoryless, s.Summary.Direction,
+				p.Summary.Memoryless, p.Summary.Direction)
+		}
+	}
+}
+
+func TestSummarizeAllDefaultWorkerCount(t *testing.T) {
+	items := batchItems()[:2]
+	res := SummarizeAll(items, 0) // < 1 means one worker per CPU
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2", len(res))
+	}
+	if res[0].Err != nil || res[0].Summary == nil {
+		t.Fatalf("item 0: err=%v", res[0].Err)
+	}
+}
+
+func TestSummarizeCancelledBudgetReturnsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the run starts
+	start := time.Now()
+	_, err := Summarize(figure1, "", Options{
+		Budget: engine.NewBudget(ctx, engine.Limits{}),
+	})
+	if err != ErrNotFound {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled Summarize took %v to return", d)
+	}
+}
+
+func TestSummarizeAllSharedBudgetCancelsWholeBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	shared := engine.NewBudget(ctx, engine.Limits{})
+	items := batchItems()
+	for i := range items {
+		items[i].Opts.Budget = shared
+	}
+	start := time.Now()
+	res := SummarizeAll(items, 4)
+	for i, r := range res {
+		if r.Err == nil {
+			t.Errorf("item %d: expected an error under a cancelled shared budget", i)
+		}
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled batch took %v to return", d)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"stringloops/internal/cegis"
 	"stringloops/internal/cir"
 	"stringloops/internal/cstr"
+	"stringloops/internal/engine"
 	"stringloops/internal/idiom"
 	"stringloops/internal/memoryless"
 	"stringloops/internal/sat"
@@ -38,6 +39,10 @@ type Options struct {
 	MaxExampleLength int
 	// Timeout bounds the search (default 30s).
 	Timeout time.Duration
+	// Budget, when non-nil, overrides Timeout with caller-controlled
+	// cancellation and resource caps shared by the memorylessness check and
+	// the synthesis; exhaustion surfaces as ErrNotFound, promptly.
+	Budget *engine.Budget
 	// RequireMemoryless refuses to summarise loops that fail the §3
 	// memorylessness verification, guaranteeing the summary is equivalent on
 	// strings of every length, not just the bounded check.
@@ -108,7 +113,7 @@ func Summarize(source, funcName string, opts Options) (*Summary, error) {
 		return nil, err
 	}
 
-	report := memoryless.Verify(f, max(3, opts.MaxExampleLength))
+	report := memoryless.VerifyBudget(f, max(3, opts.MaxExampleLength), opts.Budget)
 	if opts.RequireMemoryless && !report.Memoryless {
 		return nil, fmt.Errorf("%w: %s", ErrNotMemoryless, report.Reason)
 	}
@@ -118,6 +123,7 @@ func Summarize(source, funcName string, opts Options) (*Summary, error) {
 		MaxSetLen:   opts.MaxSetSize,
 		MaxExSize:   opts.MaxExampleLength,
 		Timeout:     opts.Timeout,
+		Budget:      opts.Budget,
 	}
 	if opts.Vocabulary != "" {
 		v, err := vocab.VocabularyOf(opts.Vocabulary)
@@ -181,15 +187,16 @@ type TestInput struct {
 // model per feasible outcome covers every path without enumerating the
 // loop's exponentially many symbolic paths.
 func (s *Summary) CoveringInputs(maxLen int) []TestInput {
-	sym := strsolver.New("s", maxLen)
-	outcomes := vocab.RunSymbolic(vocab.Symbolize(s.prog), sym)
+	bvin := bv.NewInterner()
+	sym := strsolver.New(bvin, "s", maxLen)
+	outcomes := vocab.RunSymbolic(vocab.Symbolize(bvin, s.prog), sym)
 	var out []TestInput
 	seen := map[string]bool{}
 	for _, o := range outcomes {
 		if o.Res.Kind == vocab.Invalid {
 			continue // undefined behaviour of the original loop
 		}
-		st, model := bv.CheckSat(0, o.Guard)
+		st, model := bv.CheckSat(nil, 0, o.Guard)
 		if st != sat.Sat {
 			continue
 		}

@@ -1,0 +1,182 @@
+// Package engine provides the shared cancellation and resource-budget
+// discipline threaded through every solver layer (sat → bv → symex →
+// strsolver → cegis → memoryless → core), plus the bounded worker pool the
+// concurrent corpus drivers are built on.
+//
+// A Budget wraps a context.Context and a set of resource counters — SAT
+// conflicts, symbolic-execution forks, interned expression nodes and wall
+// clock — under one Exceeded/Err check. Layers *charge* the budget as they
+// work (AddConflicts, AddForks, AddNodes) and *poll* it at their loop heads;
+// when any limit trips, or the context is cancelled, every layer unwinds
+// promptly with its own timeout error. This replaces the ad-hoc
+// time.Now().After(deadline) checks that previously lived in cegis, symex
+// and kleebench, and gives external callers a uniform cancellation handle:
+// cancelling the context aborts a run from any depth.
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBudget is the sentinel wrapped by every budget-exhaustion error.
+var ErrBudget = errors.New("engine: budget exhausted")
+
+// Limits bounds a run. The zero value of any field means "unlimited"; the
+// zero Limits is a pure cancellation handle (context only).
+type Limits struct {
+	// Timeout bounds wall-clock time from NewBudget.
+	Timeout time.Duration
+	// Conflicts bounds the total SAT conflicts charged across all queries.
+	Conflicts int64
+	// Forks bounds symbolic-execution forks.
+	Forks int64
+	// Nodes bounds interned bit-vector nodes.
+	Nodes int64
+}
+
+// Budget is a shared, concurrency-safe cancellation and accounting object.
+// All methods are safe on a nil receiver, which behaves as an unlimited,
+// never-cancelled budget — layers thread a *Budget without nil checks.
+type Budget struct {
+	ctx      context.Context
+	start    time.Time
+	deadline time.Time // zero when no wall-clock limit applies
+	lim      Limits
+
+	conflicts atomic.Int64
+	forks     atomic.Int64
+	nodes     atomic.Int64
+
+	// done caches the first observed exhaustion so later polls are cheap
+	// and the reported cause is stable.
+	done atomic.Pointer[error]
+}
+
+// NewBudget builds a budget from a context and limits. A nil context means
+// context.Background(). When the context itself carries a deadline, the
+// effective wall-clock limit is the earlier of the two.
+func NewBudget(ctx context.Context, lim Limits) *Budget {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b := &Budget{ctx: ctx, start: time.Now(), lim: lim}
+	if lim.Timeout > 0 {
+		b.deadline = b.start.Add(lim.Timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (b.deadline.IsZero() || d.Before(b.deadline)) {
+		b.deadline = d
+	}
+	return b
+}
+
+// WithTimeout is shorthand for a wall-clock-only budget.
+func WithTimeout(d time.Duration) *Budget {
+	return NewBudget(nil, Limits{Timeout: d})
+}
+
+// Err reports why the budget is exhausted, or nil while work may continue.
+// The first non-nil result is sticky: once a run is over budget it stays
+// over budget, and all layers see the same cause.
+func (b *Budget) Err() error {
+	if b == nil {
+		return nil
+	}
+	if p := b.done.Load(); p != nil {
+		return *p
+	}
+	err := b.check()
+	if err != nil {
+		b.done.CompareAndSwap(nil, &err)
+		if p := b.done.Load(); p != nil {
+			return *p
+		}
+	}
+	return err
+}
+
+func (b *Budget) check() error {
+	if err := b.ctx.Err(); err != nil {
+		return errors.Join(ErrBudget, err)
+	}
+	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+		return errors.Join(ErrBudget, context.DeadlineExceeded)
+	}
+	if b.lim.Conflicts > 0 && b.conflicts.Load() >= b.lim.Conflicts {
+		return errors.Join(ErrBudget, errors.New("engine: SAT conflict limit"))
+	}
+	if b.lim.Forks > 0 && b.forks.Load() >= b.lim.Forks {
+		return errors.Join(ErrBudget, errors.New("engine: fork limit"))
+	}
+	if b.lim.Nodes > 0 && b.nodes.Load() >= b.lim.Nodes {
+		return errors.Join(ErrBudget, errors.New("engine: interned-node limit"))
+	}
+	return nil
+}
+
+// Exceeded reports whether the budget is exhausted or cancelled.
+func (b *Budget) Exceeded() bool { return b.Err() != nil }
+
+// AddConflicts charges n SAT conflicts.
+func (b *Budget) AddConflicts(n int64) {
+	if b != nil {
+		b.conflicts.Add(n)
+	}
+}
+
+// AddForks charges n symbolic-execution forks.
+func (b *Budget) AddForks(n int64) {
+	if b != nil {
+		b.forks.Add(n)
+	}
+}
+
+// AddNodes charges n interned expression nodes.
+func (b *Budget) AddNodes(n int64) {
+	if b != nil {
+		b.nodes.Add(n)
+	}
+}
+
+// Conflicts returns the conflicts charged so far.
+func (b *Budget) Conflicts() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.conflicts.Load()
+}
+
+// Forks returns the forks charged so far.
+func (b *Budget) Forks() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.forks.Load()
+}
+
+// Nodes returns the interned nodes charged so far.
+func (b *Budget) Nodes() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.nodes.Load()
+}
+
+// Elapsed returns the wall-clock time since the budget was created.
+func (b *Budget) Elapsed() time.Duration {
+	if b == nil {
+		return 0
+	}
+	return time.Since(b.start)
+}
+
+// Context returns the wrapped context (context.Background for nil budgets),
+// for layers that hand work to context-aware APIs.
+func (b *Budget) Context() context.Context {
+	if b == nil {
+		return context.Background()
+	}
+	return b.ctx
+}

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	if b.Exceeded() || b.Err() != nil {
+		t.Fatal("nil budget must never be exceeded")
+	}
+	b.AddConflicts(10)
+	b.AddForks(10)
+	b.AddNodes(10)
+	if b.Conflicts() != 0 || b.Forks() != 0 || b.Nodes() != 0 {
+		t.Fatal("nil budget must not accumulate")
+	}
+	if b.Context() == nil {
+		t.Fatal("nil budget context must be non-nil")
+	}
+}
+
+func TestBudgetCounters(t *testing.T) {
+	b := NewBudget(nil, Limits{Conflicts: 100, Forks: 5, Nodes: 50})
+	b.AddConflicts(99)
+	if b.Exceeded() {
+		t.Fatal("under the conflict cap")
+	}
+	b.AddConflicts(1)
+	if !b.Exceeded() {
+		t.Fatal("at the conflict cap")
+	}
+	if !errors.Is(b.Err(), ErrBudget) {
+		t.Fatalf("Err = %v, want ErrBudget", b.Err())
+	}
+}
+
+func TestBudgetErrIsSticky(t *testing.T) {
+	b := NewBudget(nil, Limits{Forks: 1})
+	b.AddForks(1)
+	first := b.Err()
+	if first == nil {
+		t.Fatal("expected exhaustion")
+	}
+	if b.Err() != first {
+		t.Fatal("Err must return the same cause on every poll")
+	}
+}
+
+func TestBudgetTimeout(t *testing.T) {
+	b := NewBudget(nil, Limits{Timeout: time.Millisecond})
+	time.Sleep(5 * time.Millisecond)
+	if !b.Exceeded() {
+		t.Fatal("deadline passed but budget not exceeded")
+	}
+	if !errors.Is(b.Err(), context.DeadlineExceeded) {
+		t.Fatalf("Err = %v, want DeadlineExceeded in chain", b.Err())
+	}
+}
+
+func TestBudgetContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := NewBudget(ctx, Limits{})
+	if b.Exceeded() {
+		t.Fatal("fresh budget exceeded")
+	}
+	cancel()
+	if !b.Exceeded() || !errors.Is(b.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want Canceled in chain", b.Err())
+	}
+}
+
+func TestBudgetContextDeadlineWins(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	b := NewBudget(ctx, Limits{Timeout: time.Hour})
+	time.Sleep(5 * time.Millisecond)
+	if !b.Exceeded() {
+		t.Fatal("context deadline must tighten the budget")
+	}
+}
+
+func TestMapCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		n := 100
+		counts := make([]atomic.Int64, n)
+		Map(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, counts[i].Load())
+			}
+		}
+	}
+}
+
+func TestWorkersClamp(t *testing.T) {
+	if got := Workers(8, 3); got != 3 {
+		t.Fatalf("Workers(8,3) = %d", got)
+	}
+	if got := Workers(0, 100); got < 1 {
+		t.Fatalf("Workers(0,100) = %d", got)
+	}
+	if got := Workers(2, 0); got != 1 {
+		t.Fatalf("Workers(2,0) = %d", got)
+	}
+}

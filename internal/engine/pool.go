@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalises a -j style flag: values below 1 mean "one worker per
+// CPU", and the result is clamped to n so a small batch never spawns idle
+// goroutines.
+func Workers(j, n int) int {
+	if j < 1 {
+		j = runtime.NumCPU()
+	}
+	if j > n {
+		j = n
+	}
+	if j < 1 {
+		j = 1
+	}
+	return j
+}
+
+// Map runs fn(0..n-1) on a bounded pool of workers and returns once every
+// call has finished. Each index is processed exactly once; callers write
+// results into an index-addressed slice, which keeps output ordering
+// deterministic regardless of scheduling. With workers <= 1 the calls run
+// serially on the caller's goroutine, bit-identical to a plain loop.
+func Map(workers, n int, fn func(i int)) {
+	workers = Workers(workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -8,9 +8,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"stringloops/internal/cegis"
+	"stringloops/internal/engine"
 	"stringloops/internal/loopdb"
 	"stringloops/internal/vocab"
 )
@@ -25,17 +28,28 @@ type SynthRecord struct {
 	Err     error
 }
 
-// SynthesizeCorpus runs the synthesiser over the given loops. Progress lines
-// go to progress when non-nil.
+// SynthesizeCorpus runs the synthesiser over the given loops, serially.
+// Progress lines go to progress when non-nil.
 func SynthesizeCorpus(loops []loopdb.Loop, opts cegis.Options, progress io.Writer) []SynthRecord {
-	records := make([]SynthRecord, 0, len(loops))
-	for _, l := range loops {
+	return SynthesizeCorpusParallel(loops, opts, progress, 1)
+}
+
+// SynthesizeCorpusParallel is SynthesizeCorpus on a bounded pool of workers.
+// Every loop runs its own synthesis pipeline (interner, solver, budget), so
+// the per-loop records are independent of the worker count and come back in
+// corpus order; only the interleaving of progress lines varies. workers < 1
+// means one worker per CPU.
+func SynthesizeCorpusParallel(loops []loopdb.Loop, opts cegis.Options, progress io.Writer, workers int) []SynthRecord {
+	records := make([]SynthRecord, len(loops))
+	var progressMu sync.Mutex
+	engine.Map(engine.Workers(workers, len(loops)), len(loops), func(i int) {
+		l := loops[i]
 		rec := SynthRecord{Loop: l}
 		f, err := l.Lower()
 		if err != nil {
 			rec.Err = err
-			records = append(records, rec)
-			continue
+			records[i] = rec
+			return
 		}
 		out, err := cegis.Synthesize(f, opts)
 		rec.Err = err
@@ -45,15 +59,17 @@ func SynthesizeCorpus(loops []loopdb.Loop, opts cegis.Options, progress io.Write
 		if out.Found {
 			rec.Size = out.Program.EncodedSize()
 		}
-		records = append(records, rec)
+		records[i] = rec
 		if progress != nil {
 			status := "miss"
 			if rec.Found {
 				status = fmt.Sprintf("found %q (size %d)", rec.Program.Encode(), rec.Size)
 			}
+			progressMu.Lock()
 			fmt.Fprintf(progress, "%-32s %-34s %8.2fs\n", l.Name, status, rec.Elapsed.Seconds())
+			progressMu.Unlock()
 		}
-	}
+	})
 	return records
 }
 
@@ -140,18 +156,25 @@ func Figure2(records []SynthRecord, maxSize int, timeouts []time.Duration) map[t
 // corpus loops synthesised under the given options. It is the objective the
 // Gaussian-process optimiser maximises over vocabularies.
 func CountSynthesized(loops []loopdb.Loop, opts cegis.Options) int {
-	n := 0
-	for _, l := range loops {
-		f, err := l.Lower()
+	return CountSynthesizedParallel(loops, opts, 1)
+}
+
+// CountSynthesizedParallel is CountSynthesized on a bounded pool of workers.
+// The count is a sum over independent per-loop runs, so it does not depend on
+// the worker count. workers < 1 means one worker per CPU.
+func CountSynthesizedParallel(loops []loopdb.Loop, opts cegis.Options, workers int) int {
+	var n atomic.Int64
+	engine.Map(engine.Workers(workers, len(loops)), len(loops), func(i int) {
+		f, err := loops[i].Lower()
 		if err != nil {
-			continue
+			return
 		}
 		out, err := cegis.Synthesize(f, opts)
 		if err == nil && out.Found {
-			n++
+			n.Add(1)
 		}
-	}
-	return n
+	})
+	return int(n.Load())
 }
 
 // VocabularyFromBits converts a GP point to a Vocabulary (Table 1 bit

@@ -20,6 +20,7 @@ import (
 
 	"stringloops/internal/bv"
 	"stringloops/internal/cir"
+	"stringloops/internal/engine"
 	"stringloops/internal/strsolver"
 	"stringloops/internal/symex"
 	"stringloops/internal/vocab"
@@ -41,13 +42,16 @@ type Measurement struct {
 // path.
 func Vanilla(loop *cir.Func, n int, timeout time.Duration) Measurement {
 	start := time.Now()
-	buf := symex.SymbolicString("s", n)
+	budget := engine.NewBudget(nil, engine.Limits{Timeout: timeout})
+	bvin := bv.NewInterner().SetBudget(budget)
+	buf := symex.SymbolicString(bvin, "s", n)
 	eng := &symex.Engine{
 		Objects:          [][]*bv.Term{buf},
 		CheckFeasibility: true,
-		Deadline:         start.Add(timeout),
+		In:               bvin,
+		Budget:           budget,
 	}
-	paths, err := eng.Run(loop, []symex.Value{symex.PtrValue(0, bv.Int32(0))}, bv.True)
+	paths, err := eng.Run(loop, []symex.Value{symex.PtrValue(0, bvin.Int32(0))}, bv.True)
 	m := Measurement{
 		Mode:          "vanilla",
 		Length:        n,
@@ -57,11 +61,11 @@ func Vanilla(loop *cir.Func, n int, timeout time.Duration) Measurement {
 	}
 	// KLEE generates a concrete test input per terminated path.
 	for _, p := range paths {
-		if time.Now().After(start.Add(timeout)) {
+		if budget.Exceeded() {
 			m.TimedOut = true
 			break
 		}
-		st, _ := bv.CheckSat(0, p.Cond)
+		st, _ := bv.CheckSat(budget, 0, p.Cond)
 		m.SolverQueries++
 		if st.String() == "sat" {
 			m.Tests++
@@ -75,15 +79,17 @@ func Vanilla(loop *cir.Func, n int, timeout time.Duration) Measurement {
 // interpreter, one string-solver query per outcome.
 func Str(summary vocab.Program, n int, timeout time.Duration) Measurement {
 	start := time.Now()
-	s := strsolver.New("s", n)
-	outcomes := vocab.RunSymbolic(vocab.Symbolize(summary), s)
+	budget := engine.NewBudget(nil, engine.Limits{Timeout: timeout})
+	bvin := bv.NewInterner().SetBudget(budget)
+	s := strsolver.New(bvin, "s", n)
+	outcomes := vocab.RunSymbolic(vocab.Symbolize(bvin, summary), s)
 	m := Measurement{Mode: "str", Length: n, Paths: len(outcomes)}
 	for _, o := range outcomes {
-		if time.Now().After(start.Add(timeout)) {
+		if budget.Exceeded() {
 			m.TimedOut = true
 			break
 		}
-		st, _ := bv.CheckSat(0, o.Guard)
+		st, _ := bv.CheckSat(budget, 0, o.Guard)
 		m.SolverQueries++
 		if st.String() == "sat" {
 			m.Tests++

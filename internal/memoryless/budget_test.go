@@ -1,0 +1,35 @@
+package memoryless
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"stringloops/internal/engine"
+)
+
+func TestVerifyBudgetCancelledReturnsPromptly(t *testing.T) {
+	f := lower(t, `char *f(char *s) { while (*s == ' ') s++; return s; }`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before verification starts
+	start := time.Now()
+	r := VerifyBudget(f, 3, engine.NewBudget(ctx, engine.Limits{}))
+	if r.Memoryless {
+		t.Fatal("cancelled verification must not report memoryless")
+	}
+	if r.Err != ErrTimeout {
+		t.Fatalf("Err = %v, want ErrTimeout", r.Err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled verification took %v to return", d)
+	}
+}
+
+func TestVerifyBudgetNilIsUnlimited(t *testing.T) {
+	f := lower(t, `char *f(char *s) { while (*s == ' ') s++; return s; }`)
+	r := VerifyBudget(f, 3, nil)
+	if !r.Memoryless || r.Err != nil {
+		t.Fatalf("nil budget must behave like Verify: memoryless=%v err=%v reason=%s",
+			r.Memoryless, r.Err, r.Reason)
+	}
+}

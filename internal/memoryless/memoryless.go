@@ -23,6 +23,7 @@ import (
 
 	"stringloops/internal/bv"
 	"stringloops/internal/cir"
+	"stringloops/internal/engine"
 	"stringloops/internal/sat"
 	"stringloops/internal/symex"
 	"stringloops/internal/vocab"
@@ -82,16 +83,30 @@ type Report struct {
 	Spec       *Spec
 	Reason     string
 	Elapsed    time.Duration
+	// Err is non-nil when the verdict could not be reached — in particular
+	// ErrTimeout when the budget expired mid-check. Memoryless is false then,
+	// but the loop was not refuted.
+	Err error
 }
 
 // ErrUnsupported mirrors symex.ErrUnsupported for loops outside the engine's
 // subset.
 var ErrUnsupported = errors.New("memoryless: loop not supported")
 
+// ErrTimeout means the budget expired before the bounded check finished.
+var ErrTimeout = errors.New("memoryless: budget exhausted")
+
 // Verify checks that the loop (a char* loopFunction(char*) cir function) is
 // memoryless, inferring a specification and discharging the bounded
 // equivalence on strings of length <= maxLen (use 3, per the paper).
 func Verify(loop *cir.Func, maxLen int) Report {
+	return VerifyBudget(loop, maxLen, nil)
+}
+
+// VerifyBudget is Verify under a budget: the symbolic execution and the
+// solver poll b and the report comes back with Err == ErrTimeout (not a
+// refutation) when it expires first. A nil budget is unlimited.
+func VerifyBudget(loop *cir.Func, maxLen int, budget *engine.Budget) Report {
 	start := time.Now()
 	done := func(ok bool, spec *Spec, reason string) Report {
 		return Report{Memoryless: ok, Spec: spec, Reason: reason, Elapsed: time.Since(start)}
@@ -115,9 +130,13 @@ func Verify(loop *cir.Func, maxLen int) Report {
 		return done(false, nil, "inference: "+reason)
 	}
 
-	ok, cex, err := checkEquivalence(loop, spec, maxLen)
+	ok, cex, err := checkEquivalence(loop, spec, maxLen, budget)
 	if err != nil {
-		return done(false, spec, err.Error())
+		r := done(false, spec, err.Error())
+		if errors.Is(err, ErrTimeout) {
+			r.Err = ErrTimeout
+		}
+		return r
 	}
 	if !ok {
 		return done(false, spec, fmt.Sprintf("bounded check failed on %q", cex))
@@ -210,7 +229,7 @@ func InferSpec(loop *cir.Func) (*Spec, string) {
 
 // xContains builds the X-membership formula for a byte term, choosing the
 // smaller encoding side (members or complement).
-func (spec *Spec) xContains(c *bv.Term) *bv.Bool {
+func (spec *Spec) xContains(bvin *bv.Interner, c *bv.Term) *bv.Bool {
 	size := 0
 	for i := 1; i < 256; i++ {
 		if spec.X[i] {
@@ -221,15 +240,15 @@ func (spec *Spec) xContains(c *bv.Term) *bv.Bool {
 		out := bv.False
 		for i := 1; i < 256; i++ {
 			if spec.X[i] {
-				out = bv.BOr2(out, bv.Eq(c, bv.Byte(byte(i))))
+				out = bvin.BOr2(out, bvin.Eq(c, bvin.Byte(byte(i))))
 			}
 		}
 		return out
 	}
-	out := bv.Ne(c, bv.Byte(0))
+	out := bvin.Ne(c, bvin.Byte(0))
 	for i := 1; i < 256; i++ {
 		if !spec.X[i] {
-			out = bv.BAnd2(out, bv.Ne(c, bv.Byte(byte(i))))
+			out = bvin.BAnd2(out, bvin.Ne(c, bvin.Byte(byte(i))))
 		}
 	}
 	return out
@@ -244,14 +263,14 @@ type specOutcome struct {
 
 // outcomes enumerates the specification's guarded results over a symbolic
 // buffer of the given capacity (bytes[cap] is the forced NUL).
-func (spec *Spec) outcomes(bytes []*bv.Term, dir Direction) []specOutcome {
+func (spec *Spec) outcomes(bvin *bv.Interner, bytes []*bv.Term, dir Direction) []specOutcome {
 	maxLen := len(bytes) - 1
 	var out []specOutcome
 	inX := make([]*bv.Bool, maxLen+1)
 	isNul := make([]*bv.Bool, maxLen+1)
 	for i := 0; i <= maxLen; i++ {
-		inX[i] = spec.xContains(bytes[i])
-		isNul[i] = bv.Eq(bytes[i], bv.Byte(0))
+		inX[i] = spec.xContains(bvin, bytes[i])
+		isNul[i] = bvin.Eq(bytes[i], bvin.Byte(0))
 	}
 	if dir == Forward {
 		if spec.Miss == MissUnsafe {
@@ -261,13 +280,13 @@ func (spec *Spec) outcomes(bytes []*bv.Term, dir Direction) []specOutcome {
 			for j := 0; j <= maxLen; j++ {
 				g := inX[j]
 				for i := 0; i < j; i++ {
-					g = bv.BAnd2(g, bv.BNot1(inX[i]))
+					g = bvin.BAnd2(g, bvin.BNot1(inX[i]))
 				}
 				out = append(out, specOutcome{g, vocab.PtrResult(j)})
 			}
 			g := bv.True
 			for i := 0; i <= maxLen; i++ {
-				g = bv.BAnd2(g, bv.BNot1(inX[i]))
+				g = bvin.BAnd2(g, bvin.BNot1(inX[i]))
 			}
 			out = append(out, specOutcome{g, vocab.InvalidResult()})
 			return out
@@ -276,7 +295,7 @@ func (spec *Spec) outcomes(bytes []*bv.Term, dir Direction) []specOutcome {
 		for j := 0; j <= maxLen; j++ {
 			g := inX[j]
 			for i := 0; i < j; i++ {
-				g = bv.BAndAll(g, bv.BNot1(inX[i]), bv.BNot1(isNul[i]))
+				g = bvin.BAndAll(g, bvin.BNot1(inX[i]), bvin.BNot1(isNul[i]))
 			}
 			out = append(out, specOutcome{g, vocab.PtrResult(j)})
 		}
@@ -284,7 +303,7 @@ func (spec *Spec) outcomes(bytes []*bv.Term, dir Direction) []specOutcome {
 		for k := 0; k <= maxLen; k++ {
 			g := isNul[k]
 			for i := 0; i < k; i++ {
-				g = bv.BAndAll(g, bv.BNot1(inX[i]), bv.BNot1(isNul[i]))
+				g = bvin.BAndAll(g, bvin.BNot1(inX[i]), bvin.BNot1(isNul[i]))
 			}
 			out = append(out, specOutcome{g, spec.missResult(k)})
 		}
@@ -294,15 +313,15 @@ func (spec *Spec) outcomes(bytes []*bv.Term, dir Direction) []specOutcome {
 	alive := func(i int) *bv.Bool {
 		g := bv.True
 		for k := 0; k < i; k++ {
-			g = bv.BAnd2(g, bv.BNot1(isNul[k]))
+			g = bvin.BAnd2(g, bvin.BNot1(isNul[k]))
 		}
 		return g
 	}
 	for j := 0; j <= maxLen; j++ {
-		g := bv.BAndAll(alive(j), bv.BNot1(isNul[j]), inX[j])
+		g := bvin.BAndAll(alive(j), bvin.BNot1(isNul[j]), inX[j])
 		for i := j + 1; i <= maxLen; i++ {
-			later := bv.BAndAll(alive(i), bv.BNot1(isNul[i]), inX[i])
-			g = bv.BAnd2(g, bv.BNot1(later))
+			later := bvin.BAndAll(alive(i), bvin.BNot1(isNul[i]), inX[i])
+			g = bvin.BAnd2(g, bvin.BNot1(later))
 		}
 		out = append(out, specOutcome{g, vocab.PtrResult(j)})
 	}
@@ -310,7 +329,7 @@ func (spec *Spec) outcomes(bytes []*bv.Term, dir Direction) []specOutcome {
 	for k := 0; k <= maxLen; k++ {
 		g := isNul[k]
 		for i := 0; i < k; i++ {
-			g = bv.BAndAll(g, bv.BNot1(isNul[i]), bv.BNot1(inX[i]))
+			g = bvin.BAndAll(g, bvin.BNot1(isNul[i]), bvin.BNot1(inX[i]))
 		}
 		out = append(out, specOutcome{g, spec.missResult(k)})
 	}
@@ -335,11 +354,15 @@ func (spec *Spec) missResult(k int) vocab.Result {
 
 // checkEquivalence discharges the bounded check: loop ≡ spec on all strings
 // of length <= maxLen, trying forward then backward traversal.
-func checkEquivalence(loop *cir.Func, spec *Spec, maxLen int) (bool, []byte, error) {
-	buf := symex.SymbolicString("s", maxLen)
-	eng := &symex.Engine{Objects: [][]*bv.Term{buf}, CheckFeasibility: true}
-	paths, err := eng.Run(loop, []symex.Value{symex.PtrValue(0, bv.Int32(0))}, bv.True)
+func checkEquivalence(loop *cir.Func, spec *Spec, maxLen int, budget *engine.Budget) (bool, []byte, error) {
+	bvin := bv.NewInterner().SetBudget(budget)
+	buf := symex.SymbolicString(bvin, "s", maxLen)
+	eng := &symex.Engine{Objects: [][]*bv.Term{buf}, CheckFeasibility: true, In: bvin, Budget: budget}
+	paths, err := eng.Run(loop, []symex.Value{symex.PtrValue(0, bvin.Int32(0))}, bv.True)
 	if err != nil {
+		if errors.Is(err, symex.ErrTimeout) {
+			return false, nil, ErrTimeout
+		}
 		return false, nil, fmt.Errorf("%w: %v", ErrUnsupported, err)
 	}
 	type loopPath struct {
@@ -376,22 +399,22 @@ func checkEquivalence(loop *cir.Func, spec *Spec, maxLen int) (bool, []byte, err
 			// loops guarded with p > s return the start.
 			trySpec.Miss = MissStart
 		}
-		outs := trySpec.outcomes(buf, dir)
+		outs := trySpec.outcomes(bvin, buf, dir)
 		equal := bv.False
 		for _, lp := range lps {
 			for _, o := range outs {
 				if lp.kind != o.res.Kind {
 					continue
 				}
-				clause := bv.BAnd2(lp.cond, o.guard)
+				clause := bvin.BAnd2(lp.cond, o.guard)
 				if lp.kind == vocab.Ptr {
-					clause = bv.BAnd2(clause, bv.Eq(lp.off, bv.Int32(int64(o.res.Off))))
+					clause = bvin.BAnd2(clause, bvin.Eq(lp.off, bvin.Int32(int64(o.res.Off))))
 				}
-				equal = bv.BOr2(equal, clause)
+				equal = bvin.BOr2(equal, clause)
 			}
 		}
 		solver := bv.NewSolver()
-		solver.Assert(bv.BNot1(equal))
+		solver.Assert(bvin.BNot1(equal))
 		if solver.Check() == sat.Unsat {
 			spec.Dir = dir
 			spec.Miss = trySpec.Miss

@@ -10,7 +10,15 @@
 // Solve returns a model or UNSAT. Solving is single-shot per instance;
 // callers build a fresh Solver per query (queries in this project are small,
 // so incrementality is not worth its complexity).
+//
+// Search is budgeted two ways: MaxConflicts caps one query locally, and an
+// optional engine.Budget is charged per conflict and polled inside the CDCL
+// loop (every budgetPollMask+1 conflicts), so an external cancellation or a
+// run-wide conflict cap stops the search promptly with Unknown instead of
+// running unbounded.
 package sat
+
+import "stringloops/internal/engine"
 
 // Lit is a literal: variable index shifted left once, low bit 1 for negated.
 type Lit int32
@@ -92,10 +100,21 @@ type Solver struct {
 
 	ok        bool // false once a top-level conflict is found
 	conflicts int64
+	decisions int64
 	// MaxConflicts bounds the search; <=0 means unbounded. When exceeded,
 	// Solve returns Unknown.
 	MaxConflicts int64
+	// Budget, when non-nil, is charged one conflict per conflict and polled
+	// periodically inside the search loop; an exhausted or cancelled budget
+	// makes Solve return Unknown promptly.
+	Budget *engine.Budget
 }
+
+// budgetPollMask controls how often the search loop polls the shared budget:
+// every (budgetPollMask+1)-th conflict. Polling is cheap (an atomic load on
+// the fast path) but not free; 64 keeps cancellation latency in the
+// microsecond range on these instances.
+const budgetPollMask = 63
 
 // New returns an empty solver.
 func New() *Solver {
@@ -355,6 +374,9 @@ func (s *Solver) Solve() Status {
 	if !s.ok {
 		return Unsat
 	}
+	if s.Budget.Exceeded() {
+		return Unknown
+	}
 	restartBase := int64(100)
 	for restart := 0; ; restart++ {
 		limit := restartBase * int64(luby(restart))
@@ -362,12 +384,21 @@ func (s *Solver) Solve() Status {
 		if st != Unknown {
 			return st
 		}
-		if s.MaxConflicts > 0 && s.conflicts >= s.MaxConflicts {
+		if s.outOfBudget() {
 			s.cancelUntil(0)
 			return Unknown
 		}
 		s.cancelUntil(0)
 	}
+}
+
+// outOfBudget reports whether either the local per-query conflict cap or the
+// shared run budget forbids further search.
+func (s *Solver) outOfBudget() bool {
+	if s.MaxConflicts > 0 && s.conflicts >= s.MaxConflicts {
+		return true
+	}
+	return s.Budget.Exceeded()
 }
 
 func (s *Solver) search(conflictBudget int64) Status {
@@ -377,6 +408,10 @@ func (s *Solver) search(conflictBudget int64) Status {
 		if confl != nil {
 			s.conflicts++
 			budget++
+			s.Budget.AddConflicts(1)
+			if s.conflicts&budgetPollMask == 0 && s.Budget.Exceeded() {
+				return Unknown
+			}
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				return Unsat
@@ -398,6 +433,10 @@ func (s *Solver) search(conflictBudget int64) Status {
 			return Unknown
 		}
 		if s.MaxConflicts > 0 && s.conflicts >= s.MaxConflicts {
+			return Unknown
+		}
+		s.decisions++
+		if s.decisions&budgetPollMask == 0 && s.Budget.Exceeded() {
 			return Unknown
 		}
 		v := s.pickBranchVar()

@@ -21,28 +21,41 @@ import (
 type SymString struct {
 	// Bytes has length MaxLen+1; Bytes[MaxLen] is the constant 0.
 	Bytes []*bv.Term
+	in    *bv.Interner
 }
 
 // New returns a fresh symbolic string of capacity maxLen whose content bytes
 // are the solver variables name[0..maxLen).
-func New(name string, maxLen int) *SymString {
-	s := &SymString{Bytes: make([]*bv.Term, maxLen+1)}
+func New(in *bv.Interner, name string, maxLen int) *SymString {
+	s := &SymString{Bytes: make([]*bv.Term, maxLen+1), in: in}
 	for i := 0; i < maxLen; i++ {
-		s.Bytes[i] = bv.Var(fmt.Sprintf("%s[%d]", name, i), 8)
+		s.Bytes[i] = in.Var(fmt.Sprintf("%s[%d]", name, i), 8)
 	}
-	s.Bytes[maxLen] = bv.Byte(0)
+	s.Bytes[maxLen] = in.Byte(0)
 	return s
 }
 
+// Wrap adopts an existing byte-term buffer (laid out as New describes: content
+// bytes followed by a NUL terminator term) as a SymString built on in. Callers
+// that assemble buffers term-by-term — the CEGIS skeleton encoder, the
+// symbolic gadget interpreter — use this instead of a struct literal so the
+// string remembers which interner its constraints must be built with.
+func Wrap(in *bv.Interner, bytes []*bv.Term) *SymString {
+	return &SymString{Bytes: bytes, in: in}
+}
+
+// Interner returns the interner this string builds its constraints with.
+func (s *SymString) Interner() *bv.Interner { return s.in }
+
 // FromConcrete wraps a concrete NUL-terminated buffer as a SymString of
 // constant terms. The buffer's final byte must be NUL.
-func FromConcrete(buf []byte) *SymString {
+func FromConcrete(in *bv.Interner, buf []byte) *SymString {
 	if len(buf) == 0 || buf[len(buf)-1] != 0 {
 		panic("strsolver: concrete buffer must be NUL-terminated")
 	}
-	s := &SymString{Bytes: make([]*bv.Term, len(buf))}
+	s := &SymString{Bytes: make([]*bv.Term, len(buf)), in: in}
 	for i, b := range buf {
-		s.Bytes[i] = bv.Byte(b)
+		s.Bytes[i] = in.Byte(b)
 	}
 	return s
 }
@@ -65,21 +78,23 @@ func (s *SymString) Concretize(a *bv.Assignment) []byte {
 
 // LenIs returns the constraint strlen(s) == n.
 func (s *SymString) LenIs(n int) *bv.Bool {
+	in := s.in
 	if n < 0 || n > s.MaxLen() {
 		return bv.False
 	}
-	cond := bv.Eq(s.Bytes[n], bv.Byte(0))
+	cond := in.Eq(s.Bytes[n], in.Byte(0))
 	for i := 0; i < n; i++ {
-		cond = bv.BAnd2(cond, bv.Ne(s.Bytes[i], bv.Byte(0)))
+		cond = in.BAnd2(cond, in.Ne(s.Bytes[i], in.Byte(0)))
 	}
 	return cond
 }
 
 // LenAtLeast returns the constraint strlen(s) >= n.
 func (s *SymString) LenAtLeast(n int) *bv.Bool {
+	in := s.in
 	cond := bv.True
 	for i := 0; i < n && i < len(s.Bytes); i++ {
-		cond = bv.BAnd2(cond, bv.Ne(s.Bytes[i], bv.Byte(0)))
+		cond = in.BAnd2(cond, in.Ne(s.Bytes[i], in.Byte(0)))
 	}
 	if n > s.MaxLen() {
 		return bv.False
@@ -96,34 +111,34 @@ type Set struct {
 }
 
 // ConcreteSet builds a Set of constant members.
-func ConcreteSet(chars []byte) Set {
+func ConcreteSet(in *bv.Interner, chars []byte) Set {
 	s := Set{Members: make([]*bv.Term, len(chars))}
 	for i, c := range chars {
-		s.Members[i] = bv.Byte(c)
+		s.Members[i] = in.Byte(c)
 	}
 	return s
 }
 
 // memberMatches returns the condition that set member a matches character c,
 // including meta-character semantics.
-func memberMatches(a, c *bv.Term) *bv.Bool {
-	isDigitC := bv.BAnd2(bv.Ule(bv.Byte('0'), c), bv.Ule(c, bv.Byte('9')))
-	isSpaceC := bv.BOrAll(bv.Eq(c, bv.Byte(' ')), bv.Eq(c, bv.Byte('\t')), bv.Eq(c, bv.Byte('\n')))
-	return bv.BOrAll(
-		bv.BAnd2(bv.Eq(a, bv.Byte(cstr.MetaDigit)), isDigitC),
-		bv.BAnd2(bv.Eq(a, bv.Byte(cstr.MetaSpace)), isSpaceC),
-		bv.BAndAll(bv.Ne(a, bv.Byte(cstr.MetaDigit)), bv.Ne(a, bv.Byte(cstr.MetaSpace)), bv.Eq(c, a)),
+func memberMatches(in *bv.Interner, a, c *bv.Term) *bv.Bool {
+	isDigitC := in.BAnd2(in.Ule(in.Byte('0'), c), in.Ule(c, in.Byte('9')))
+	isSpaceC := in.BOrAll(in.Eq(c, in.Byte(' ')), in.Eq(c, in.Byte('\t')), in.Eq(c, in.Byte('\n')))
+	return in.BOrAll(
+		in.BAnd2(in.Eq(a, in.Byte(cstr.MetaDigit)), isDigitC),
+		in.BAnd2(in.Eq(a, in.Byte(cstr.MetaSpace)), isSpaceC),
+		in.BAndAll(in.Ne(a, in.Byte(cstr.MetaDigit)), in.Ne(a, in.Byte(cstr.MetaSpace)), in.Eq(c, a)),
 	)
 }
 
 // Contains returns the condition that c is matched by the set. NUL never
 // matches, matching C semantics for character sets.
-func (s Set) Contains(c *bv.Term) *bv.Bool {
+func (s Set) Contains(in *bv.Interner, c *bv.Term) *bv.Bool {
 	cond := bv.False
 	for _, m := range s.Members {
-		cond = bv.BOr2(cond, memberMatches(m, c))
+		cond = in.BOr2(cond, memberMatches(in, m, c))
 	}
-	return bv.BAnd2(cond, bv.Ne(c, bv.Byte(0)))
+	return in.BAnd2(cond, in.Ne(c, in.Byte(0)))
 }
 
 // ---- Function predicates ----
@@ -136,41 +151,44 @@ func (s Set) Contains(c *bv.Term) *bv.Bool {
 
 // SpnIs returns the constraint strspn(s+from, set) == n (n relative to from).
 func (s *SymString) SpnIs(from, n int, set Set) *bv.Bool {
+	in := s.in
 	if from+n > s.MaxLen() {
 		return bv.False
 	}
 	cond := bv.True
 	for i := from; i < from+n; i++ {
-		cond = bv.BAnd2(cond, set.Contains(s.Bytes[i]))
+		cond = in.BAnd2(cond, set.Contains(in, s.Bytes[i]))
 	}
 	// The span stops at from+n: either the terminator or a non-member.
-	stop := bv.BOr2(bv.Eq(s.Bytes[from+n], bv.Byte(0)), bv.BNot1(set.Contains(s.Bytes[from+n])))
-	return bv.BAnd2(cond, stop)
+	stop := in.BOr2(in.Eq(s.Bytes[from+n], in.Byte(0)), in.BNot1(set.Contains(in, s.Bytes[from+n])))
+	return in.BAnd2(cond, stop)
 }
 
 // CspnIs returns the constraint strcspn(s+from, set) == n.
 func (s *SymString) CspnIs(from, n int, set Set) *bv.Bool {
+	in := s.in
 	if from+n > s.MaxLen() {
 		return bv.False
 	}
 	cond := bv.True
 	for i := from; i < from+n; i++ {
-		cond = bv.BAnd2(cond, bv.BAnd2(bv.BNot1(set.Contains(s.Bytes[i])), bv.Ne(s.Bytes[i], bv.Byte(0))))
+		cond = in.BAnd2(cond, in.BAnd2(in.BNot1(set.Contains(in, s.Bytes[i])), in.Ne(s.Bytes[i], in.Byte(0))))
 	}
-	stop := bv.BOr2(bv.Eq(s.Bytes[from+n], bv.Byte(0)), set.Contains(s.Bytes[from+n]))
-	return bv.BAnd2(cond, stop)
+	stop := in.BOr2(in.Eq(s.Bytes[from+n], in.Byte(0)), set.Contains(in, s.Bytes[from+n]))
+	return in.BAnd2(cond, stop)
 }
 
 // ChrIs returns the constraint strchr(s+from, c) == s+j, i.e. the first
 // occurrence of c at or after from is at absolute offset j. c may be NUL, in
 // which case this is the position of the terminator (C semantics).
 func (s *SymString) ChrIs(from, j int, c *bv.Term) *bv.Bool {
+	in := s.in
 	if j < from || j > s.MaxLen() {
 		return bv.False
 	}
-	cond := bv.Eq(s.Bytes[j], c)
+	cond := in.Eq(s.Bytes[j], c)
 	for i := from; i < j; i++ {
-		cond = bv.BAndAll(cond, bv.Ne(s.Bytes[i], c), bv.Ne(s.Bytes[i], bv.Byte(0)))
+		cond = in.BAndAll(cond, in.Ne(s.Bytes[i], c), in.Ne(s.Bytes[i], in.Byte(0)))
 	}
 	return cond
 }
@@ -178,25 +196,27 @@ func (s *SymString) ChrIs(from, j int, c *bv.Term) *bv.Bool {
 // ChrNone returns the constraint strchr(s+from, c) == NULL: c does not occur
 // before (or at) the terminator. Only possible for c != NUL.
 func (s *SymString) ChrNone(from int, c *bv.Term) *bv.Bool {
-	cond := bv.Ne(c, bv.Byte(0))
+	in := s.in
+	cond := in.Ne(c, in.Byte(0))
 	// There is a terminator at some k with no occurrence of c before it.
 	cases := bv.False
 	for k := from; k <= s.MaxLen(); k++ {
-		kase := bv.Eq(s.Bytes[k], bv.Byte(0))
+		kase := in.Eq(s.Bytes[k], in.Byte(0))
 		for i := from; i < k; i++ {
-			kase = bv.BAndAll(kase, bv.Ne(s.Bytes[i], bv.Byte(0)), bv.Ne(s.Bytes[i], c))
+			kase = in.BAndAll(kase, in.Ne(s.Bytes[i], in.Byte(0)), in.Ne(s.Bytes[i], c))
 		}
-		cases = bv.BOr2(cases, kase)
+		cases = in.BOr2(cases, kase)
 	}
-	return bv.BAnd2(cond, cases)
+	return in.BAnd2(cond, cases)
 }
 
 // alive returns the condition that offset i lies within the live string
 // starting at from (no terminator strictly before i).
 func (s *SymString) alive(from, i int) *bv.Bool {
+	in := s.in
 	cond := bv.True
 	for k := from; k < i; k++ {
-		cond = bv.BAnd2(cond, bv.Ne(s.Bytes[k], bv.Byte(0)))
+		cond = in.BAnd2(cond, in.Ne(s.Bytes[k], in.Byte(0)))
 	}
 	return cond
 }
@@ -204,19 +224,20 @@ func (s *SymString) alive(from, i int) *bv.Bool {
 // RchrIs returns the constraint strrchr(s+from, c) == s+j: the last
 // occurrence of c within the live string is at absolute offset j.
 func (s *SymString) RchrIs(from, j int, c *bv.Term) *bv.Bool {
+	in := s.in
 	if j < from || j > s.MaxLen() {
 		return bv.False
 	}
 	// j is live and holds c.
-	cond := bv.BAnd2(s.alive(from, j), bv.Eq(s.Bytes[j], c))
+	cond := in.BAnd2(s.alive(from, j), in.Eq(s.Bytes[j], c))
 	if jv, ok := c.IsConst(); !ok || jv != 0 {
 		// For non-NUL c, j must be before the terminator.
-		cond = bv.BAnd2(cond, bv.BOr2(bv.Ne(s.Bytes[j], bv.Byte(0)), bv.Eq(c, bv.Byte(0))))
+		cond = in.BAnd2(cond, in.BOr2(in.Ne(s.Bytes[j], in.Byte(0)), in.Eq(c, in.Byte(0))))
 	}
 	// No later live occurrence of c.
 	for i := j + 1; i <= s.MaxLen(); i++ {
-		later := bv.BAnd2(s.alive(from, i), bv.Eq(s.Bytes[i], c))
-		cond = bv.BAnd2(cond, bv.BNot1(later))
+		later := in.BAnd2(s.alive(from, i), in.Eq(s.Bytes[i], c))
+		cond = in.BAnd2(cond, in.BNot1(later))
 	}
 	return cond
 }
@@ -228,25 +249,27 @@ func (s *SymString) RchrNone(from int, c *bv.Term) *bv.Bool {
 
 // PbrkIs returns the constraint strpbrk(s+from, set) == s+j.
 func (s *SymString) PbrkIs(from, j int, set Set) *bv.Bool {
+	in := s.in
 	if j < from || j > s.MaxLen() {
 		return bv.False
 	}
-	cond := set.Contains(s.Bytes[j])
+	cond := set.Contains(in, s.Bytes[j])
 	for i := from; i < j; i++ {
-		cond = bv.BAndAll(cond, bv.BNot1(set.Contains(s.Bytes[i])), bv.Ne(s.Bytes[i], bv.Byte(0)))
+		cond = in.BAndAll(cond, in.BNot1(set.Contains(in, s.Bytes[i])), in.Ne(s.Bytes[i], in.Byte(0)))
 	}
 	return cond
 }
 
 // PbrkNone returns the constraint strpbrk(s+from, set) == NULL.
 func (s *SymString) PbrkNone(from int, set Set) *bv.Bool {
+	in := s.in
 	cases := bv.False
 	for k := from; k <= s.MaxLen(); k++ {
-		kase := bv.Eq(s.Bytes[k], bv.Byte(0))
+		kase := in.Eq(s.Bytes[k], in.Byte(0))
 		for i := from; i < k; i++ {
-			kase = bv.BAndAll(kase, bv.Ne(s.Bytes[i], bv.Byte(0)), bv.BNot1(set.Contains(s.Bytes[i])))
+			kase = in.BAndAll(kase, in.Ne(s.Bytes[i], in.Byte(0)), in.BNot1(set.Contains(in, s.Bytes[i])))
 		}
-		cases = bv.BOr2(cases, kase)
+		cases = in.BOr2(cases, kase)
 	}
 	return cases
 }
@@ -256,12 +279,13 @@ func (s *SymString) PbrkNone(from int, set Set) *bv.Bool {
 // bounded buffer a missing occurrence means the C code would read past the
 // end (undefined behaviour); RawchrNone captures that case.
 func (s *SymString) RawchrIs(from, j int, c *bv.Term) *bv.Bool {
+	in := s.in
 	if j < from || j > s.MaxLen() {
 		return bv.False
 	}
-	cond := bv.Eq(s.Bytes[j], c)
+	cond := in.Eq(s.Bytes[j], c)
 	for i := from; i < j; i++ {
-		cond = bv.BAnd2(cond, bv.Ne(s.Bytes[i], c))
+		cond = in.BAnd2(cond, in.Ne(s.Bytes[i], c))
 	}
 	return cond
 }
@@ -269,9 +293,10 @@ func (s *SymString) RawchrIs(from, j int, c *bv.Term) *bv.Bool {
 // RawchrNone returns the constraint that c occurs nowhere in the buffer at or
 // after from — the undefined-behaviour case of rawmemchr.
 func (s *SymString) RawchrNone(from int, c *bv.Term) *bv.Bool {
+	in := s.in
 	cond := bv.True
 	for i := from; i <= s.MaxLen(); i++ {
-		cond = bv.BAnd2(cond, bv.Ne(s.Bytes[i], c))
+		cond = in.BAnd2(cond, in.Ne(s.Bytes[i], c))
 	}
 	return cond
 }

@@ -9,6 +9,9 @@ import (
 	"stringloops/internal/sat"
 )
 
+// tin is the shared interner for this package's tests.
+var tin = bv.NewInterner()
+
 // enumBuffers yields every NUL-terminated buffer of capacity maxLen over the
 // given alphabet (alphabet must not include NUL; shorter strings arise from
 // embedded NULs which we add explicitly).
@@ -32,7 +35,7 @@ func enumBuffers(maxLen int, alphabet []byte) [][]byte {
 
 // evalOn builds the predicate on a concrete SymString and evaluates it.
 func evalOn(buf []byte, pred func(*SymString) *bv.Bool) bool {
-	return pred(FromConcrete(buf)).Eval(nil)
+	return pred(FromConcrete(tin, buf)).Eval(nil)
 }
 
 func TestLenIsExhaustive(t *testing.T) {
@@ -50,7 +53,7 @@ func TestLenIsExhaustive(t *testing.T) {
 func TestSpnIsExhaustive(t *testing.T) {
 	sets := [][]byte{{'a'}, {'a', 'b'}, {' '}, {cstr.MetaDigit}}
 	for _, setBytes := range sets {
-		set := ConcreteSet(setBytes)
+		set := ConcreteSet(tin, setBytes)
 		expanded := cstr.ExpandMeta(setBytes)
 		for _, buf := range enumBuffers(3, []byte{'a', 'b', '0'}) {
 			for from := 0; from <= cstr.Strlen(buf, 0); from++ {
@@ -68,7 +71,7 @@ func TestSpnIsExhaustive(t *testing.T) {
 }
 
 func TestCspnIsExhaustive(t *testing.T) {
-	set := ConcreteSet([]byte{'b'})
+	set := ConcreteSet(tin, []byte{'b'})
 	for _, buf := range enumBuffers(3, []byte{'a', 'b'}) {
 		for from := 0; from <= cstr.Strlen(buf, 0); from++ {
 			want := cstr.Strcspn(buf, from, []byte{'b'})
@@ -89,13 +92,13 @@ func TestChrIsExhaustive(t *testing.T) {
 			for from := 0; from <= cstr.Strlen(buf, 0); from++ {
 				want := cstr.Strchr(buf, from, c)
 				for j := from; j <= 3; j++ {
-					got := evalOn(buf, func(s *SymString) *bv.Bool { return s.ChrIs(from, j, bv.Byte(c)) })
+					got := evalOn(buf, func(s *SymString) *bv.Bool { return s.ChrIs(from, j, tin.Byte(c)) })
 					if got != (j == want) {
 						t.Fatalf("ChrIs(from=%d, j=%d, c=%q) on %q: got %v, strchr=%d",
 							from, j, c, buf, got, want)
 					}
 				}
-				gotNone := evalOn(buf, func(s *SymString) *bv.Bool { return s.ChrNone(from, bv.Byte(c)) })
+				gotNone := evalOn(buf, func(s *SymString) *bv.Bool { return s.ChrNone(from, tin.Byte(c)) })
 				if gotNone != (want == cstr.NotFound) {
 					t.Fatalf("ChrNone(from=%d, c=%q) on %q: got %v, strchr=%d", from, c, buf, gotNone, want)
 				}
@@ -110,13 +113,13 @@ func TestRchrIsExhaustive(t *testing.T) {
 			for from := 0; from <= cstr.Strlen(buf, 0); from++ {
 				want := cstr.Strrchr(buf, from, c)
 				for j := from; j <= 3; j++ {
-					got := evalOn(buf, func(s *SymString) *bv.Bool { return s.RchrIs(from, j, bv.Byte(c)) })
+					got := evalOn(buf, func(s *SymString) *bv.Bool { return s.RchrIs(from, j, tin.Byte(c)) })
 					if got != (j == want) {
 						t.Fatalf("RchrIs(from=%d, j=%d, c=%q) on %q: got %v, strrchr=%d",
 							from, j, c, buf, got, want)
 					}
 				}
-				gotNone := evalOn(buf, func(s *SymString) *bv.Bool { return s.RchrNone(from, bv.Byte(c)) })
+				gotNone := evalOn(buf, func(s *SymString) *bv.Bool { return s.RchrNone(from, tin.Byte(c)) })
 				if gotNone != (want == cstr.NotFound) {
 					t.Fatalf("RchrNone(from=%d, c=%q) on %q: got %v", from, c, buf, gotNone)
 				}
@@ -127,7 +130,7 @@ func TestRchrIsExhaustive(t *testing.T) {
 
 func TestPbrkIsExhaustive(t *testing.T) {
 	setBytes := []byte{'b', ' '}
-	set := ConcreteSet(setBytes)
+	set := ConcreteSet(tin, setBytes)
 	for _, buf := range enumBuffers(3, []byte{'a', 'b', ' '}) {
 		for from := 0; from <= cstr.Strlen(buf, 0); from++ {
 			want := cstr.Strpbrk(buf, from, setBytes)
@@ -157,12 +160,12 @@ func TestRawchrIsExhaustive(t *testing.T) {
 				}
 			}
 			for j := 0; j <= 3; j++ {
-				got := evalOn(buf, func(s *SymString) *bv.Bool { return s.RawchrIs(0, j, bv.Byte(c)) })
+				got := evalOn(buf, func(s *SymString) *bv.Bool { return s.RawchrIs(0, j, tin.Byte(c)) })
 				if got != (j == want) {
 					t.Fatalf("RawchrIs(j=%d, c=%q) on %q: got %v, want idx %d", j, c, buf, got, want)
 				}
 			}
-			gotNone := evalOn(buf, func(s *SymString) *bv.Bool { return s.RawchrNone(0, bv.Byte(c)) })
+			gotNone := evalOn(buf, func(s *SymString) *bv.Bool { return s.RawchrNone(0, tin.Byte(c)) })
 			if gotNone != (want == -1) {
 				t.Fatalf("RawchrNone(c=%q) on %q: got %v", c, buf, gotNone)
 			}
@@ -171,10 +174,10 @@ func TestRawchrIsExhaustive(t *testing.T) {
 }
 
 func TestSetContainsMeta(t *testing.T) {
-	set := ConcreteSet([]byte{cstr.MetaDigit, 'x'})
+	set := ConcreteSet(tin, []byte{cstr.MetaDigit, 'x'})
 	for c := 0; c < 256; c++ {
 		want := cstr.MatchSet(byte(c), []byte{cstr.MetaDigit, 'x'})
-		got := set.Contains(bv.Byte(byte(c))).Eval(nil)
+		got := set.Contains(tin, tin.Byte(byte(c))).Eval(nil)
 		if got != want {
 			t.Fatalf("Contains(%d) = %v, want %v", c, got, want)
 		}
@@ -184,11 +187,11 @@ func TestSetContainsMeta(t *testing.T) {
 func TestSolveForString(t *testing.T) {
 	// Ask the solver for a string whose whitespace span is exactly 2 and
 	// whose third character is 'x'.
-	s := New("s", 3)
-	set := ConcreteSet([]byte{' ', '\t'})
+	s := New(tin, "s", 3)
+	set := ConcreteSet(tin, []byte{' ', '\t'})
 	solver := bv.NewSolver()
 	solver.Assert(s.SpnIs(0, 2, set))
-	solver.Assert(bv.Eq(s.At(2), bv.Byte('x')))
+	solver.Assert(tin.Eq(s.At(2), tin.Byte('x')))
 	if st := solver.Check(); st != sat.Sat {
 		t.Fatalf("Check = %v", st)
 	}
@@ -209,12 +212,12 @@ func TestSolveForString(t *testing.T) {
 func TestSolveSymbolicSetMember(t *testing.T) {
 	// Synthesis-style query: find a set member a such that strspn("  x", {a}) == 2.
 	buf := cstr.Terminate("  x")
-	s := FromConcrete(buf)
-	a := bv.Var("a", 8)
+	s := FromConcrete(tin, buf)
+	a := tin.Var("a", 8)
 	set := Set{Members: []*bv.Term{a}}
 	solver := bv.NewSolver()
 	solver.Assert(s.SpnIs(0, 2, set))
-	solver.Assert(bv.Ne(a, bv.Byte(0)))
+	solver.Assert(tin.Ne(a, tin.Byte(0)))
 	if st := solver.Check(); st != sat.Sat {
 		t.Fatalf("Check = %v", st)
 	}
@@ -229,8 +232,8 @@ func TestSolveSymbolicSetMember(t *testing.T) {
 func TestSolveSymbolicSetUnsat(t *testing.T) {
 	// No single set member gives strspn("ab", set) == 2: would need both.
 	buf := cstr.Terminate("ab")
-	s := FromConcrete(buf)
-	a := bv.Var("a", 8)
+	s := FromConcrete(tin, buf)
+	a := tin.Var("a", 8)
 	solver := bv.NewSolver()
 	solver.Assert(s.SpnIs(0, 2, Set{Members: []*bv.Term{a}}))
 	if st := solver.Check(); st != sat.Unsat {
@@ -244,5 +247,5 @@ func TestFromConcreteRequiresTerminator(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	FromConcrete([]byte("abc"))
+	FromConcrete(tin, []byte("abc"))
 }

@@ -42,6 +42,7 @@ func (e *Engine) constSetArg(v Value) ([]byte, error) {
 // object from a possibly-symbolic offset. match decides per-byte membership;
 // the span stops at NUL regardless.
 func (e *Engine) spanTerm(s *state, p Value, match func(*bv.Term) *bv.Bool) (*bv.Term, error) {
+	bvin := e.In
 	if !p.IsPtr {
 		return nil, fmt.Errorf("%w: span of integer", ErrUnsupported)
 	}
@@ -57,10 +58,10 @@ func (e *Engine) spanTerm(s *state, p Value, match func(*bv.Term) *bv.Bool) (*bv
 	}
 	// spanFrom[k]: span length starting at k.
 	spanFrom := make([]*bv.Term, len(buf))
-	spanFrom[len(buf)-1] = bv.Int32(0)
+	spanFrom[len(buf)-1] = bvin.Int32(0)
 	for k := len(buf) - 2; k >= 0; k-- {
-		ok := bv.BAnd2(bv.Ne(buf[k], bv.Byte(0)), match(buf[k]))
-		spanFrom[k] = bv.Ite(ok, bv.Add(spanFrom[k+1], bv.Int32(1)), bv.Int32(0))
+		ok := bvin.BAnd2(bvin.Ne(buf[k], bvin.Byte(0)), match(buf[k]))
+		spanFrom[k] = bvin.Ite(ok, bvin.Add(spanFrom[k+1], bvin.Int32(1)), bvin.Int32(0))
 	}
 	if v, ok := p.Off.IsConst(); ok {
 		k := int(int32(v))
@@ -69,30 +70,30 @@ func (e *Engine) spanTerm(s *state, p Value, match func(*bv.Term) *bv.Bool) (*bv
 		}
 		return spanFrom[k], nil
 	}
-	inBounds := bv.Ult(p.Off, bv.Int32(int64(len(buf))))
-	newCond := bv.BAnd2(s.cond, inBounds)
+	inBounds := bvin.Ult(p.Off, bvin.Int32(int64(len(buf))))
+	newCond := bvin.BAnd2(s.cond, inBounds)
 	if newCond == bv.False || (e.CheckFeasibility && !e.feasible(newCond)) {
 		return nil, ErrOOB
 	}
 	s.cond = newCond
 	val := spanFrom[len(buf)-1]
 	for k := len(buf) - 2; k >= 0; k-- {
-		val = bv.Ite(bv.Eq(p.Off, bv.Int32(int64(k))), spanFrom[k], val)
+		val = bvin.Ite(bvin.Eq(p.Off, bvin.Int32(int64(k))), spanFrom[k], val)
 	}
 	return val, nil
 }
 
 // setMatcher builds the membership predicate of a concrete character set.
-func setMatcher(set []byte, complement bool) func(*bv.Term) *bv.Bool {
+func setMatcher(bvin *bv.Interner, set []byte, complement bool) func(*bv.Term) *bv.Bool {
 	return func(c *bv.Term) *bv.Bool {
-		in := bv.False
+		member := bv.False
 		for _, m := range set {
-			in = bv.BOr2(in, bv.Eq(c, bv.Byte(m)))
+			member = bvin.BOr2(member, bvin.Eq(c, bvin.Byte(m)))
 		}
 		if complement {
-			return bv.BNot1(in)
+			return bvin.BNot1(member)
 		}
-		return in
+		return member
 	}
 }
 
@@ -101,19 +102,21 @@ func setMatcher(set []byte, complement bool) func(*bv.Term) *bv.Bool {
 // functions (strchr, strrchr, strpbrk, rawmemchr) fork the state (found vs
 // miss) and schedule the successors themselves.
 func (e *Engine) stringCall(s *state, f *cir.Func, in *cir.Instr, work []*state) (out []*state, handled bool, err error) {
+	bvin := e.In
 	argVal := func(i int) Value { return e.operand(s, f, in.Args[i]) }
 
 	// forkFound schedules the found (pointer result under cond) and miss
 	// (missVal or error under !cond) successors.
 	forkFound := func(found *bv.Bool, obj int, offTerm *bv.Term, missVal Value, missErr error) []*state {
 		e.Stats.Forks++
+		e.Budget.AddForks(1)
 		miss := s.fork()
-		s.cond = bv.BAnd2(s.cond, found)
+		s.cond = bvin.BAnd2(s.cond, found)
 		if s.cond != bv.False && !(e.CheckFeasibility && !e.feasible(s.cond)) {
 			s.regs[in.Res] = PtrValue(obj, offTerm)
 			work = append(work, s)
 		}
-		miss.cond = bv.BAnd2(miss.cond, bv.BNot1(found))
+		miss.cond = bvin.BAnd2(miss.cond, bvin.BNot1(found))
 		if miss.cond != bv.False && !(e.CheckFeasibility && !e.feasible(miss.cond)) {
 			if missErr != nil {
 				e.Stats.Paths++
@@ -135,7 +138,7 @@ func (e *Engine) stringCall(s *state, f *cir.Func, in *cir.Instr, work []*state)
 		if err != nil {
 			return work, true, err
 		}
-		span, err := e.spanTerm(s, argVal(0), setMatcher(set, in.Sub == "strcspn"))
+		span, err := e.spanTerm(s, argVal(0), setMatcher(bvin, set, in.Sub == "strcspn"))
 		if err != nil {
 			return work, true, err
 		}
@@ -151,11 +154,11 @@ func (e *Engine) stringCall(s *state, f *cir.Func, in *cir.Instr, work []*state)
 		if cArg.IsPtr {
 			return work, true, fmt.Errorf("%w: %s character is a pointer", ErrUnsupported, in.Sub)
 		}
-		c := bv.And(cArg.Term, bv.Int32(0xff))
+		c := bvin.And(cArg.Term, bvin.Int32(0xff))
 		// Position of the first c: p + span over bytes != c. For strchr the
 		// span also stops at NUL (miss -> NULL); for rawmemchr it ignores
 		// the terminator, and a miss within the bounded buffer is UB.
-		matchC := func(b *bv.Term) *bv.Bool { return bv.BNot1(bv.Eq(bv.Zext(b, 32), c)) }
+		matchC := func(b *bv.Term) *bv.Bool { return bvin.BNot1(bvin.Eq(bvin.Zext(b, 32), c)) }
 		var span *bv.Term
 		var err error
 		if in.Sub == "strchr" {
@@ -166,18 +169,18 @@ func (e *Engine) stringCall(s *state, f *cir.Func, in *cir.Instr, work []*state)
 		if err != nil {
 			return work, true, err
 		}
-		stopOff := bv.Add(p.Off, span)
+		stopOff := bvin.Add(p.Off, span)
 		var found *bv.Bool
 		if in.Sub == "strchr" {
 			stopByte, err := e.selectByte(s, e.Objects[p.Obj], stopOff)
 			if err != nil {
 				return work, true, err
 			}
-			found = bv.Eq(bv.Zext(stopByte, 32), c)
+			found = bvin.Eq(bvin.Zext(stopByte, 32), c)
 			return forkFound(found, p.Obj, stopOff, NullValue(), nil), true, nil
 		}
 		// rawmemchr: found iff the stop position is inside the buffer.
-		found = bv.Ult(stopOff, bv.Int32(int64(len(e.Objects[p.Obj]))))
+		found = bvin.Ult(stopOff, bvin.Int32(int64(len(e.Objects[p.Obj]))))
 		return forkFound(found, p.Obj, stopOff, Value{}, ErrOOB), true, nil
 
 	case "strpbrk":
@@ -189,16 +192,16 @@ func (e *Engine) stringCall(s *state, f *cir.Func, in *cir.Instr, work []*state)
 		if err != nil {
 			return work, true, err
 		}
-		span, err := e.spanTerm(s, p, setMatcher(set, true))
+		span, err := e.spanTerm(s, p, setMatcher(bvin, set, true))
 		if err != nil {
 			return work, true, err
 		}
-		stopOff := bv.Add(p.Off, span)
+		stopOff := bvin.Add(p.Off, span)
 		stopByte, err := e.selectByte(s, e.Objects[p.Obj], stopOff)
 		if err != nil {
 			return work, true, err
 		}
-		found := setMatcher(set, false)(stopByte)
+		found := setMatcher(bvin, set, false)(stopByte)
 		return forkFound(found, p.Obj, stopOff, NullValue(), nil), true, nil
 
 	case "strrchr":
@@ -210,7 +213,7 @@ func (e *Engine) stringCall(s *state, f *cir.Func, in *cir.Instr, work []*state)
 		if cArg.IsPtr {
 			return work, true, fmt.Errorf("%w: strrchr character is a pointer", ErrUnsupported)
 		}
-		c := bv.And(cArg.Term, bv.Int32(0xff))
+		c := bvin.And(cArg.Term, bvin.Int32(0xff))
 		last, found, err := e.lastOccurrence(s, p, c)
 		if err != nil {
 			return work, true, err
@@ -223,6 +226,7 @@ func (e *Engine) stringCall(s *state, f *cir.Func, in *cir.Instr, work []*state)
 // rawSpanTerm is spanTerm without the NUL stop — the rawmemchr scan. A scan
 // that leaves the bounded buffer yields an offset equal to the buffer size.
 func (e *Engine) rawSpanTerm(s *state, p Value, match func(*bv.Term) *bv.Bool) (*bv.Term, error) {
+	bvin := e.In
 	if !p.IsPtr {
 		return nil, fmt.Errorf("%w: span of integer", ErrUnsupported)
 	}
@@ -234,9 +238,9 @@ func (e *Engine) rawSpanTerm(s *state, p Value, match func(*bv.Term) *bv.Bool) (
 	}
 	buf := e.Objects[p.Obj]
 	spanFrom := make([]*bv.Term, len(buf)+1)
-	spanFrom[len(buf)] = bv.Int32(0)
+	spanFrom[len(buf)] = bvin.Int32(0)
 	for k := len(buf) - 1; k >= 0; k-- {
-		spanFrom[k] = bv.Ite(match(buf[k]), bv.Add(spanFrom[k+1], bv.Int32(1)), bv.Int32(0))
+		spanFrom[k] = bvin.Ite(match(buf[k]), bvin.Add(spanFrom[k+1], bvin.Int32(1)), bvin.Int32(0))
 	}
 	if v, ok := p.Off.IsConst(); ok {
 		k := int(int32(v))
@@ -245,15 +249,15 @@ func (e *Engine) rawSpanTerm(s *state, p Value, match func(*bv.Term) *bv.Bool) (
 		}
 		return spanFrom[k], nil
 	}
-	inBounds := bv.Ult(p.Off, bv.Int32(int64(len(buf))))
-	newCond := bv.BAnd2(s.cond, inBounds)
+	inBounds := bvin.Ult(p.Off, bvin.Int32(int64(len(buf))))
+	newCond := bvin.BAnd2(s.cond, inBounds)
 	if newCond == bv.False || (e.CheckFeasibility && !e.feasible(newCond)) {
 		return nil, ErrOOB
 	}
 	s.cond = newCond
 	val := spanFrom[len(buf)]
 	for k := len(buf) - 1; k >= 0; k-- {
-		val = bv.Ite(bv.Eq(p.Off, bv.Int32(int64(k))), spanFrom[k], val)
+		val = bvin.Ite(bvin.Eq(p.Off, bvin.Int32(int64(k))), spanFrom[k], val)
 	}
 	return val, nil
 }
@@ -261,6 +265,7 @@ func (e *Engine) rawSpanTerm(s *state, p Value, match func(*bv.Term) *bv.Bool) (
 // lastOccurrence builds the offset term of the last occurrence of character
 // c in the live string at p, plus the found condition.
 func (e *Engine) lastOccurrence(s *state, p Value, c *bv.Term) (*bv.Term, *bv.Bool, error) {
+	bvin := e.In
 	if !p.IsPtr {
 		return nil, nil, fmt.Errorf("%w: strrchr of integer", ErrUnsupported)
 	}
@@ -281,14 +286,14 @@ func (e *Engine) lastOccurrence(s *state, p Value, c *bv.Term) (*bv.Term, *bv.Bo
 	}
 	// Walk forward through the live string, updating the last match; also
 	// handle c == NUL (which matches the terminator, per ISO C).
-	last := bv.Int32(-1)
+	last := bvin.Int32(-1)
 	alive := bv.True
 	for k := from; k < len(buf); k++ {
-		isNul := bv.Eq(buf[k], bv.Byte(0))
-		matches := bv.BAnd2(alive, bv.Eq(bv.Zext(buf[k], 32), c))
-		last = bv.Ite(matches, bv.Int32(int64(k)), last)
-		alive = bv.BAnd2(alive, bv.BNot1(isNul))
+		isNul := bvin.Eq(buf[k], bvin.Byte(0))
+		matches := bvin.BAnd2(alive, bvin.Eq(bvin.Zext(buf[k], 32), c))
+		last = bvin.Ite(matches, bvin.Int32(int64(k)), last)
+		alive = bvin.BAnd2(alive, bvin.BNot1(isNul))
 	}
-	found := bv.Ne(last, bv.Int32(-1))
+	found := bvin.Ne(last, bvin.Int32(-1))
 	return last, found, nil
 }

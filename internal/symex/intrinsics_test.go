@@ -56,9 +56,9 @@ char *end(char *s) {
 func checkAgainstConcrete2(t *testing.T, src string, oracle func([]byte) (int, bool), maxLen int, alphabet []byte) {
 	t.Helper()
 	f := lower(t, src)
-	buf := SymbolicString("s", maxLen)
-	e := &Engine{Objects: [][]*bv.Term{buf}, CheckFeasibility: true}
-	paths, err := e.Run(f, []Value{PtrValue(0, bv.Int32(0))}, bv.True)
+	buf := SymbolicString(tin, "s", maxLen)
+	e := &Engine{In: tin, Objects: [][]*bv.Term{buf}, CheckFeasibility: true}
+	paths, err := e.Run(f, []Value{PtrValue(0, tin.Int32(0))}, bv.True)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,9 +95,9 @@ func TestStrspnSymbolicSetRejected(t *testing.T) {
 	// The set argument must be a literal; passing the scanned string itself
 	// is outside the modelled subset and must fail cleanly.
 	f := lower(t, `char *weird(char *s) { return s + strspn(s, s); }`)
-	buf := SymbolicString("s", 2)
-	e := &Engine{Objects: [][]*bv.Term{buf}}
-	paths, err := e.Run(f, []Value{PtrValue(0, bv.Int32(0))}, bv.True)
+	buf := SymbolicString(tin, "s", 2)
+	e := &Engine{In: tin, Objects: [][]*bv.Term{buf}}
+	paths, err := e.Run(f, []Value{PtrValue(0, tin.Int32(0))}, bv.True)
 	if err != nil {
 		t.Fatal(err)
 	}

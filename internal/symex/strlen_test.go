@@ -14,9 +14,9 @@ char *lastchar(char *s) {
   char *p = s + strlen(s) - 1;
   return p;
 }`)
-	buf := SymbolicString("s", 3)
-	e := &Engine{Objects: [][]*bv.Term{buf}}
-	paths, err := e.Run(f, []Value{PtrValue(0, bv.Int32(0))}, bv.True)
+	buf := SymbolicString(tin, "s", 3)
+	e := &Engine{In: tin, Objects: [][]*bv.Term{buf}}
+	paths, err := e.Run(f, []Value{PtrValue(0, tin.Int32(0))}, bv.True)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ char *rtrim(char *s) {
 
 func TestStrlenNullDeref(t *testing.T) {
 	f := lower(t, `long n(char *s) { return strlen(s); }`)
-	e := &Engine{}
+	e := &Engine{In: tin}
 	paths, err := e.Run(f, []Value{NullValue()}, bv.True)
 	if err != nil {
 		t.Fatal(err)
@@ -115,9 +115,9 @@ char *skip(char *s) {
 	ssa := lower(t, src)
 	cir.Mem2Reg(ssa)
 	for _, f := range []*cir.Func{plain, ssa} {
-		buf := SymbolicString("s", 2)
-		e := &Engine{Objects: [][]*bv.Term{buf}}
-		paths, err := e.Run(f, []Value{PtrValue(0, bv.Int32(0))}, bv.True)
+		buf := SymbolicString(tin, "s", 2)
+		e := &Engine{In: tin, Objects: [][]*bv.Term{buf}}
+		paths, err := e.Run(f, []Value{PtrValue(0, tin.Int32(0))}, bv.True)
 		if err != nil {
 			t.Fatal(err)
 		}

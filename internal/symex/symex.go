@@ -18,6 +18,7 @@ import (
 
 	"stringloops/internal/bv"
 	"stringloops/internal/cir"
+	"stringloops/internal/engine"
 	"stringloops/internal/sat"
 )
 
@@ -33,8 +34,8 @@ type Value struct {
 // IntValue wraps a 32-bit term.
 func IntValue(t *bv.Term) Value { return Value{Term: t} }
 
-// ConstValue wraps a constant integer.
-func ConstValue(v int64) Value { return Value{Term: bv.Int32(v)} }
+// ConstValue wraps a constant integer built with the given interner.
+func ConstValue(in *bv.Interner, v int64) Value { return Value{Term: in.Int32(v)} }
 
 // PtrValue builds a pointer value.
 func PtrValue(obj int, off *bv.Term) Value { return Value{IsPtr: true, Obj: obj, Off: off} }
@@ -62,8 +63,8 @@ var (
 	ErrStepLimit = errors.New("symex: step limit exceeded")
 	// ErrUnsupported marks operations outside the modelled subset.
 	ErrUnsupported = errors.New("symex: unsupported operation")
-	// ErrTimeout means the whole run exceeded its deadline.
-	ErrTimeout = errors.New("symex: deadline exceeded")
+	// ErrTimeout means the whole run exhausted its budget.
+	ErrTimeout = errors.New("symex: budget exhausted")
 	// ErrPathLimit means the run exceeded its path budget.
 	ErrPathLimit = errors.New("symex: path limit exceeded")
 )
@@ -93,8 +94,15 @@ type Engine struct {
 	CheckFeasibility bool
 	// SolverBudget bounds each feasibility query (SAT conflicts; 0 = off).
 	SolverBudget int64
-	// Deadline aborts the run when exceeded (zero = none).
-	Deadline time.Time
+	// In is the interner all terms of this run are built with. Run defaults
+	// it to a fresh interner; callers that feed the engine terms they built
+	// themselves (Objects, argument values) must pass the interner those
+	// terms came from.
+	In *bv.Interner
+	// Budget carries run-wide cancellation and resource accounting: the fork
+	// loop polls it between states, forks are charged to it, and it is
+	// threaded into every feasibility query. Nil means unlimited.
+	Budget *engine.Budget
 
 	Stats Stats
 
@@ -140,6 +148,10 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) ([]Path, error) {
 	if e.MaxPaths <= 0 {
 		e.MaxPaths = 1 << 20
 	}
+	if e.In == nil {
+		e.In = bv.NewInterner()
+	}
+	bvin := e.In
 	if len(args) != len(f.Params) {
 		return nil, fmt.Errorf("symex: %s expects %d args, got %d", f.Name, len(f.Params), len(args))
 	}
@@ -157,9 +169,9 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) ([]Path, error) {
 	for _, slit := range f.StrLits {
 		buf := make([]*bv.Term, len(slit)+1)
 		for i := 0; i < len(slit); i++ {
-			buf[i] = bv.Byte(slit[i])
+			buf[i] = bvin.Byte(slit[i])
 		}
-		buf[len(slit)] = bv.Byte(0)
+		buf[len(slit)] = bvin.Byte(0)
 		e.Objects = append(e.Objects, buf)
 	}
 	defer func() { e.Objects = e.Objects[:strBase] }()
@@ -174,7 +186,7 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) ([]Path, error) {
 	}
 
 	for len(work) > 0 {
-		if !e.Deadline.IsZero() && time.Now().After(e.Deadline) {
+		if e.Budget.Exceeded() {
 			return paths, ErrTimeout
 		}
 		if len(paths) > e.MaxPaths {
@@ -233,7 +245,7 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) ([]Path, error) {
 				id := nextCell
 				nextCell++
 				s.cells[id] = Value{}
-				s.regs[in.Res] = PtrValue(id, bv.Int32(0))
+				s.regs[in.Res] = PtrValue(id, bvin.Int32(0))
 			case cir.OpLoad:
 				v, err := e.load(s, f, in)
 				if err != nil {
@@ -271,7 +283,7 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) ([]Path, error) {
 					emit(s, Value{}, ErrNullDeref)
 					break instrLoop
 				}
-				s.regs[in.Res] = PtrValue(p.Obj, bv.Add(p.Off, bv.MulC(idx.Term, int64(in.Scale))))
+				s.regs[in.Res] = PtrValue(p.Obj, bvin.Add(p.Off, bvin.MulC(idx.Term, int64(in.Scale))))
 			case cir.OpCall:
 				switch in.Sub {
 				case "strspn", "strcspn", "strchr", "rawmemchr", "strpbrk", "strrchr":
@@ -307,9 +319,9 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) ([]Path, error) {
 				c := e.operand(s, f, in.Args[0])
 				var condTrue *bv.Bool
 				if c.IsPtr {
-					condTrue = bv.BoolConst(!c.IsNull())
+					condTrue = bvin.BoolConst(!c.IsNull())
 				} else {
-					condTrue = bv.Ne(c.Term, bv.Int32(0))
+					condTrue = bvin.Ne(c.Term, bvin.Int32(0))
 				}
 				work = e.branch(s, condTrue, in.Blocks[0], in.Blocks[1], work)
 				break instrLoop
@@ -336,8 +348,9 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) ([]Path, error) {
 // branch forks s on cond, scheduling feasible sides, and returns the updated
 // worklist.
 func (e *Engine) branch(s *state, cond *bv.Bool, thenB, elseB *cir.Block, work []*state) []*state {
+	bvin := e.In
 	take := func(st *state, c *bv.Bool, b *cir.Block) []*state {
-		st.cond = bv.BAnd2(st.cond, c)
+		st.cond = bvin.BAnd2(st.cond, c)
 		if st.cond == bv.False {
 			return work
 		}
@@ -354,9 +367,10 @@ func (e *Engine) branch(s *state, cond *bv.Bool, thenB, elseB *cir.Block, work [
 		return take(s, bv.True, elseB)
 	}
 	e.Stats.Forks++
+	e.Budget.AddForks(1)
 	other := s.fork()
 	work = take(s, cond, thenB)
-	work = take(other, bv.BNot1(cond), elseB)
+	work = take(other, bvin.BNot1(cond), elseB)
 	return work
 }
 
@@ -365,29 +379,31 @@ func (e *Engine) branch(s *state, cond *bv.Bool, thenB, elseB *cir.Block, work [
 func (e *Engine) feasible(cond *bv.Bool) bool {
 	e.Stats.SolverQueries++
 	start := time.Now()
-	st, _ := bv.CheckSat(e.SolverBudget, cond)
+	st, _ := bv.CheckSat(e.Budget, e.SolverBudget, cond)
 	e.Stats.SolverTime += time.Since(start)
 	return st != sat.Unsat
 }
 
 func (e *Engine) operand(s *state, f *cir.Func, o cir.Operand) Value {
+	bvin := e.In
 	switch o.Kind {
 	case cir.KReg:
 		return s.regs[o.Reg]
 	case cir.KConst:
-		return ConstValue(o.Imm)
+		return ConstValue(bvin, o.Imm)
 	case cir.KNull:
 		return NullValue()
 	case cir.KStr:
 		// String literal objects were appended after the engine's own; the
 		// literal index maps to that region.
-		return PtrValue(len(e.Objects)-len(f.StrLits)+o.Str, bv.Int32(0))
+		return PtrValue(len(e.Objects)-len(f.StrLits)+o.Str, bvin.Int32(0))
 	}
 	panic("symex: bad operand")
 }
 
 // load handles cell loads directly and data loads via a bounded select.
 func (e *Engine) load(s *state, f *cir.Func, in *cir.Instr) (Value, error) {
+	bvin := e.In
 	p := e.operand(s, f, in.Args[0])
 	if !p.IsPtr {
 		return Value{}, fmt.Errorf("%w: load through integer", ErrUnsupported)
@@ -409,9 +425,9 @@ func (e *Engine) load(s *state, f *cir.Func, in *cir.Instr) (Value, error) {
 			return Value{}, err
 		}
 		if in.Sub == "1s" {
-			return IntValue(bv.Sext(b, 32)), nil
+			return IntValue(bvin.Sext(b, 32)), nil
 		}
-		return IntValue(bv.Zext(b, 32)), nil
+		return IntValue(bvin.Zext(b, 32)), nil
 	default:
 		return Value{}, fmt.Errorf("%w: %q load from string object", ErrUnsupported, in.Sub)
 	}
@@ -421,21 +437,22 @@ func (e *Engine) load(s *state, f *cir.Func, in *cir.Instr) (Value, error) {
 // offset builds an ite chain and adds the in-bounds constraint to the path
 // (out-of-bounds reads on all-feasible offsets surface as ErrOOB).
 func (e *Engine) selectByte(s *state, buf []*bv.Term, off *bv.Term) (*bv.Term, error) {
+	bvin := e.In
 	if v, ok := off.IsConst(); ok {
 		if int(int32(v)) < 0 || int(int32(v)) >= len(buf) {
 			return nil, ErrOOB
 		}
 		return buf[int32(v)], nil
 	}
-	inBounds := bv.Ult(off, bv.Int32(int64(len(buf))))
-	newCond := bv.BAnd2(s.cond, inBounds)
+	inBounds := bvin.Ult(off, bvin.Int32(int64(len(buf))))
+	newCond := bvin.BAnd2(s.cond, inBounds)
 	if newCond == bv.False || (e.CheckFeasibility && !e.feasible(newCond)) {
 		return nil, ErrOOB
 	}
 	s.cond = newCond
 	val := buf[len(buf)-1]
 	for i := len(buf) - 2; i >= 0; i-- {
-		val = bv.Ite(bv.Eq(off, bv.Int32(int64(i))), buf[i], val)
+		val = bvin.Ite(bvin.Eq(off, bvin.Int32(int64(i))), buf[i], val)
 	}
 	return val, nil
 }
@@ -457,13 +474,14 @@ func (e *Engine) store(s *state, f *cir.Func, in *cir.Instr) error {
 }
 
 func (e *Engine) binop(s *state, f *cir.Func, in *cir.Instr) (Value, error) {
+	bvin := e.In
 	a := e.operand(s, f, in.Args[0])
 	b := e.operand(s, f, in.Args[1])
 	if in.Sub == "psub" {
 		if !a.IsPtr || !b.IsPtr || a.Obj != b.Obj || a.IsNull() {
 			return Value{}, fmt.Errorf("%w: pointer difference across objects", ErrUnsupported)
 		}
-		return IntValue(bv.Sub(a.Off, b.Off)), nil
+		return IntValue(bvin.Sub(a.Off, b.Off)), nil
 	}
 	if a.IsPtr || b.IsPtr {
 		return Value{}, fmt.Errorf("%w: pointer operand in %s", ErrUnsupported, in.Sub)
@@ -471,21 +489,21 @@ func (e *Engine) binop(s *state, f *cir.Func, in *cir.Instr) (Value, error) {
 	x, y := a.Term, b.Term
 	switch in.Sub {
 	case "add":
-		return IntValue(bv.Add(x, y)), nil
+		return IntValue(bvin.Add(x, y)), nil
 	case "sub":
-		return IntValue(bv.Sub(x, y)), nil
+		return IntValue(bvin.Sub(x, y)), nil
 	case "and":
-		return IntValue(bv.And(x, y)), nil
+		return IntValue(bvin.And(x, y)), nil
 	case "or":
-		return IntValue(bv.Or(x, y)), nil
+		return IntValue(bvin.Or(x, y)), nil
 	case "xor":
-		return IntValue(bv.Xor(x, y)), nil
+		return IntValue(bvin.Xor(x, y)), nil
 	case "mul":
 		if c, ok := y.IsConst(); ok {
-			return IntValue(bv.MulC(x, int64(int32(c)))), nil
+			return IntValue(bvin.MulC(x, int64(int32(c)))), nil
 		}
 		if c, ok := x.IsConst(); ok {
-			return IntValue(bv.MulC(y, int64(int32(c)))), nil
+			return IntValue(bvin.MulC(y, int64(int32(c)))), nil
 		}
 		return Value{}, fmt.Errorf("%w: symbolic multiplication", ErrUnsupported)
 	case "div", "rem":
@@ -500,9 +518,9 @@ func (e *Engine) binop(s *state, f *cir.Func, in *cir.Instr) (Value, error) {
 		if in.Sub == "div" {
 			// Valid only for non-negative dividends; the loops that divide
 			// (pointer differences scaled by element size) satisfy this.
-			return IntValue(bv.LshrC(x, k)), nil
+			return IntValue(bvin.LshrC(x, k)), nil
 		}
-		return IntValue(bv.And(x, bv.Int32(int64(c-1)))), nil
+		return IntValue(bvin.And(x, bvin.Int32(int64(c-1)))), nil
 	case "shl", "shr", "sar":
 		c, ok := y.IsConst()
 		if !ok {
@@ -511,19 +529,22 @@ func (e *Engine) binop(s *state, f *cir.Func, in *cir.Instr) (Value, error) {
 		k := int(c & 31)
 		switch in.Sub {
 		case "shl":
-			return IntValue(bv.ShlC(x, k)), nil
+			return IntValue(bvin.ShlC(x, k)), nil
 		case "shr":
-			return IntValue(bv.LshrC(x, k)), nil
+			return IntValue(bvin.LshrC(x, k)), nil
 		default:
-			return IntValue(bv.AshrC(x, k)), nil
+			return IntValue(bvin.AshrC(x, k)), nil
 		}
 	}
 	return Value{}, fmt.Errorf("%w: binop %q", ErrUnsupported, in.Sub)
 }
 
-func boolToInt(b *bv.Bool) *bv.Term { return bv.Ite(b, bv.Int32(1), bv.Int32(0)) }
+func boolToInt(bvin *bv.Interner, b *bv.Bool) *bv.Term {
+	return bvin.Ite(b, bvin.Int32(1), bvin.Int32(0))
+}
 
 func (e *Engine) cmpop(s *state, f *cir.Func, in *cir.Instr) (Value, error) {
+	bvin := e.In
 	a := e.operand(s, f, in.Args[0])
 	b := e.operand(s, f, in.Args[1])
 	if a.IsPtr || b.IsPtr {
@@ -541,12 +562,12 @@ func (e *Engine) cmpop(s *state, f *cir.Func, in *cir.Instr) (Value, error) {
 			case a.Obj != b.Obj:
 				eq = bv.False
 			default:
-				eq = bv.Eq(a.Off, b.Off)
+				eq = bvin.Eq(a.Off, b.Off)
 			}
 			if in.Sub == "ne" {
-				eq = bv.BNot1(eq)
+				eq = bvin.BNot1(eq)
 			}
-			return IntValue(boolToInt(eq)), nil
+			return IntValue(boolToInt(bvin, eq)), nil
 		}
 		if a.IsNull() || b.IsNull() || a.Obj != b.Obj {
 			return Value{}, fmt.Errorf("%w: relational pointer comparison across objects", ErrUnsupported)
@@ -564,36 +585,38 @@ func (e *Engine) cmpop(s *state, f *cir.Func, in *cir.Instr) (Value, error) {
 }
 
 func (e *Engine) intCmp(sub string, x, y *bv.Term) (Value, error) {
+	bvin := e.In
 	var c *bv.Bool
 	switch sub {
 	case "eq":
-		c = bv.Eq(x, y)
+		c = bvin.Eq(x, y)
 	case "ne":
-		c = bv.Ne(x, y)
+		c = bvin.Ne(x, y)
 	case "slt":
-		c = bv.Slt(x, y)
+		c = bvin.Slt(x, y)
 	case "sle":
-		c = bv.Sle(x, y)
+		c = bvin.Sle(x, y)
 	case "sgt":
-		c = bv.Slt(y, x)
+		c = bvin.Slt(y, x)
 	case "sge":
-		c = bv.Sle(y, x)
+		c = bvin.Sle(y, x)
 	case "ult":
-		c = bv.Ult(x, y)
+		c = bvin.Ult(x, y)
 	case "ule":
-		c = bv.Ule(x, y)
+		c = bvin.Ule(x, y)
 	case "ugt":
-		c = bv.Ult(y, x)
+		c = bvin.Ult(y, x)
 	case "uge":
-		c = bv.Ule(y, x)
+		c = bvin.Ule(y, x)
 	default:
 		return Value{}, fmt.Errorf("%w: comparison %q", ErrUnsupported, sub)
 	}
-	return IntValue(boolToInt(c)), nil
+	return IntValue(boolToInt(bvin, c)), nil
 }
 
 // call implements the ctype.h intrinsics and strlen symbolically.
 func (e *Engine) call(s *state, f *cir.Func, in *cir.Instr) (Value, error) {
+	bvin := e.In
 	if len(in.Args) != 1 {
 		return Value{}, fmt.Errorf("%w: call %s", ErrUnsupported, in.Sub)
 	}
@@ -606,34 +629,34 @@ func (e *Engine) call(s *state, f *cir.Func, in *cir.Instr) (Value, error) {
 	}
 	c := a.Term
 	between := func(lo, hi byte) *bv.Bool {
-		return bv.BAnd2(bv.Sle(bv.Int32(int64(lo)), c), bv.Sle(c, bv.Int32(int64(hi))))
+		return bvin.BAnd2(bvin.Sle(bvin.Int32(int64(lo)), c), bvin.Sle(c, bvin.Int32(int64(hi))))
 	}
 	oneOf := func(chars ...byte) *bv.Bool {
 		out := bv.False
 		for _, ch := range chars {
-			out = bv.BOr2(out, bv.Eq(c, bv.Int32(int64(ch))))
+			out = bvin.BOr2(out, bvin.Eq(c, bvin.Int32(int64(ch))))
 		}
 		return out
 	}
 	switch in.Sub {
 	case "isdigit":
-		return IntValue(boolToInt(between('0', '9'))), nil
+		return IntValue(boolToInt(bvin, between('0', '9'))), nil
 	case "isspace":
-		return IntValue(boolToInt(oneOf(' ', '\t', '\n', '\r', '\v', '\f'))), nil
+		return IntValue(boolToInt(bvin, oneOf(' ', '\t', '\n', '\r', '\v', '\f'))), nil
 	case "isblank":
-		return IntValue(boolToInt(oneOf(' ', '\t'))), nil
+		return IntValue(boolToInt(bvin, oneOf(' ', '\t'))), nil
 	case "isupper":
-		return IntValue(boolToInt(between('A', 'Z'))), nil
+		return IntValue(boolToInt(bvin, between('A', 'Z'))), nil
 	case "islower":
-		return IntValue(boolToInt(between('a', 'z'))), nil
+		return IntValue(boolToInt(bvin, between('a', 'z'))), nil
 	case "isalpha":
-		return IntValue(boolToInt(bv.BOr2(between('A', 'Z'), between('a', 'z')))), nil
+		return IntValue(boolToInt(bvin, bvin.BOr2(between('A', 'Z'), between('a', 'z')))), nil
 	case "isalnum":
-		return IntValue(boolToInt(bv.BOrAll(between('0', '9'), between('A', 'Z'), between('a', 'z')))), nil
+		return IntValue(boolToInt(bvin, bvin.BOrAll(between('0', '9'), between('A', 'Z'), between('a', 'z')))), nil
 	case "toupper":
-		return IntValue(bv.Ite(between('a', 'z'), bv.Sub(c, bv.Int32(32)), c)), nil
+		return IntValue(bvin.Ite(between('a', 'z'), bvin.Sub(c, bvin.Int32(32)), c)), nil
 	case "tolower":
-		return IntValue(bv.Ite(between('A', 'Z'), bv.Add(c, bv.Int32(32)), c)), nil
+		return IntValue(bvin.Ite(between('A', 'Z'), bvin.Add(c, bvin.Int32(32)), c)), nil
 	case "putchar":
 		return a, nil
 	}
@@ -644,6 +667,7 @@ func (e *Engine) call(s *state, f *cir.Func, in *cir.Instr) (Value, error) {
 // symbolic) offset: a nested ite over the bounded buffer. Buffers end in a
 // forced NUL, so the scan always terminates inside the buffer.
 func (e *Engine) strlenCall(s *state, p Value) (Value, error) {
+	bvin := e.In
 	if !p.IsPtr {
 		return Value{}, fmt.Errorf("%w: strlen of integer", ErrUnsupported)
 	}
@@ -659,9 +683,9 @@ func (e *Engine) strlenCall(s *state, p Value) (Value, error) {
 	if v, ok := buf[len(buf)-1].IsConst(); !ok || v != 0 {
 		return Value{}, fmt.Errorf("%w: strlen of unterminated buffer", ErrUnsupported)
 	}
-	lenFrom[len(buf)-1] = bv.Int32(0)
+	lenFrom[len(buf)-1] = bvin.Int32(0)
 	for k := len(buf) - 2; k >= 0; k-- {
-		lenFrom[k] = bv.Ite(bv.Eq(buf[k], bv.Byte(0)), bv.Int32(0), bv.Add(lenFrom[k+1], bv.Int32(1)))
+		lenFrom[k] = bvin.Ite(bvin.Eq(buf[k], bvin.Byte(0)), bvin.Int32(0), bvin.Add(lenFrom[k+1], bvin.Int32(1)))
 	}
 	if v, ok := p.Off.IsConst(); ok {
 		k := int(int32(v))
@@ -670,36 +694,37 @@ func (e *Engine) strlenCall(s *state, p Value) (Value, error) {
 		}
 		return IntValue(lenFrom[k]), nil
 	}
-	inBounds := bv.Ult(p.Off, bv.Int32(int64(len(buf))))
-	newCond := bv.BAnd2(s.cond, inBounds)
+	inBounds := bvin.Ult(p.Off, bvin.Int32(int64(len(buf))))
+	newCond := bvin.BAnd2(s.cond, inBounds)
 	if newCond == bv.False || (e.CheckFeasibility && !e.feasible(newCond)) {
 		return Value{}, ErrOOB
 	}
 	s.cond = newCond
 	val := lenFrom[len(buf)-1]
 	for k := len(buf) - 2; k >= 0; k-- {
-		val = bv.Ite(bv.Eq(p.Off, bv.Int32(int64(k))), lenFrom[k], val)
+		val = bvin.Ite(bvin.Eq(p.Off, bvin.Int32(int64(k))), lenFrom[k], val)
 	}
 	return IntValue(val), nil
 }
 
 // SymbolicString builds a symbolic NUL-terminated buffer of capacity maxLen
 // (maxLen content bytes ranging over all values, final byte forced NUL),
-// returning the byte terms.
-func SymbolicString(name string, maxLen int) []*bv.Term {
+// returning the byte terms built with in.
+func SymbolicString(in *bv.Interner, name string, maxLen int) []*bv.Term {
 	buf := make([]*bv.Term, maxLen+1)
 	for i := 0; i < maxLen; i++ {
-		buf[i] = bv.Var(fmt.Sprintf("%s[%d]", name, i), 8)
+		buf[i] = in.Var(fmt.Sprintf("%s[%d]", name, i), 8)
 	}
-	buf[maxLen] = bv.Byte(0)
+	buf[maxLen] = in.Byte(0)
 	return buf
 }
 
-// ConcreteString wraps a concrete NUL-terminated buffer as constant terms.
-func ConcreteString(buf []byte) []*bv.Term {
+// ConcreteString wraps a concrete NUL-terminated buffer as constant terms
+// built with in.
+func ConcreteString(in *bv.Interner, buf []byte) []*bv.Term {
 	out := make([]*bv.Term, len(buf))
 	for i, b := range buf {
-		out[i] = bv.Byte(b)
+		out[i] = in.Byte(b)
 	}
 	return out
 }

@@ -10,6 +10,9 @@ import (
 	"stringloops/internal/cir"
 )
 
+// tin is the shared interner for this package's tests.
+var tin = bv.NewInterner()
+
 func lower(t *testing.T, src string) *cir.Func {
 	t.Helper()
 	file, err := cc.Parse(src)
@@ -27,9 +30,9 @@ func lower(t *testing.T, src string) *cir.Func {
 // the paths plus the buffer terms.
 func runSymbolic(t *testing.T, f *cir.Func, maxLen int, check bool) ([]Path, []*bv.Term) {
 	t.Helper()
-	buf := SymbolicString("s", maxLen)
-	e := &Engine{Objects: [][]*bv.Term{buf}, CheckFeasibility: check}
-	paths, err := e.Run(f, []Value{PtrValue(0, bv.Int32(0))}, bv.True)
+	buf := SymbolicString(tin, "s", maxLen)
+	e := &Engine{In: tin, Objects: [][]*bv.Term{buf}, CheckFeasibility: check}
+	paths, err := e.Run(f, []Value{PtrValue(0, tin.Int32(0))}, bv.True)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -166,7 +169,7 @@ char *guard(char *p) {
   while (*p == 'x') p++;
   return p;
 }`)
-	e := &Engine{Objects: [][]*bv.Term{SymbolicString("s", 2)}}
+	e := &Engine{In: tin, Objects: [][]*bv.Term{SymbolicString(tin, "s", 2)}}
 	paths, err := e.Run(f, []Value{NullValue()}, bv.True)
 	if err != nil {
 		t.Fatal(err)
@@ -202,7 +205,7 @@ char *rawscan(char *s) {
 
 func TestNullDerefErrorPath(t *testing.T) {
 	f := lower(t, `char deref(char *s) { return *s; }`)
-	e := &Engine{}
+	e := &Engine{In: tin}
 	paths, err := e.Run(f, []Value{NullValue()}, bv.True)
 	if err != nil {
 		t.Fatal(err)
@@ -230,7 +233,7 @@ char *weird(char *s) {
 	}
 	// All surviving paths must be satisfiable.
 	for _, p := range pathsYes {
-		if st, _ := bv.CheckSat(0, p.Cond); st.String() != "sat" {
+		if st, _ := bv.CheckSat(nil, 0, p.Cond); st.String() != "sat" {
 			t.Fatalf("surviving path is %v", st)
 		}
 	}
@@ -260,8 +263,8 @@ char* loopFunction(char* line) {
 
 func TestStepLimit(t *testing.T) {
 	f := lower(t, `int spin(int x) { for (;;) x++; return x; }`)
-	e := &Engine{MaxSteps: 100}
-	paths, err := e.Run(f, []Value{ConstValue(0)}, bv.True)
+	e := &Engine{In: tin, MaxSteps: 100}
+	paths, err := e.Run(f, []Value{ConstValue(tin, 0)}, bv.True)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,9 +280,9 @@ char *find(char *s) {
     s++;
   return s;
 }`)
-	buf := SymbolicString("s", 3)
-	e := &Engine{Objects: [][]*bv.Term{buf}, CheckFeasibility: true}
-	if _, err := e.Run(f, []Value{PtrValue(0, bv.Int32(0))}, bv.True); err != nil {
+	buf := SymbolicString(tin, "s", 3)
+	e := &Engine{In: tin, Objects: [][]*bv.Term{buf}, CheckFeasibility: true}
+	if _, err := e.Run(f, []Value{PtrValue(0, tin.Int32(0))}, bv.True); err != nil {
 		t.Fatal(err)
 	}
 	if e.Stats.Paths == 0 || e.Stats.Forks == 0 || e.Stats.SolverQueries == 0 || e.Stats.Steps == 0 {
@@ -307,8 +310,8 @@ char *spanab(char *s) {
 	paths, _ := runSymbolic(t, f, 3, false)
 	for i := 0; i < len(paths); i++ {
 		for j := i + 1; j < len(paths); j++ {
-			both := bv.BAnd2(paths[i].Cond, paths[j].Cond)
-			if st, _ := bv.CheckSat(0, both); st.String() == "sat" {
+			both := tin.BAnd2(paths[i].Cond, paths[j].Cond)
+			if st, _ := bv.CheckSat(nil, 0, both); st.String() == "sat" {
 				t.Fatalf("paths %d and %d overlap", i, j)
 			}
 		}

@@ -28,12 +28,12 @@ type SymInstr struct {
 type SymProgram []SymInstr
 
 // Symbolize lifts a concrete program into a SymProgram of constant terms.
-func Symbolize(p Program) SymProgram {
+func Symbolize(bvin *bv.Interner, p Program) SymProgram {
 	out := make(SymProgram, len(p))
 	for i, in := range p {
 		si := SymInstr{Op: in.Op}
 		for _, c := range in.Arg {
-			si.Arg = append(si.Arg, bv.Byte(c))
+			si.Arg = append(si.Arg, bvin.Byte(c))
 		}
 		out[i] = si
 	}
@@ -58,6 +58,7 @@ type config struct {
 // terminal outcomes whose guards are pairwise disjoint and cover all strings
 // in the bounded domain. The result offsets are in the original buffer.
 func RunSymbolic(prog SymProgram, s *strsolver.SymString) []SymOutcome {
+	bvin := s.Interner()
 	maxLen := s.MaxLen()
 	live := map[config]*bv.Bool{{kind: Ptr, off: 0, revN: -1}: bv.True}
 	terminal := map[Result]*bv.Bool{}
@@ -72,8 +73,8 @@ func RunSymbolic(prog SymProgram, s *strsolver.SymString) []SymOutcome {
 		for i := 0; i < n; i++ {
 			bytes[i] = s.At(n - 1 - i)
 		}
-		bytes[n] = bv.Byte(0)
-		v := &strsolver.SymString{Bytes: bytes}
+		bytes[n] = bvin.Byte(0)
+		v := strsolver.Wrap(bvin, bytes)
 		reversed[n] = v
 		return v
 	}
@@ -95,7 +96,7 @@ func RunSymbolic(prog SymProgram, s *strsolver.SymString) []SymOutcome {
 			return
 		}
 		if old, ok := next[c]; ok {
-			next[c] = bv.BOr2(old, g)
+			next[c] = bvin.BOr2(old, g)
 		} else {
 			next[c] = g
 		}
@@ -105,7 +106,7 @@ func RunSymbolic(prog SymProgram, s *strsolver.SymString) []SymOutcome {
 			return
 		}
 		if old, ok := terminal[r]; ok {
-			terminal[r] = bv.BOr2(old, g)
+			terminal[r] = bvin.BOr2(old, g)
 		} else {
 			terminal[r] = g
 		}
@@ -130,7 +131,7 @@ func RunSymbolic(prog SymProgram, s *strsolver.SymString) []SymOutcome {
 					continue
 				}
 				for n := 0; n <= maxLen; n++ {
-					addLive(next, config{kind: Ptr, off: 0, revN: n}, bv.BAnd2(g, s.LenIs(n)))
+					addLive(next, config{kind: Ptr, off: 0, revN: n}, bvin.BAnd2(g, s.LenIs(n)))
 				}
 			case OpRawmemchr:
 				if !strOK {
@@ -140,9 +141,9 @@ func RunSymbolic(prog SymProgram, s *strsolver.SymString) []SymOutcome {
 				for j := c.off; j <= strCap; j++ {
 					nc := c
 					nc.off = j
-					addLive(next, nc, bv.BAnd2(g, str.RawchrIs(c.off, j, in.Arg[0])))
+					addLive(next, nc, bvin.BAnd2(g, str.RawchrIs(c.off, j, in.Arg[0])))
 				}
-				invalid(bv.BAnd2(g, str.RawchrNone(c.off, in.Arg[0])))
+				invalid(bvin.BAnd2(g, str.RawchrNone(c.off, in.Arg[0])))
 			case OpStrchr:
 				if !strOK {
 					invalid(g)
@@ -151,11 +152,11 @@ func RunSymbolic(prog SymProgram, s *strsolver.SymString) []SymOutcome {
 				for j := c.off; j <= strCap; j++ {
 					nc := c
 					nc.off = j
-					addLive(next, nc, bv.BAnd2(g, str.ChrIs(c.off, j, in.Arg[0])))
+					addLive(next, nc, bvin.BAnd2(g, str.ChrIs(c.off, j, in.Arg[0])))
 				}
 				nc := c
 				nc.kind = Null
-				addLive(next, nc, bv.BAnd2(g, str.ChrNone(c.off, in.Arg[0])))
+				addLive(next, nc, bvin.BAnd2(g, str.ChrNone(c.off, in.Arg[0])))
 			case OpStrrchr:
 				if !strOK {
 					invalid(g)
@@ -164,11 +165,11 @@ func RunSymbolic(prog SymProgram, s *strsolver.SymString) []SymOutcome {
 				for j := c.off; j <= strCap; j++ {
 					nc := c
 					nc.off = j
-					addLive(next, nc, bv.BAnd2(g, str.RchrIs(c.off, j, in.Arg[0])))
+					addLive(next, nc, bvin.BAnd2(g, str.RchrIs(c.off, j, in.Arg[0])))
 				}
 				nc := c
 				nc.kind = Null
-				addLive(next, nc, bv.BAnd2(g, str.RchrNone(c.off, in.Arg[0])))
+				addLive(next, nc, bvin.BAnd2(g, str.RchrNone(c.off, in.Arg[0])))
 			case OpStrpbrk:
 				if !strOK {
 					invalid(g)
@@ -178,11 +179,11 @@ func RunSymbolic(prog SymProgram, s *strsolver.SymString) []SymOutcome {
 				for j := c.off; j <= strCap; j++ {
 					nc := c
 					nc.off = j
-					addLive(next, nc, bv.BAnd2(g, str.PbrkIs(c.off, j, set)))
+					addLive(next, nc, bvin.BAnd2(g, str.PbrkIs(c.off, j, set)))
 				}
 				nc := c
 				nc.kind = Null
-				addLive(next, nc, bv.BAnd2(g, str.PbrkNone(c.off, set)))
+				addLive(next, nc, bvin.BAnd2(g, str.PbrkNone(c.off, set)))
 			case OpStrspn:
 				if !strOK {
 					invalid(g)
@@ -192,7 +193,7 @@ func RunSymbolic(prog SymProgram, s *strsolver.SymString) []SymOutcome {
 				for n := 0; c.off+n <= strCap; n++ {
 					nc := c
 					nc.off = c.off + n
-					addLive(next, nc, bv.BAnd2(g, str.SpnIs(c.off, n, set)))
+					addLive(next, nc, bvin.BAnd2(g, str.SpnIs(c.off, n, set)))
 				}
 			case OpStrcspn:
 				if !strOK {
@@ -203,7 +204,7 @@ func RunSymbolic(prog SymProgram, s *strsolver.SymString) []SymOutcome {
 				for n := 0; c.off+n <= strCap; n++ {
 					nc := c
 					nc.off = c.off + n
-					addLive(next, nc, bv.BAnd2(g, str.CspnIs(c.off, n, set)))
+					addLive(next, nc, bvin.BAnd2(g, str.CspnIs(c.off, n, set)))
 				}
 			case OpIsNullptr:
 				c.skip = c.kind != Null
@@ -229,7 +230,7 @@ func RunSymbolic(prog SymProgram, s *strsolver.SymString) []SymOutcome {
 					nc := c
 					nc.kind = Ptr
 					nc.off = n
-					addLive(next, nc, bv.BAnd2(g, str.LenIs(n)))
+					addLive(next, nc, bvin.BAnd2(g, str.LenIs(n)))
 				}
 			case OpSetToStart:
 				c.kind = Ptr

@@ -11,6 +11,9 @@ import (
 	"stringloops/internal/strsolver"
 )
 
+// tin is the shared interner for this package's tests.
+var tin = bv.NewInterner()
+
 func mustDecode(t *testing.T, s string) Program {
 	t.Helper()
 	p, err := Decode(s)
@@ -264,8 +267,8 @@ func enumBuffers(maxLen int, alphabet []byte) [][]byte {
 func symAgainstConcrete(t *testing.T, enc string, alphabet []byte) {
 	t.Helper()
 	p := mustDecode(t, enc)
-	s := strsolver.New("s", 3)
-	outcomes := RunSymbolic(Symbolize(p), s)
+	s := strsolver.New(tin, "s", 3)
+	outcomes := RunSymbolic(Symbolize(tin, p), s)
 	for _, buf := range enumBuffers(3, alphabet) {
 		a := &bv.Assignment{Terms: map[string]uint64{}}
 		for i := 0; i < 3; i++ {
@@ -322,11 +325,11 @@ func TestSymbolicMetaChars(t *testing.T) {
 
 func TestSymbolicNullInput(t *testing.T) {
 	p := mustDecode(t, "ZFP \x00F")
-	if got := Symbolize(p).RunNullInput(); got.Kind != Null {
+	if got := Symbolize(tin, p).RunNullInput(); got.Kind != Null {
 		t.Fatalf("ZF null input = %+v", got)
 	}
 	p2 := mustDecode(t, "P \x00F")
-	if got := Symbolize(p2).RunNullInput(); got.Kind != Invalid {
+	if got := Symbolize(tin, p2).RunNullInput(); got.Kind != Invalid {
 		t.Fatalf("P null input = %+v", got)
 	}
 }
@@ -334,22 +337,22 @@ func TestSymbolicNullInput(t *testing.T) {
 func TestSymbolicArgumentSolving(t *testing.T) {
 	// CEGIS inner step: find the argument character of strspn such that the
 	// program agrees with skipping leading spaces on two examples.
-	arg := bv.Var("arg", 8)
+	arg := tin.Var("arg", 8)
 	prog := SymProgram{{Op: OpStrspn, Arg: []*bv.Term{arg}}, {Op: OpReturn}}
 	solver := bv.NewSolver()
 	examples := map[string]int{"  x": 2, "y ": 0}
 	for ex, wantOff := range examples {
-		s := strsolver.FromConcrete(cstr.Terminate(ex))
+		s := strsolver.FromConcrete(tin, cstr.Terminate(ex))
 		outcomes := RunSymbolic(prog, s)
 		cond := bv.False
 		for _, o := range outcomes {
 			if o.Res.Kind == Ptr && o.Res.Off == wantOff {
-				cond = bv.BOr2(cond, o.Guard)
+				cond = tin.BOr2(cond, o.Guard)
 			}
 		}
 		solver.Assert(cond)
 	}
-	solver.Assert(bv.Ne(arg, bv.Byte(0)))
+	solver.Assert(tin.Ne(arg, tin.Byte(0)))
 	if st := solver.Check(); st != sat.Sat {
 		t.Fatalf("argument solving: %v", st)
 	}
