@@ -50,8 +50,57 @@ func TestLexSuffixesAndEscapes(t *testing.T) {
 	}
 }
 
+func TestLexStandardEscapes(t *testing.T) {
+	// The full C escape set: simple escapes (including \a \v \f \?) and
+	// one-to-three-digit octal escapes.
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{`'\a'`, 7},
+		{`'\b'`, 8},
+		{`'\f'`, 12},
+		{`'\v'`, 11},
+		{`'\?'`, '?'},
+		{`'\0'`, 0},
+		{`'\012'`, 10},
+		{`'\12'`, 10},
+		{`'\101'`, 'A'},
+		{`'\7'`, 7},
+		{`'\377'`, 0xff},
+	}
+	for _, c := range cases {
+		toks, err := Lex(c.src)
+		if err != nil {
+			t.Errorf("Lex(%s): %v", c.src, err)
+			continue
+		}
+		if len(toks) != 1 || toks[0].Num != c.want {
+			t.Errorf("Lex(%s) = %v, want char %d", c.src, toks, c.want)
+		}
+	}
+}
+
+func TestLexOctalEscapeInString(t *testing.T) {
+	toks, err := Lex(`"\012x\101\?"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "\nxA?"; toks[0].Str != want {
+		t.Errorf("string = %q, want %q", toks[0].Str, want)
+	}
+	// Exactly three octal digits are consumed: "\0123" is '\012' then '3'.
+	toks, err = Lex(`"\0123"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "\n3"; toks[0].Str != want {
+		t.Errorf("string = %q, want %q", toks[0].Str, want)
+	}
+}
+
 func TestLexErrors(t *testing.T) {
-	for _, src := range []string{"'a", `"abc`, "/* unclosed", "$"} {
+	for _, src := range []string{"'a", `"abc`, "/* unclosed", "$", `'\q'`} {
 		if _, err := Lex(src); err == nil {
 			t.Errorf("Lex(%q) should fail", src)
 		}

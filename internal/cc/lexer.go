@@ -186,8 +186,14 @@ func (l *lexer) lexEscape() (byte, error) {
 		return '\t', nil
 	case 'r':
 		return '\r', nil
-	case '0':
-		return 0, nil
+	case '0', '1', '2', '3', '4', '5', '6', '7':
+		// Octal escape: one to three octal digits, value taken mod 256
+		// (values above \377 exceed the range of char).
+		v := int(c - '0')
+		for n := 1; n < 3 && l.pos < len(l.src) && l.peek() >= '0' && l.peek() <= '7'; n++ {
+			v = v*8 + int(l.advance()-'0')
+		}
+		return byte(v), nil
 	case 'a':
 		return 7, nil
 	case 'b':
@@ -202,6 +208,8 @@ func (l *lexer) lexEscape() (byte, error) {
 		return '\'', nil
 	case '"':
 		return '"', nil
+	case '?':
+		return '?', nil
 	case 'x':
 		var v int
 		n := 0

@@ -542,7 +542,13 @@ func (s *Synthesizer) solveArgs(symProg vocab.SymProgram, argVars []*bv.Term) ([
 	}
 	for _, cex := range s.cexs {
 		want := s.runOriginal(cex)
-		outcomes := vocab.RunSymbolic(symProg, strsolver.FromConcrete(bvin, cex))
+		cs, err := strsolver.FromConcrete(bvin, cex)
+		if err != nil {
+			// Counterexamples are built NUL-terminated by addCex; a malformed
+			// one means a bug upstream, and no argument can satisfy it.
+			return nil, false
+		}
+		outcomes := vocab.RunSymbolic(symProg, cs)
 		match := bv.False
 		for _, o := range outcomes {
 			if o.Res == want {

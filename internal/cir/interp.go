@@ -89,9 +89,17 @@ type ExecResult struct {
 	Steps int
 }
 
+// badOperand is the panic value raised when an instruction references an
+// operand of unknown kind — malformed IR rather than bad input. Exec recovers
+// it at its boundary and reports a contextual error instead of crashing, so a
+// fuzzer-built function can never kill the process.
+type badOperand struct{ o Operand }
+
 // Exec runs f on the given arguments with the given heap. maxSteps bounds the
-// instruction count (0 means a generous default).
-func Exec(f *Func, args []CVal, mem *Memory, maxSteps int) (ExecResult, error) {
+// instruction count (0 means a generous default). Malformed IR (operands of
+// unknown kind) is reported as an error naming the function, block and
+// instruction, never as a panic.
+func Exec(f *Func, args []CVal, mem *Memory, maxSteps int) (result ExecResult, rerr error) {
 	if maxSteps <= 0 {
 		maxSteps = 1 << 20
 	}
@@ -120,12 +128,27 @@ func Exec(f *Func, args []CVal, mem *Memory, maxSteps int) (ExecResult, error) {
 		case KStr:
 			return PtrVal(strObjs[o.Str], 0)
 		}
-		panic("cir: bad operand")
+		panic(badOperand{o})
 	}
 
 	steps := 0
 	block := f.Entry()
 	var prev *Block
+	var curInstr *Instr
+	defer func() {
+		if r := recover(); r != nil {
+			bo, ok := r.(badOperand)
+			if !ok {
+				panic(r)
+			}
+			instr := "<phi>"
+			if curInstr != nil {
+				instr = curInstr.String()
+			}
+			result = ExecResult{Steps: steps}
+			rerr = fmt.Errorf("cir: %s: block %s: %s: bad operand kind %d", f.Name, block.Label(), instr, bo.o.Kind)
+		}
+	}()
 	for {
 		// Evaluate phis simultaneously at block entry.
 		var phiVals []CVal
@@ -134,6 +157,7 @@ func Exec(f *Func, args []CVal, mem *Memory, maxSteps int) (ExecResult, error) {
 			if in.Op != OpPhi {
 				break
 			}
+			curInstr = in
 			found := false
 			for i, pb := range in.Blocks {
 				if pb == prev {
@@ -155,6 +179,7 @@ func Exec(f *Func, args []CVal, mem *Memory, maxSteps int) (ExecResult, error) {
 			if in.Op == OpPhi {
 				continue
 			}
+			curInstr = in
 			steps++
 			if steps > maxSteps {
 				return ExecResult{Steps: steps}, ErrStepLimit

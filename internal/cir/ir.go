@@ -237,7 +237,7 @@ func (f *Func) String() string {
 	for _, b := range f.Blocks {
 		fmt.Fprintf(&sb, "%s:\n", b.Label())
 		for _, in := range b.Instrs {
-			sb.WriteString("  " + f.instrString(in) + "\n")
+			sb.WriteString("  " + in.String() + "\n")
 		}
 	}
 	sb.WriteString("}\n")
@@ -252,7 +252,8 @@ func (b *Block) Label() string {
 	return fmt.Sprintf("b%d", b.ID)
 }
 
-func (f *Func) instrString(in *Instr) string {
+// String renders the instruction readably (the form Func.String prints).
+func (in *Instr) String() string {
 	args := make([]string, len(in.Args))
 	for i, a := range in.Args {
 		args[i] = a.String()

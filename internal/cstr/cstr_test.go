@@ -265,3 +265,81 @@ func TestMetaCharacterClasses(t *testing.T) {
 		}
 	}
 }
+
+// ---- Edge cases the differential fuzzer (internal/diffuzz) relies on when
+// it uses this package, via the vocab interpreter, as one of its oracles. ----
+
+func TestStrchrNulFindsTerminator(t *testing.T) {
+	// ISO C: strchr(s, 0) points at the terminator, never NULL.
+	buf := Terminate("abc")
+	if got := Strchr(buf, 0, 0); got != 3 {
+		t.Errorf("Strchr(%q, 0, 0) = %d, want 3", buf, got)
+	}
+	if got := Strchr(buf, 2, 0); got != 3 {
+		t.Errorf("Strchr(%q, 2, 0) = %d, want 3", buf, got)
+	}
+	if got := Strchr(Terminate(""), 0, 0); got != 0 {
+		t.Errorf("Strchr on empty string with c=0: got %d, want 0", got)
+	}
+}
+
+func TestStrrchrNulFindsTerminator(t *testing.T) {
+	buf := Terminate("aba")
+	if got := Strrchr(buf, 0, 0); got != 3 {
+		t.Errorf("Strrchr(%q, 0, 0) = %d, want 3", buf, got)
+	}
+	if got := Strrchr(Terminate(""), 0, 0); got != 0 {
+		t.Errorf("Strrchr on empty string with c=0: got %d, want 0", got)
+	}
+	// And a normal last-occurrence lookup from a non-zero offset.
+	if got := Strrchr(buf, 1, 'a'); got != 2 {
+		t.Errorf("Strrchr(%q, 1, 'a') = %d, want 2", buf, got)
+	}
+}
+
+func TestEmptySets(t *testing.T) {
+	buf := Terminate("abc")
+	if got := Strspn(buf, 0, nil); got != 0 {
+		t.Errorf("Strspn with empty set = %d, want 0", got)
+	}
+	if got := Strcspn(buf, 0, nil); got != 3 {
+		t.Errorf("Strcspn with empty set = %d, want 3 (whole string)", got)
+	}
+	if got := Strpbrk(buf, 0, nil); got != NotFound {
+		t.Errorf("Strpbrk with empty set = %d, want NotFound", got)
+	}
+	if MatchSet('a', nil) {
+		t.Error("MatchSet with empty set matched")
+	}
+}
+
+func TestFromAtTerminator(t *testing.T) {
+	// All functions applied to the empty suffix starting exactly at the NUL.
+	buf := Terminate("ab") // terminator at offset 2
+	from := 2
+	if got := Strlen(buf, from); got != 0 {
+		t.Errorf("Strlen at terminator = %d", got)
+	}
+	if got := Strchr(buf, from, 'a'); got != NotFound {
+		t.Errorf("Strchr at terminator = %d, want NotFound", got)
+	}
+	if got := Strrchr(buf, from, 'a'); got != NotFound {
+		t.Errorf("Strrchr at terminator = %d, want NotFound", got)
+	}
+	if got := Strspn(buf, from, []byte("ab")); got != 0 {
+		t.Errorf("Strspn at terminator = %d", got)
+	}
+	if got := Strcspn(buf, from, []byte("xy")); got != 0 {
+		t.Errorf("Strcspn at terminator = %d", got)
+	}
+	if got := Strpbrk(buf, from, []byte("ab")); got != NotFound {
+		t.Errorf("Strpbrk at terminator = %d, want NotFound", got)
+	}
+	if got := GoString(buf, from); got != "" {
+		t.Errorf("GoString at terminator = %q", got)
+	}
+	// Memchr with n=0 never finds anything, even at a live offset.
+	if got := Memchr(buf, 0, 'a', 0); got != NotFound {
+		t.Errorf("Memchr with n=0 = %d, want NotFound", got)
+	}
+}

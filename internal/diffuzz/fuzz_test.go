@@ -1,0 +1,58 @@
+package diffuzz
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fuzzTargets caches prepared targets per seed: the fuzzer mutates the input
+// buffer far more often than the seed, and preparation (lower + bounded
+// synthesis) is the expensive part. The cache resets when it grows past a
+// bound so a long fuzzing campaign can't hold every target ever seen.
+var (
+	fuzzMu      sync.Mutex
+	fuzzTargets = map[uint64]*fuzzEntry{}
+)
+
+type fuzzEntry struct {
+	target  *Target
+	finding *Finding
+}
+
+func fuzzTargetFor(seed uint64) *fuzzEntry {
+	fuzzMu.Lock()
+	defer fuzzMu.Unlock()
+	if e, ok := fuzzTargets[seed]; ok {
+		return e
+	}
+	if len(fuzzTargets) > 2048 {
+		fuzzTargets = map[uint64]*fuzzEntry{}
+	}
+	o := Options{SynthTimeout: 100 * time.Millisecond}
+	t, f := TargetForSeed(seed, &o)
+	e := &fuzzEntry{target: t, finding: f}
+	fuzzTargets[seed] = e
+	return e
+}
+
+// FuzzDifferential is the native-fuzzing entry point: seed selects a
+// generated program, the byte payload is the (clamped, NUL-terminated)
+// input buffer, and the three executors must agree.
+func FuzzDifferential(f *testing.F) {
+	f.Add(uint64(1), []byte("  ab"))
+	f.Add(uint64(2), []byte(""))
+	f.Add(uint64(7), []byte("a\x00b"))
+	f.Add(uint64(13), []byte("0099z"))
+	f.Add(uint64(42), []byte("\xc3\x7f "))
+	f.Add(uint64(1001), []byte("=:/#"))
+	f.Fuzz(func(t *testing.T, seed uint64, raw []byte) {
+		e := fuzzTargetFor(seed)
+		if e.finding != nil {
+			t.Fatalf("target preparation failed:\n%s", e.finding)
+		}
+		for _, fd := range CheckSeedInput(e.target, raw, 8) {
+			t.Errorf("divergence:\n%s", fd)
+		}
+	})
+}

@@ -1,0 +1,435 @@
+package diffuzz
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"stringloops/internal/bv"
+	"stringloops/internal/cc"
+	"stringloops/internal/cegis"
+	"stringloops/internal/cir"
+	"stringloops/internal/engine"
+	"stringloops/internal/memoryless"
+	"stringloops/internal/symex"
+	"stringloops/internal/vocab"
+)
+
+// ResultKind classifies an executor outcome in the common result domain all
+// three executors are compared in.
+type ResultKind int
+
+// Result kinds.
+const (
+	// RPtr is a pointer into the input buffer at offset Off.
+	RPtr ResultKind = iota
+	// RNull is the NULL pointer.
+	RNull
+	// RUB means the execution ran into C undefined behaviour (out-of-bounds
+	// access, null dereference, or the summary's invalid pointer).
+	RUB
+)
+
+// Result is an executor outcome. All executors must agree on it, including
+// the UB cases — UB is deterministic in this pipeline (the interpreter traps
+// the first bad access), so a UB/defined mismatch is a real divergence.
+type Result struct {
+	Kind ResultKind
+	Off  int
+}
+
+func (r Result) String() string {
+	switch r.Kind {
+	case RPtr:
+		return fmt.Sprintf("s+%d", r.Off)
+	case RNull:
+		return "NULL"
+	default:
+		return "UB"
+	}
+}
+
+// Target is one generated program prepared for checking: lowered IR, the
+// synthesized summary when CEGIS succeeded, the memoryless verdict gating
+// how widely the summary may be compared, and a per-buffer-capacity cache of
+// symbolic paths (symbolic execution runs once per capacity, then replays on
+// each concrete input for free).
+type Target struct {
+	Seed   uint64
+	Prog   *Prog
+	Source string
+	F      *cir.Func
+
+	HasSummary bool
+	Summary    vocab.Program
+	// Memoryless is true when the loop was verified memoryless; the
+	// small-model argument (§5 of the paper) then extends the bounded
+	// summary equivalence to strings of every length.
+	Memoryless bool
+	MaxExSize  int
+
+	in     *bv.Interner
+	mu     sync.Mutex
+	paths  map[int]pathSet // keyed by free content bytes (capacity - 1)
+	budget *engine.Budget
+}
+
+type pathSet struct {
+	paths []symex.Path
+	err   error
+}
+
+// Finding is one triaged fuzzer result: the stage that disagreed (or
+// panicked), what kind of disagreement, and everything needed to reproduce —
+// the generator seed, the (possibly minimized) source and input.
+type Finding struct {
+	Seed      uint64
+	Stage     string // "frontend", "concrete", "symex", "summary", or an executor name
+	Kind      string // "reject", "panic", "divergence", "no-path", "overlap", "error"
+	Source    string
+	Input     []byte // full buffer including NUL terminator; nil = NULL pointer input
+	NullInput bool
+	Detail    string
+	Minimized bool
+}
+
+func (f *Finding) String() string {
+	in := "NULL"
+	if !f.NullInput {
+		in = fmt.Sprintf("%q", f.Input)
+	}
+	min := ""
+	if f.Minimized {
+		min = " (minimized)"
+	}
+	return fmt.Sprintf("seed %d: [%s/%s]%s input=%s: %s\n%s",
+		f.Seed, f.Stage, f.Kind, min, in, f.Detail, f.Source)
+}
+
+// guard runs fn, converting a panic into a finding against the given stage.
+// The executors must never kill the process on generated programs; a
+// recovered panic is itself a first-class fuzzing result.
+func guard(seed uint64, stage, source string, input []byte, nullIn bool, fn func() *Finding) (f *Finding) {
+	defer func() {
+		if r := recover(); r != nil {
+			f = &Finding{
+				Seed: seed, Stage: stage, Kind: "panic",
+				Source: source, Input: input, NullInput: nullIn,
+				Detail: fmt.Sprintf("recovered panic: %v", r),
+			}
+		}
+	}()
+	return fn()
+}
+
+// PrepareTarget parses, lowers, and (budget permitting) synthesizes a
+// summary for p. A front-end rejection or a panic in any preparation stage
+// comes back as a finding; synthesis simply not finding a program is normal
+// (the summary executor skips).
+func PrepareTarget(seed uint64, p *Prog, opts *Options) (*Target, *Finding) {
+	src := p.Source()
+	t := &Target{
+		Seed: seed, Prog: p, Source: src,
+		MaxExSize: opts.maxExSize(),
+		in:        bv.NewInterner(),
+		paths:     map[int]pathSet{},
+		budget:    opts.Budget,
+	}
+
+	if f := guard(seed, "frontend", src, nil, false, func() *Finding {
+		file, err := cc.Parse(src)
+		if err != nil {
+			return &Finding{Seed: seed, Stage: "frontend", Kind: "reject", Source: src,
+				Detail: fmt.Sprintf("generated source rejected by parser: %v", err)}
+		}
+		funcs, err := cir.LowerFile(file)
+		if err != nil {
+			return &Finding{Seed: seed, Stage: "frontend", Kind: "reject", Source: src,
+				Detail: fmt.Sprintf("generated source rejected by lowering: %v", err)}
+		}
+		t.F = funcs[0]
+		return nil
+	}); f != nil {
+		return nil, f
+	}
+
+	if opts.SynthTimeout > 0 {
+		if f := guard(seed, "synthesize", src, nil, false, func() *Finding {
+			ctx := opts.Budget.Context()
+			b := engine.NewBudget(ctx, engine.Limits{Timeout: opts.SynthTimeout})
+			out, err := cegis.Synthesize(t.F, cegis.Options{
+				MaxExSize: t.MaxExSize,
+				Budget:    b,
+			})
+			// Failure to synthesize is not a finding: many generated loops
+			// have no gadget equivalent, and the budget is deliberately tiny.
+			if err == nil && out.Found {
+				t.HasSummary = true
+				t.Summary = out.Program
+			}
+			return nil
+		}); f != nil {
+			return nil, f
+		}
+		if t.HasSummary {
+			if f := guard(seed, "memoryless", src, nil, false, func() *Finding {
+				// Bounded like synthesis: a timeout is a safe "don't know"
+				// (the summary is then only compared on small buffers).
+				b := engine.NewBudget(opts.Budget.Context(), engine.Limits{Timeout: opts.SynthTimeout})
+				rep := memoryless.VerifyBudget(t.F, t.MaxExSize, b)
+				t.Memoryless = rep.Memoryless && rep.Err == nil
+				return nil
+			}); f != nil {
+				return nil, f
+			}
+		}
+	}
+	return t, nil
+}
+
+// runConcrete executes the loop in the cir interpreter — the ground truth.
+// ok=false means the run is inconclusive (step limit: a diverging loop on
+// this input) and the input should be skipped.
+func runConcrete(t *Target, input []byte) (Result, bool, error) {
+	mem := cir.NewMemory()
+	var args []cir.CVal
+	if input == nil {
+		args = []cir.CVal{cir.NullVal()}
+	} else {
+		buf := append([]byte(nil), input...)
+		obj := mem.AllocData(buf)
+		args = []cir.CVal{cir.PtrVal(obj, 0)}
+	}
+	res, err := cir.Exec(t.F, args, mem, 1<<18)
+	switch {
+	case errors.Is(err, cir.ErrStepLimit):
+		return Result{}, false, nil
+	case errors.Is(err, cir.ErrMemory):
+		return Result{Kind: RUB}, true, nil
+	case err != nil:
+		return Result{}, false, fmt.Errorf("interpreter error: %v", err)
+	}
+	ret := res.Ret
+	if !ret.IsPtr {
+		return Result{}, false, fmt.Errorf("non-pointer return %s", ret)
+	}
+	if ret.IsNull() {
+		return Result{Kind: RNull}, true, nil
+	}
+	if input == nil || ret.Obj != 0 {
+		return Result{}, false, fmt.Errorf("return points at unexpected object: %s", ret)
+	}
+	return Result{Kind: RPtr, Off: ret.Off}, true, nil
+}
+
+// Executor is one cross-checked execution strategy. Run returns the outcome
+// in the common result domain; ok=false means "inconclusive, skip this
+// input" (e.g. budget exhausted, summary not applicable), and a non-nil
+// error is an internal failure reported as a finding. Panics are recovered
+// by the caller. Tests inject deliberately buggy executors through this
+// interface to prove the harness catches and minimizes divergences.
+type Executor interface {
+	Name() string
+	Run(t *Target, input []byte) (res Result, ok bool, err error)
+}
+
+// DefaultExecutors returns the two executors cross-checked against the
+// concrete interpreter: symbolic-execution replay and the synthesized
+// summary.
+func DefaultExecutors() []Executor {
+	return []Executor{symexExecutor{}, summaryExecutor{}}
+}
+
+// symexExecutor enumerates the loop's symbolic paths on a fully symbolic
+// buffer of the input's capacity, then replays the concrete input against
+// the path conditions. Exactly one path must claim the input; its result
+// must match the interpreter.
+type symexExecutor struct{}
+
+func (symexExecutor) Name() string { return "symex" }
+
+func (symexExecutor) Run(t *Target, input []byte) (Result, bool, error) {
+	n := -1 // NULL input: no buffer object
+	if input != nil {
+		n = len(input) - 1
+	}
+	ps := t.pathsFor(n)
+	if ps.err != nil {
+		if errors.Is(ps.err, symex.ErrTimeout) || errors.Is(ps.err, symex.ErrPathLimit) {
+			return Result{}, false, nil
+		}
+		return Result{}, false, fmt.Errorf("symbolic execution failed: %v", ps.err)
+	}
+
+	asn := &bv.Assignment{Terms: map[string]uint64{}}
+	for i := 0; i < n; i++ {
+		asn.Terms[fmt.Sprintf("s[%d]", i)] = uint64(input[i])
+	}
+	ev := bv.NewEvaluator(asn)
+
+	matched := false
+	sawSkip := false
+	var got Result
+	for _, p := range ps.paths {
+		if !ev.Bool(p.Cond) {
+			continue
+		}
+		r, ok, err := mapPath(p, ev)
+		if err != nil {
+			return Result{}, false, err
+		}
+		if !ok {
+			sawSkip = true
+			continue
+		}
+		if matched && got != r {
+			return Result{}, false, fmt.Errorf("overlap: two live paths claim the input with different results (%s vs %s)", got, r)
+		}
+		matched = true
+		got = r
+	}
+	if !matched {
+		if sawSkip {
+			return Result{}, false, nil // only a step-limited path claims it
+		}
+		return Result{}, false, errors.New("no-path: no symbolic path condition matches the concrete input")
+	}
+	return got, true, nil
+}
+
+// mapPath maps one symbolic path outcome, under the evaluator for the
+// concrete input, into the common result domain.
+func mapPath(p symex.Path, ev *bv.Evaluator) (Result, bool, error) {
+	if p.Err != nil {
+		switch {
+		case errors.Is(p.Err, symex.ErrOOB), errors.Is(p.Err, symex.ErrNullDeref):
+			return Result{Kind: RUB}, true, nil
+		case errors.Is(p.Err, symex.ErrStepLimit):
+			return Result{}, false, nil
+		default:
+			return Result{}, false, fmt.Errorf("unexpected path error: %v", p.Err)
+		}
+	}
+	ret := p.Ret
+	if !ret.IsPtr {
+		return Result{}, false, fmt.Errorf("non-pointer symbolic return")
+	}
+	if ret.IsNull() {
+		return Result{Kind: RNull}, true, nil
+	}
+	if ret.Obj != 0 {
+		return Result{}, false, fmt.Errorf("symbolic return points at unexpected object %d", ret.Obj)
+	}
+	return Result{Kind: RPtr, Off: int(int32(ev.Term(ret.Off)))}, true, nil
+}
+
+// pathsFor runs (or returns the cached) symbolic execution for a buffer with
+// n free content bytes plus the forced terminator; n == -1 is the NULL input.
+func (t *Target) pathsFor(n int) pathSet {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ps, ok := t.paths[n]; ok {
+		return ps
+	}
+	// Feasibility pruning is off: it costs a SAT query per fork and buys
+	// nothing here — an infeasible path's condition simply never matches
+	// the concrete input during replay.
+	eng := &symex.Engine{
+		In:       t.in,
+		Budget:   t.budget,
+		MaxSteps: 1 << 14,
+		MaxPaths: 1 << 14,
+	}
+	var args []symex.Value
+	if n < 0 {
+		args = []symex.Value{symex.NullValue()}
+	} else {
+		buf := symex.SymbolicString(t.in, "s", n)
+		eng.Objects = [][]*bv.Term{buf}
+		args = []symex.Value{symex.PtrValue(0, t.in.Int32(0))}
+	}
+	paths, err := eng.Run(t.F, args, bv.True)
+	ps := pathSet{paths: paths, err: err}
+	t.paths[n] = ps
+	return ps
+}
+
+// summaryExecutor evaluates the synthesized gadget program on the input.
+// The summary is only expected to agree inside its verified domain: all
+// buffer sizes when the loop is memoryless (small-model theorem), otherwise
+// buffers of exactly the bounded-verification capacity, plus the NULL input
+// (checked separately during synthesis). Shorter buffers are NOT instances
+// of the verified capacity — out-of-bounds offsets differ, so a loop whose
+// only over-read lands inside the larger buffer legitimately has UB on the
+// smaller one (the fuzzer found exactly this on do-while loops; shorter
+// strings are still covered via interior NULs at the verified capacity).
+type summaryExecutor struct{}
+
+func (summaryExecutor) Name() string { return "summary" }
+
+func (summaryExecutor) Run(t *Target, input []byte) (Result, bool, error) {
+	if !t.HasSummary {
+		return Result{}, false, nil
+	}
+	if input != nil && !t.Memoryless && len(input)-1 != t.MaxExSize {
+		return Result{}, false, nil
+	}
+	r := vocab.Run(t.Summary, input)
+	switch r.Kind {
+	case vocab.Ptr:
+		return Result{Kind: RPtr, Off: r.Off}, true, nil
+	case vocab.Null:
+		return Result{Kind: RNull}, true, nil
+	default:
+		return Result{Kind: RUB}, true, nil
+	}
+}
+
+// checkInput cross-checks one input (nil = NULL pointer) through every
+// executor against the concrete interpreter, collecting findings.
+func checkInput(t *Target, input []byte, execs []Executor) []*Finding {
+	var finds []*Finding
+	nullIn := input == nil
+	var want Result
+	conclusive := false
+	if f := guard(t.Seed, "concrete", t.Source, input, nullIn, func() *Finding {
+		w, ok, err := runConcrete(t, input)
+		if err != nil {
+			return &Finding{Seed: t.Seed, Stage: "concrete", Kind: "error",
+				Source: t.Source, Input: input, NullInput: nullIn, Detail: err.Error()}
+		}
+		want, conclusive = w, ok
+		return nil
+	}); f != nil {
+		return []*Finding{f}
+	}
+	if !conclusive {
+		return nil
+	}
+
+	for _, ex := range execs {
+		ex := ex
+		if f := guard(t.Seed, ex.Name(), t.Source, input, nullIn, func() *Finding {
+			got, ok, err := ex.Run(t, input)
+			if err != nil {
+				return &Finding{Seed: t.Seed, Stage: ex.Name(), Kind: "error",
+					Source: t.Source, Input: input, NullInput: nullIn, Detail: err.Error()}
+			}
+			if !ok {
+				return nil
+			}
+			if got != want {
+				detail := fmt.Sprintf("interpreter says %s, %s says %s", want, ex.Name(), got)
+				if ex.Name() == "summary" {
+					detail += fmt.Sprintf(" (summary %q, memoryless=%v)", t.Summary.String(), t.Memoryless)
+				}
+				return &Finding{Seed: t.Seed, Stage: ex.Name(), Kind: "divergence",
+					Source: t.Source, Input: input, NullInput: nullIn, Detail: detail}
+			}
+			return nil
+		}); f != nil {
+			finds = append(finds, f)
+		}
+	}
+	return finds
+}

@@ -48,16 +48,21 @@ func Wrap(in *bv.Interner, bytes []*bv.Term) *SymString {
 func (s *SymString) Interner() *bv.Interner { return s.in }
 
 // FromConcrete wraps a concrete NUL-terminated buffer as a SymString of
-// constant terms. The buffer's final byte must be NUL.
-func FromConcrete(in *bv.Interner, buf []byte) *SymString {
-	if len(buf) == 0 || buf[len(buf)-1] != 0 {
-		panic("strsolver: concrete buffer must be NUL-terminated")
+// constant terms. The buffer's final byte must be NUL; a missing terminator
+// is reported as a descriptive error (not a panic), so buffers assembled
+// from fuzzed or external data cannot kill the process.
+func FromConcrete(in *bv.Interner, buf []byte) (*SymString, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("strsolver: concrete buffer is empty (want at least a NUL terminator)")
+	}
+	if buf[len(buf)-1] != 0 {
+		return nil, fmt.Errorf("strsolver: concrete buffer %q (len %d) is not NUL-terminated", buf, len(buf))
 	}
 	s := &SymString{Bytes: make([]*bv.Term, len(buf)), in: in}
 	for i, b := range buf {
 		s.Bytes[i] = in.Byte(b)
 	}
-	return s
+	return s, nil
 }
 
 // MaxLen returns the capacity of the string (number of content bytes).

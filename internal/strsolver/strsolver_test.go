@@ -35,7 +35,11 @@ func enumBuffers(maxLen int, alphabet []byte) [][]byte {
 
 // evalOn builds the predicate on a concrete SymString and evaluates it.
 func evalOn(buf []byte, pred func(*SymString) *bv.Bool) bool {
-	return pred(FromConcrete(tin, buf)).Eval(nil)
+	s, err := FromConcrete(tin, buf)
+	if err != nil {
+		panic(err)
+	}
+	return pred(s).Eval(nil)
 }
 
 func TestLenIsExhaustive(t *testing.T) {
@@ -212,7 +216,10 @@ func TestSolveForString(t *testing.T) {
 func TestSolveSymbolicSetMember(t *testing.T) {
 	// Synthesis-style query: find a set member a such that strspn("  x", {a}) == 2.
 	buf := cstr.Terminate("  x")
-	s := FromConcrete(tin, buf)
+	s, err := FromConcrete(tin, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
 	a := tin.Var("a", 8)
 	set := Set{Members: []*bv.Term{a}}
 	solver := bv.NewSolver()
@@ -232,7 +239,10 @@ func TestSolveSymbolicSetMember(t *testing.T) {
 func TestSolveSymbolicSetUnsat(t *testing.T) {
 	// No single set member gives strspn("ab", set) == 2: would need both.
 	buf := cstr.Terminate("ab")
-	s := FromConcrete(tin, buf)
+	s, err := FromConcrete(tin, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
 	a := tin.Var("a", 8)
 	solver := bv.NewSolver()
 	solver.Assert(s.SpnIs(0, 2, Set{Members: []*bv.Term{a}}))
@@ -242,10 +252,13 @@ func TestSolveSymbolicSetUnsat(t *testing.T) {
 }
 
 func TestFromConcreteRequiresTerminator(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	FromConcrete(tin, []byte("abc"))
+	if _, err := FromConcrete(tin, []byte("abc")); err == nil {
+		t.Fatal("expected an error for an unterminated buffer")
+	}
+	if _, err := FromConcrete(tin, nil); err == nil {
+		t.Fatal("expected an error for an empty buffer")
+	}
+	if s, err := FromConcrete(tin, []byte{0}); err != nil || s.MaxLen() != 0 {
+		t.Fatalf("FromConcrete on a bare terminator: s=%v err=%v", s, err)
+	}
 }

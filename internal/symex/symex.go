@@ -140,8 +140,28 @@ func (s *state) fork() *state {
 }
 
 // Run symbolically executes f on args under the initial condition init
-// (pass bv.True for none). It returns all terminal paths.
-func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) ([]Path, error) {
+// (pass bv.True for none). It returns all terminal paths. Malformed IR
+// (operands of unknown kind) surfaces as an ErrUnsupported error naming the
+// function, block and instruction, never as a panic.
+func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) (rpaths []Path, rerr error) {
+	var curState *state
+	defer func() {
+		if r := recover(); r != nil {
+			bo, ok := r.(badOperand)
+			if !ok {
+				panic(r)
+			}
+			loc := "<entry>"
+			if curState != nil && curState.block != nil {
+				loc = curState.block.Label()
+				if curState.idx > 0 && curState.idx <= len(curState.block.Instrs) {
+					loc += ": " + curState.block.Instrs[curState.idx-1].String()
+				}
+			}
+			rpaths = nil
+			rerr = fmt.Errorf("%w: %s: block %s: bad operand kind %d", ErrUnsupported, f.Name, loc, bo.o.Kind)
+		}
+	}()
 	if e.MaxSteps <= 0 {
 		e.MaxSteps = 1 << 16
 	}
@@ -194,6 +214,7 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) ([]Path, error) {
 		}
 		s := work[len(work)-1]
 		work = work[:len(work)-1]
+		curState = s
 
 		// Evaluate phis simultaneously on block entry.
 		if s.idx == 0 {
@@ -398,8 +419,14 @@ func (e *Engine) operand(s *state, f *cir.Func, o cir.Operand) Value {
 		// literal index maps to that region.
 		return PtrValue(len(e.Objects)-len(f.StrLits)+o.Str, bvin.Int32(0))
 	}
-	panic("symex: bad operand")
+	panic(badOperand{o})
 }
+
+// badOperand is the panic value raised by operand on malformed IR. Run
+// recovers it at the executor boundary into an ErrUnsupported error naming
+// the function, block and instruction, so malformed input surfaces as an
+// error path instead of crashing the process.
+type badOperand struct{ o cir.Operand }
 
 // load handles cell loads directly and data loads via a bounded select.
 func (e *Engine) load(s *state, f *cir.Func, in *cir.Instr) (Value, error) {

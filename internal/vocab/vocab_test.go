@@ -342,7 +342,10 @@ func TestSymbolicArgumentSolving(t *testing.T) {
 	solver := bv.NewSolver()
 	examples := map[string]int{"  x": 2, "y ": 0}
 	for ex, wantOff := range examples {
-		s := strsolver.FromConcrete(tin, cstr.Terminate(ex))
+		s, err := strsolver.FromConcrete(tin, cstr.Terminate(ex))
+		if err != nil {
+			t.Fatal(err)
+		}
 		outcomes := RunSymbolic(prog, s)
 		cond := bv.False
 		for _, o := range outcomes {
