@@ -169,6 +169,38 @@ func BenchmarkFigure3SymbolicLength(b *testing.B) {
 	})
 }
 
+// BenchmarkSolverCacheOn/Off run the vanilla.KLEE configuration on the
+// Figure 1 loop with the query-cache chain (independence slicing,
+// counterexample cache, incremental solver) on and off. The custom metrics
+// make the cache's effect hardware-independent: SAT conflicts per op is the
+// search effort the cache saved, hit rate is how often a query never reached
+// the SAT core at all.
+func benchmarkSolverCache(b *testing.B, cfg kleebench.Config) {
+	var conflicts, queries int64
+	var hits, groups int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f := lowerBench(b, figure1Loop)
+		b.StartTimer()
+		m := kleebench.VanillaWith(f, 8, time.Minute, cfg)
+		if m.TimedOut || m.Tests == 0 {
+			b.Fatalf("vanilla run failed: %+v", m)
+		}
+		conflicts += m.Conflicts
+		queries += int64(m.SolverQueries)
+		hits += m.Cache.Hits()
+		groups += m.Cache.Hits() + m.Cache.Misses
+	}
+	b.ReportMetric(float64(conflicts)/float64(b.N), "conflicts/op")
+	b.ReportMetric(float64(queries)/float64(b.N), "queries/op")
+	if groups > 0 {
+		b.ReportMetric(float64(hits)/float64(groups), "hit-rate")
+	}
+}
+
+func BenchmarkSolverCacheOn(b *testing.B)  { benchmarkSolverCache(b, kleebench.Config{QCache: true}) }
+func BenchmarkSolverCacheOff(b *testing.B) { benchmarkSolverCache(b, kleebench.Config{QCache: false}) }
+
 // BenchmarkFigure4Speedup reports the str-over-vanilla speedup for one loop
 // at a fixed length as a custom metric (the Figure 4 quantity).
 func BenchmarkFigure4Speedup(b *testing.B) {

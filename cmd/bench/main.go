@@ -1,0 +1,202 @@
+// Command bench runs the solver-chain benchmark: the Figure 1 loop under the
+// vanilla.KLEE configuration with the query-cache chain (independence
+// slicing, counterexample cache, incremental solver — internal/qcache) on
+// and off, plus the summarised str.KLEE run for reference. It writes the
+// measurements to a JSON file so CI and successive PRs can compare runs.
+//
+// Usage:
+//
+//	bench                      # full run, writes BENCH_3.json
+//	bench -short -check        # CI smoke: small length, assert cache wins
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"stringloops/internal/cc"
+	"stringloops/internal/cir"
+	"stringloops/internal/kleebench"
+	"stringloops/internal/vocab"
+)
+
+// figure1Loop is the paper's running example (Figure 1): skip leading
+// whitespace.
+const figure1Loop = `
+#define whitespace(c) (((c) == ' ') || ((c) == '\t'))
+char* loopFunction(char* line) {
+  char *p;
+  for (p = line; p && *p && whitespace (*p); p++)
+    ;
+  return p;
+}`
+
+// figure1Summary is the synthesised summary of figure1Loop ("ZFP \t\x00F").
+const figure1Summary = "ZFP \t\x00F"
+
+// run is one benchmark configuration's aggregated measurement.
+type run struct {
+	Name          string  `json:"name"`
+	Mode          string  `json:"mode"`   // "vanilla" or "str"
+	QCache        bool    `json:"qcache"` // query-cache chain enabled
+	Length        int     `json:"length"` // symbolic string length
+	Reps          int     `json:"reps"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	SolverQueries int64   `json:"solver_queries_per_op"`
+	Conflicts     int64   `json:"sat_conflicts_per_op"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	Tests         int     `json:"tests"` // generated test inputs (last rep)
+}
+
+// report is the BENCH_3.json schema.
+type report struct {
+	Benchmark     string  `json:"benchmark"`
+	Loop          string  `json:"loop"`
+	GoVersion     string  `json:"go_version"`
+	Runs          []run   `json:"runs"`
+	ConflictRatio float64 `json:"conflict_ratio_off_over_on"`
+	NsRatio       float64 `json:"ns_ratio_off_over_on"`
+}
+
+func main() {
+	var (
+		short = flag.Bool("short", false, "CI smoke mode: shorter symbolic string, one rep")
+		check = flag.Bool("check", false, "exit 1 unless cache-on beats cache-off (>=1.5x fewer conflicts or >=30% lower ns/op) with a non-zero hit rate")
+		out   = flag.String("out", "BENCH_3.json", "output JSON path (empty = stdout only)")
+		n     = flag.Int("n", 8, "symbolic string length")
+		reps  = flag.Int("reps", 3, "repetitions per configuration")
+	)
+	flag.Parse()
+	if *short {
+		*n = 6
+		*reps = 1
+	}
+
+	f := lower()
+	prog, err := vocab.Decode(figure1Summary)
+	if err != nil {
+		fatal("decode summary: %v", err)
+	}
+
+	rep := report{
+		Benchmark: "BenchmarkSolverCache",
+		Loop:      "figure1/skip_whitespace",
+		GoVersion: runtime.Version(),
+	}
+	on := vanillaRun("SolverCacheOn", f, *n, *reps, kleebench.Config{QCache: true})
+	off := vanillaRun("SolverCacheOff", f, *n, *reps, kleebench.Config{QCache: false})
+	rep.Runs = append(rep.Runs, on, off, strRun("StrCacheOn", prog, *n, *reps))
+	rep.ConflictRatio = ratio(off.Conflicts, on.Conflicts)
+	rep.NsRatio = ratio(off.NsPerOp, on.NsPerOp)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	enc = append(enc, '\n')
+	fmt.Print(string(enc))
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal("write %s: %v", *out, err)
+		}
+	}
+
+	if *check {
+		fewerConflicts := rep.ConflictRatio >= 1.5
+		lowerNs := rep.NsRatio >= 1.3
+		if on.CacheHitRate <= 0 {
+			fatal("check failed: cache hit rate is zero")
+		}
+		if !fewerConflicts && !lowerNs {
+			fatal("check failed: conflicts off/on = %.2f (< 1.5) and ns off/on = %.2f (< 1.3)",
+				rep.ConflictRatio, rep.NsRatio)
+		}
+		fmt.Printf("check ok: conflicts off/on = %.2f, ns off/on = %.2f, hit rate = %.3f\n",
+			rep.ConflictRatio, rep.NsRatio, on.CacheHitRate)
+	}
+}
+
+func lower() *cir.Func {
+	file, err := cc.Parse(figure1Loop)
+	if err != nil {
+		fatal("parse: %v", err)
+	}
+	f, err := cir.LowerFunc(file.Funcs[0], file)
+	if err != nil {
+		fatal("lower: %v", err)
+	}
+	return f
+}
+
+// vanillaRun measures the forking symbolic executor with per-fork
+// feasibility checks, averaging over reps. The loop is re-lowered per rep so
+// each rep gets a fresh interner (matching the per-pipeline cache scope).
+func vanillaRun(name string, f *cir.Func, n, reps int, cfg kleebench.Config) run {
+	r := run{Name: name, Mode: "vanilla", QCache: cfg.QCache, Length: n, Reps: reps}
+	var ns, queries, conflicts, hits, groups int64
+	for i := 0; i < reps; i++ {
+		f = lower()
+		m := kleebench.VanillaWith(f, n, 10*time.Minute, cfg)
+		if m.TimedOut || m.Tests == 0 {
+			fatal("%s: run failed: %+v", name, m)
+		}
+		ns += int64(m.Time)
+		queries += int64(m.SolverQueries)
+		conflicts += m.Conflicts
+		hits += m.Cache.Hits()
+		groups += m.Cache.Hits() + m.Cache.Misses
+		r.Tests = m.Tests
+	}
+	r.NsPerOp = ns / int64(reps)
+	r.SolverQueries = queries / int64(reps)
+	r.Conflicts = conflicts / int64(reps)
+	if groups > 0 {
+		r.CacheHitRate = float64(hits) / float64(groups)
+	}
+	return r
+}
+
+// strRun measures the summarised configuration for reference (the Figure 3
+// comparison point).
+func strRun(name string, prog vocab.Program, n, reps int) run {
+	r := run{Name: name, Mode: "str", QCache: true, Length: n, Reps: reps}
+	var ns, queries, conflicts, hits, groups int64
+	for i := 0; i < reps; i++ {
+		m := kleebench.Str(prog, n, 10*time.Minute)
+		if m.TimedOut || m.Tests == 0 {
+			fatal("%s: run failed: %+v", name, m)
+		}
+		ns += int64(m.Time)
+		queries += int64(m.SolverQueries)
+		conflicts += m.Conflicts
+		hits += m.Cache.Hits()
+		groups += m.Cache.Hits() + m.Cache.Misses
+		r.Tests = m.Tests
+	}
+	r.NsPerOp = ns / int64(reps)
+	r.SolverQueries = queries / int64(reps)
+	r.Conflicts = conflicts / int64(reps)
+	if groups > 0 {
+		r.CacheHitRate = float64(hits) / float64(groups)
+	}
+	return r
+}
+
+func ratio(off, on int64) float64 {
+	if on == 0 {
+		if off == 0 {
+			return 1
+		}
+		return float64(off) // cache eliminated the denominator entirely
+	}
+	return float64(off) / float64(on)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+	os.Exit(1)
+}

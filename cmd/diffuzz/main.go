@@ -31,6 +31,7 @@ func main() {
 		maxex   = flag.Int("maxex", 3, "bounded-verification string size (paper max_ex_size)")
 		timeout = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
 		nomin   = flag.Bool("nomin", false, "skip finding minimization")
+		qcache  = flag.Bool("qcache", false, "route symex feasibility checks through the query cache (differentially tests internal/qcache)")
 		verbose = flag.Bool("v", false, "print per-finding sources even when clean")
 	)
 	flag.Parse()
@@ -44,6 +45,7 @@ func main() {
 		SynthTimeout: *synth,
 		MaxExSize:    *maxex,
 		NoMinimize:   *nomin,
+		QCache:       *qcache,
 	}
 	if *synth <= 0 {
 		opts.SynthTimeout = -time.Millisecond

@@ -6,8 +6,14 @@ import (
 )
 
 // Solver decides conjunctions of Bool formulas by Tseitin bit-blasting to the
-// CDCL SAT solver. A Solver is single-shot: Assert constraints, Check once,
-// then read back models with Value / BoolValue.
+// CDCL SAT solver. A Solver is multi-shot: constraints may be Asserted and
+// Checked repeatedly, and CheckAssuming answers queries under temporary
+// assumptions without asserting them. The Tseitin encoding of every formula
+// ever blasted is memoized (termBits/boolLits), so symex forks sharing a path
+// prefix re-use the prefix's encoding and only blast their new branch
+// condition — the incremental backbone of internal/qcache. Models must be
+// read back (Value / BoolValue / ModelAssignment) before the next Assert or
+// Check, which invalidate them.
 type Solver struct {
 	sat      *sat.Solver
 	termBits map[*Term][]sat.Lit
@@ -284,6 +290,51 @@ func (s *Solver) Check() sat.Status {
 	s.status = s.sat.Solve()
 	return s.status
 }
+
+// Lit blasts b (memoized) and returns its SAT literal without asserting it.
+// The literal can be passed to CheckAssumingLits to query b's truth under
+// assumptions, which is how callers encode a formula once and re-use it
+// across many queries.
+func (s *Solver) Lit(b *Bool) sat.Lit { return s.lit(b) }
+
+// CheckAssuming decides the asserted constraints together with the given
+// formulas taken as temporary assumptions: the formulas are blasted
+// (memoized) but not asserted, so the next query on this solver is free to
+// assume a different set.
+func (s *Solver) CheckAssuming(formulas ...*Bool) sat.Status {
+	lits := make([]sat.Lit, len(formulas))
+	for i, f := range formulas {
+		lits[i] = s.lit(f)
+	}
+	return s.CheckAssumingLits(lits...)
+}
+
+// CheckAssumingLits is CheckAssuming over pre-blasted literals.
+func (s *Solver) CheckAssumingLits(lits ...sat.Lit) sat.Status {
+	s.sat.MaxConflicts = s.MaxConflicts
+	s.sat.Budget = s.Budget
+	s.status = s.sat.SolveAssuming(lits...)
+	return s.status
+}
+
+// ModelAssignment returns the full model of the last Sat result as an
+// Assignment over every blasted variable. It must only be called after a
+// Check/CheckAssuming that returned Sat, before the instance is grown again.
+func (s *Solver) ModelAssignment() *Assignment {
+	if s.status != sat.Sat {
+		panic("bv: ModelAssignment called without a sat model")
+	}
+	return s.modelAssignment()
+}
+
+// NumSATVars returns the number of SAT variables allocated by blasting so
+// far; callers use it to decide when a long-lived incremental solver has
+// accreted enough encoding to be worth rebuilding.
+func (s *Solver) NumSATVars() int { return s.sat.NumVars() }
+
+// Conflicts returns the cumulative CDCL conflicts spent by this solver
+// across all queries.
+func (s *Solver) Conflicts() int64 { return s.sat.Conflicts() }
 
 // Value returns the concrete value of t under the model found by Check. It
 // must only be called after Check returned Sat. Terms are evaluated

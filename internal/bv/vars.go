@@ -1,0 +1,68 @@
+package bv
+
+// Conjuncts appends the top-level conjuncts of f to dst and returns it: BAnd
+// trees are flattened, everything else is a single conjunct. The query cache
+// (internal/qcache) normalizes constraint sets this way so that the same
+// path condition keys identically whether it arrives as one BAnd tree or as
+// separate formulas.
+func Conjuncts(dst []*Bool, f *Bool) []*Bool {
+	if f.Kind == BAnd {
+		dst = Conjuncts(dst, f.A)
+		return Conjuncts(dst, f.B)
+	}
+	return append(dst, f)
+}
+
+// VarNames appends the names of all variables occurring in f to dst and
+// returns it, each tagged with its sort — "t:" for bit-vector term variables
+// and "b:" for boolean variables — so a term variable and a boolean variable
+// sharing a name never alias. Shared DAG nodes are visited once, but names
+// may still repeat across distinct nodes; callers that need a set should
+// dedupe. Used by constraint-independence slicing to decide which conjuncts
+// interact.
+func VarNames(dst []string, f *Bool) []string {
+	c := varCollector{
+		seenB: map[*Bool]bool{},
+		seenT: map[*Term]bool{},
+		out:   dst,
+	}
+	c.boolVars(f)
+	return c.out
+}
+
+type varCollector struct {
+	seenB map[*Bool]bool
+	seenT map[*Term]bool
+	out   []string
+}
+
+func (c *varCollector) boolVars(f *Bool) {
+	if f == nil || c.seenB[f] {
+		return
+	}
+	c.seenB[f] = true
+	switch f.Kind {
+	case BVar:
+		c.out = append(c.out, "b:"+f.Name)
+	case BNot, BAnd, BOr:
+		c.boolVars(f.A)
+		c.boolVars(f.B)
+	case BEq, BUlt, BUle:
+		c.termVars(f.X)
+		c.termVars(f.Y)
+	}
+}
+
+func (c *varCollector) termVars(t *Term) {
+	if t == nil || c.seenT[t] {
+		return
+	}
+	c.seenT[t] = true
+	if t.Kind == KVar {
+		c.out = append(c.out, "t:"+t.Name)
+		return
+	}
+	c.boolVars(t.Cond)
+	c.termVars(t.A)
+	c.termVars(t.B)
+}

@@ -25,6 +25,7 @@ import (
 	"stringloops/internal/cir"
 	"stringloops/internal/cstr"
 	"stringloops/internal/engine"
+	"stringloops/internal/qcache"
 	"stringloops/internal/sat"
 	"stringloops/internal/strsolver"
 	"stringloops/internal/symex"
@@ -65,6 +66,10 @@ type Options struct {
 	// KeepCounterexamples carries counterexamples across program sizes
 	// (default true; ablation sets DisableCexReuse).
 	DisableCexReuse bool
+	// DisableQCache turns off the per-synthesizer query cache
+	// (internal/qcache) and solves every query with a fresh solver — the
+	// baseline configuration for the cache-on/off benchmarks.
+	DisableQCache bool
 }
 
 func (o Options) withDefaults() Options {
@@ -133,6 +138,7 @@ type Synthesizer struct {
 	origNull vocab.Result
 	cexs     [][]byte // counterexample buffers (NUL-terminated)
 	bvin     *bv.Interner
+	cache    *qcache.Cache // nil when Options.DisableQCache
 	budget   *engine.Budget
 	stats    Stats
 }
@@ -142,6 +148,9 @@ type Synthesizer struct {
 func New(loop *cir.Func, opts Options) (*Synthesizer, error) {
 	opts = opts.withDefaults()
 	s := &Synthesizer{opts: opts, loop: loop, bvin: bv.NewInterner(), budget: opts.Budget}
+	if !opts.DisableQCache {
+		s.cache = qcache.New(s.bvin)
+	}
 	if len(loop.Params) != 1 || loop.Params[0].Ty != cir.TyPtr {
 		return nil, fmt.Errorf("cegis: %s does not have the loopFunction signature", loop.Name)
 	}
@@ -155,7 +164,7 @@ func New(loop *cir.Func, opts Options) (*Synthesizer, error) {
 	// (line 10 of Algorithm 2), merged: computed once, reused per candidate.
 	buf := symex.SymbolicString(s.bvin, "s", opts.MaxExSize)
 	s.symStr = strsolver.Wrap(s.bvin, buf)
-	paths, err := symbolicPaths(loop, s.bvin, s.budget, buf, opts.SolverBudget)
+	paths, err := symbolicPaths(loop, s.bvin, s.cache, s.budget, buf, opts.SolverBudget)
 	if err != nil {
 		return nil, err
 	}
@@ -168,13 +177,14 @@ func New(loop *cir.Func, opts Options) (*Synthesizer, error) {
 // infeasible iterations of loops over symbolic cursors (without it, a
 // backward scan whose guard never folds syntactically would spin to the
 // step limit).
-func symbolicPaths(f *cir.Func, bvin *bv.Interner, budget *engine.Budget, buf []*bv.Term, solverBudget int64) ([]origPath, error) {
+func symbolicPaths(f *cir.Func, bvin *bv.Interner, cache *qcache.Cache, budget *engine.Budget, buf []*bv.Term, solverBudget int64) ([]origPath, error) {
 	eng := &symex.Engine{
 		Objects:          [][]*bv.Term{buf},
 		CheckFeasibility: true,
 		SolverBudget:     solverBudget,
 		In:               bvin,
 		Budget:           budget,
+		Cache:            cache,
 	}
 	paths, runErr := eng.Run(f, []symex.Value{symex.PtrValue(0, bvin.Int32(0))}, bv.True)
 	if errors.Is(runErr, symex.ErrTimeout) {
@@ -228,12 +238,13 @@ func VerifyFunctionEquivalence(a, b *cir.Func, maxLen int) (bool, []byte, error)
 	}
 
 	bvin := bv.NewInterner()
+	cache := qcache.New(bvin)
 	buf := symex.SymbolicString(bvin, "s", maxLen)
-	pathsA, err := symbolicPaths(a, bvin, nil, buf, 0)
+	pathsA, err := symbolicPaths(a, bvin, cache, nil, buf, 0)
 	if err != nil {
 		return false, nil, err
 	}
-	pathsB, err := symbolicPaths(b, bvin, nil, buf, 0)
+	pathsB, err := symbolicPaths(b, bvin, cache, nil, buf, 0)
 	if err != nil {
 		return false, nil, err
 	}
@@ -250,17 +261,17 @@ func VerifyFunctionEquivalence(a, b *cir.Func, maxLen int) (bool, []byte, error)
 			equal = bvin.BOr2(equal, clause)
 		}
 	}
-	solver := bv.NewSolver()
-	solver.Assert(bvin.BNot1(equal))
-	switch solver.Check() {
-	case sat.Unsat:
+	valid, model, st := cache.IsValid(nil, 0, equal)
+	switch {
+	case valid:
 		return true, nil, nil
-	case sat.Unknown:
+	case st == sat.Unknown:
 		return false, nil, fmt.Errorf("cegis: equivalence query exhausted its budget")
 	}
+	ev := bv.NewEvaluator(model)
 	cex := make([]byte, maxLen+1)
 	for i := 0; i < maxLen; i++ {
-		cex[i] = byte(solver.Value(buf[i]))
+		cex[i] = byte(ev.Term(buf[i]))
 	}
 	return false, cex, nil
 }
@@ -521,22 +532,20 @@ func concretize(skel []shape, args []byte) vocab.Program {
 func (s *Synthesizer) solveArgs(symProg vocab.SymProgram, argVars []*bv.Term) ([]byte, bool) {
 	s.stats.ArgSolverCalls++
 	bvin := s.bvin
-	solver := bv.NewSolver()
-	solver.MaxConflicts = s.opts.SolverBudget
-	solver.Budget = s.budget
+	var constraints []*bv.Bool
 	// Arguments are non-NUL (the encoding terminates sets with NUL) and set
 	// members are strictly increasing, removing permutation symmetry.
 	for _, v := range argVars {
-		solver.Assert(bvin.Ne(v, bvin.Byte(0)))
+		constraints = append(constraints, bvin.Ne(v, bvin.Byte(0)))
 		if s.opts.DisableMetaChars {
-			solver.Assert(bvin.Ne(v, bvin.Byte(cstr.MetaDigit)))
-			solver.Assert(bvin.Ne(v, bvin.Byte(cstr.MetaSpace)))
+			constraints = append(constraints, bvin.Ne(v, bvin.Byte(cstr.MetaDigit)))
+			constraints = append(constraints, bvin.Ne(v, bvin.Byte(cstr.MetaSpace)))
 		}
 	}
 	for _, in := range symProg {
 		if in.Op.TakesSet() {
 			for j := 0; j+1 < len(in.Arg); j++ {
-				solver.Assert(bvin.Ult(in.Arg[j], in.Arg[j+1]))
+				constraints = append(constraints, bvin.Ult(in.Arg[j], in.Arg[j+1]))
 			}
 		}
 	}
@@ -555,16 +564,27 @@ func (s *Synthesizer) solveArgs(symProg vocab.SymProgram, argVars []*bv.Term) ([
 				match = bvin.BOr2(match, o.Guard)
 			}
 		}
-		solver.Assert(match)
+		constraints = append(constraints, match)
 	}
-	if st := solver.Check(); st != sat.Sat {
+	st, model := s.checkSat(constraints...)
+	if st != sat.Sat {
 		return nil, false
 	}
+	ev := bv.NewEvaluator(model)
 	out := make([]byte, len(argVars))
 	for i, v := range argVars {
-		out[i] = byte(solver.Value(v))
+		out[i] = byte(ev.Term(v))
 	}
 	return out, true
+}
+
+// checkSat decides a conjunction through the synthesizer's query cache (or a
+// fresh solver when the cache is disabled).
+func (s *Synthesizer) checkSat(constraints ...*bv.Bool) (sat.Status, *bv.Assignment) {
+	if s.cache != nil {
+		return s.cache.CheckSat(s.budget, s.opts.SolverBudget, constraints...)
+	}
+	return bv.CheckSat(s.budget, s.opts.SolverBudget, constraints...)
 }
 
 // verify checks bounded equivalence of a concrete candidate against the
@@ -590,11 +610,7 @@ func (s *Synthesizer) verify(prog vocab.Program) (vocab.Program, error) {
 		}
 	}
 	// isEq must always hold (IsAlwaysTrue, line 18): refute it.
-	solver := bv.NewSolver()
-	solver.MaxConflicts = s.opts.SolverBudget
-	solver.Budget = s.budget
-	solver.Assert(bvin.BNot1(equal))
-	st := solver.Check()
+	st, model := s.checkSat(bvin.BNot1(equal))
 	switch st {
 	case sat.Unsat:
 		return prog, nil
@@ -603,9 +619,10 @@ func (s *Synthesizer) verify(prog vocab.Program) (vocab.Program, error) {
 		return nil, nil
 	}
 	// Extract the differing string (lines 22-24).
+	ev := bv.NewEvaluator(model)
 	cex := make([]byte, s.opts.MaxExSize+1)
 	for i := 0; i < s.opts.MaxExSize; i++ {
-		cex[i] = byte(solver.Value(s.symStr.At(i)))
+		cex[i] = byte(ev.Term(s.symStr.At(i)))
 	}
 	cex[s.opts.MaxExSize] = 0
 	s.addCex(cex)

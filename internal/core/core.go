@@ -19,6 +19,7 @@ import (
 	"stringloops/internal/engine"
 	"stringloops/internal/idiom"
 	"stringloops/internal/memoryless"
+	"stringloops/internal/qcache"
 	"stringloops/internal/sat"
 	"stringloops/internal/strsolver"
 	"stringloops/internal/vocab"
@@ -188,6 +189,7 @@ type TestInput struct {
 // loop's exponentially many symbolic paths.
 func (s *Summary) CoveringInputs(maxLen int) []TestInput {
 	bvin := bv.NewInterner()
+	cache := qcache.New(bvin)
 	sym := strsolver.New(bvin, "s", maxLen)
 	outcomes := vocab.RunSymbolic(vocab.Symbolize(bvin, s.prog), sym)
 	var out []TestInput
@@ -196,7 +198,7 @@ func (s *Summary) CoveringInputs(maxLen int) []TestInput {
 		if o.Res.Kind == vocab.Invalid {
 			continue // undefined behaviour of the original loop
 		}
-		st, model := bv.CheckSat(nil, 0, o.Guard)
+		st, model := cache.CheckSat(nil, 0, o.Guard)
 		if st != sat.Sat {
 			continue
 		}

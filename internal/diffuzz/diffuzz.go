@@ -36,6 +36,11 @@ type Options struct {
 	// DefaultExecutors). The concrete interpreter is always the ground truth
 	// and is not part of this list.
 	Executors []Executor
+	// QCache runs the symbolic-execution stage with per-fork feasibility
+	// checking routed through the query cache (internal/qcache). A cache bug
+	// that wrongly prunes a feasible path then surfaces as a "no-path"
+	// finding, turning the fuzzer into a differential test of the cache.
+	QCache bool
 	// NoMinimize skips delta-debugging of findings.
 	NoMinimize bool
 }

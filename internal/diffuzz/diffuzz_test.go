@@ -259,3 +259,19 @@ func TestFindingReproducesFromSeed(t *testing.T) {
 		t.Fatalf("reproduced as %s/%s, recorded %s/%s", again[0].Stage, again[0].Kind, f.Stage, f.Kind)
 	}
 }
+
+func TestRunCleanWithQCache(t *testing.T) {
+	// Same shipped-code sweep with cache-backed feasibility pruning in the
+	// symex stage: a query-cache bug that misjudges a fork's feasibility
+	// would drop the path claiming some concrete input ("no-path" finding).
+	rep := Run(Options{Seeds: 30, Inputs: 6, SynthTimeout: -time.Millisecond, Jobs: 2, QCache: true})
+	if rep.Programs != 30 {
+		t.Fatalf("checked %d of 30 programs", rep.Programs)
+	}
+	if rep.Checks == 0 {
+		t.Fatalf("no checks performed")
+	}
+	for _, f := range rep.Findings {
+		t.Errorf("finding with qcache on:\n%s", f)
+	}
+}

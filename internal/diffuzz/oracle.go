@@ -11,6 +11,7 @@ import (
 	"stringloops/internal/cir"
 	"stringloops/internal/engine"
 	"stringloops/internal/memoryless"
+	"stringloops/internal/qcache"
 	"stringloops/internal/symex"
 	"stringloops/internal/vocab"
 )
@@ -72,6 +73,7 @@ type Target struct {
 	mu     sync.Mutex
 	paths  map[int]pathSet // keyed by free content bytes (capacity - 1)
 	budget *engine.Budget
+	cache  *qcache.Cache // non-nil under Options.QCache
 }
 
 type pathSet struct {
@@ -134,6 +136,9 @@ func PrepareTarget(seed uint64, p *Prog, opts *Options) (*Target, *Finding) {
 		in:        bv.NewInterner(),
 		paths:     map[int]pathSet{},
 		budget:    opts.Budget,
+	}
+	if opts.QCache {
+		t.cache = qcache.New(t.in)
 	}
 
 	if f := guard(seed, "frontend", src, nil, false, func() *Finding {
@@ -331,14 +336,21 @@ func (t *Target) pathsFor(n int) pathSet {
 	if ps, ok := t.paths[n]; ok {
 		return ps
 	}
-	// Feasibility pruning is off: it costs a SAT query per fork and buys
-	// nothing here — an infeasible path's condition simply never matches
-	// the concrete input during replay.
+	// Feasibility pruning is off by default: it costs a SAT query per fork
+	// and buys nothing here — an infeasible path's condition simply never
+	// matches the concrete input during replay. Under Options.QCache it is
+	// switched on with the cache attached, so a cache answering Unsat for a
+	// satisfiable fork drops the path that should claim some concrete input
+	// and shows up as a "no-path" finding.
 	eng := &symex.Engine{
 		In:       t.in,
 		Budget:   t.budget,
 		MaxSteps: 1 << 14,
 		MaxPaths: 1 << 14,
+	}
+	if t.cache != nil {
+		eng.CheckFeasibility = true
+		eng.Cache = t.cache
 	}
 	var args []symex.Value
 	if n < 0 {

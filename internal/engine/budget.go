@@ -50,6 +50,13 @@ type Budget struct {
 	forks     atomic.Int64
 	nodes     atomic.Int64
 
+	// cacheHits/cacheMisses account for the query-cache layer
+	// (internal/qcache). They are pure observability — no limit trips on
+	// them — but they live here so every pipeline sharing a budget reports
+	// one coherent hit rate.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
 	// done caches the first observed exhaustion so later polls are cheap
 	// and the reported cause is stable.
 	done atomic.Pointer[error]
@@ -138,6 +145,36 @@ func (b *Budget) AddNodes(n int64) {
 	if b != nil {
 		b.nodes.Add(n)
 	}
+}
+
+// AddCacheHits charges n query-cache hits (accounting only, never limits).
+func (b *Budget) AddCacheHits(n int64) {
+	if b != nil {
+		b.cacheHits.Add(n)
+	}
+}
+
+// AddCacheMisses charges n query-cache misses (accounting only).
+func (b *Budget) AddCacheMisses(n int64) {
+	if b != nil {
+		b.cacheMisses.Add(n)
+	}
+}
+
+// CacheHits returns the query-cache hits charged so far.
+func (b *Budget) CacheHits() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.cacheHits.Load()
+}
+
+// CacheMisses returns the query-cache misses charged so far.
+func (b *Budget) CacheMisses() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.cacheMisses.Load()
 }
 
 // Conflicts returns the conflicts charged so far.

@@ -13,6 +13,10 @@
 // query per outcome generates the same test coverage (one test input per
 // behaviour), which is the work KLEE performs when a string solver handles
 // the summarised constraint.
+//
+// Both configurations run their queries through the query-cache chain
+// (internal/qcache) by default, mirroring KLEE's own solver stack; Config
+// lets the benchmarks switch it off to measure the cache's contribution.
 package kleebench
 
 import (
@@ -21,10 +25,19 @@ import (
 	"stringloops/internal/bv"
 	"stringloops/internal/cir"
 	"stringloops/internal/engine"
+	"stringloops/internal/qcache"
+	"stringloops/internal/sat"
 	"stringloops/internal/strsolver"
 	"stringloops/internal/symex"
 	"stringloops/internal/vocab"
 )
+
+// Config selects the solver-chain configuration of a run.
+type Config struct {
+	// QCache routes all queries through a per-run qcache.Cache (slicing,
+	// reuse cache, incremental solver) instead of a fresh solver per query.
+	QCache bool
+}
 
 // Measurement is the outcome of one run.
 type Measurement struct {
@@ -34,22 +47,37 @@ type Measurement struct {
 	Paths         int // explored paths (vanilla) or guarded outcomes (str)
 	Tests         int // satisfiable behaviours for which a test was produced
 	SolverQueries int
-	TimedOut      bool
+	// Conflicts is the total SAT conflicts charged to the run's budget —
+	// the hardware-independent cost metric the cache benchmarks compare.
+	Conflicts int64
+	// Cache is the query-cache snapshot (zero when the cache was off).
+	Cache    qcache.Stats
+	TimedOut bool
 }
 
 // Vanilla symbolically executes the loop on a symbolic string of length n
-// with KLEE-style feasibility checking, producing one test per feasible
-// path.
+// with KLEE-style feasibility checking and the query cache on, producing one
+// test per feasible path.
 func Vanilla(loop *cir.Func, n int, timeout time.Duration) Measurement {
+	return VanillaWith(loop, n, timeout, Config{QCache: true})
+}
+
+// VanillaWith is Vanilla under an explicit solver-chain configuration.
+func VanillaWith(loop *cir.Func, n int, timeout time.Duration, cfg Config) Measurement {
 	start := time.Now()
 	budget := engine.NewBudget(nil, engine.Limits{Timeout: timeout})
 	bvin := bv.NewInterner().SetBudget(budget)
+	var cache *qcache.Cache
+	if cfg.QCache {
+		cache = qcache.New(bvin)
+	}
 	buf := symex.SymbolicString(bvin, "s", n)
 	eng := &symex.Engine{
 		Objects:          [][]*bv.Term{buf},
 		CheckFeasibility: true,
 		In:               bvin,
 		Budget:           budget,
+		Cache:            cache,
 	}
 	paths, err := eng.Run(loop, []symex.Value{symex.PtrValue(0, bvin.Int32(0))}, bv.True)
 	m := Measurement{
@@ -65,22 +93,35 @@ func Vanilla(loop *cir.Func, n int, timeout time.Duration) Measurement {
 			m.TimedOut = true
 			break
 		}
-		st, _ := bv.CheckSat(budget, 0, p.Cond)
+		st := checkSat(cache, budget, p.Cond)
 		m.SolverQueries++
-		if st.String() == "sat" {
+		if st == sat.Sat {
 			m.Tests++
 		}
 	}
 	m.Time = time.Since(start)
+	m.Conflicts = budget.Conflicts()
+	if cache != nil {
+		m.Cache = cache.Stats()
+	}
 	return m
 }
 
 // Str runs the summarised form: guarded outcomes from the symbolic gadget
-// interpreter, one string-solver query per outcome.
+// interpreter, one string-solver query per outcome, with the query cache on.
 func Str(summary vocab.Program, n int, timeout time.Duration) Measurement {
+	return StrWith(summary, n, timeout, Config{QCache: true})
+}
+
+// StrWith is Str under an explicit solver-chain configuration.
+func StrWith(summary vocab.Program, n int, timeout time.Duration, cfg Config) Measurement {
 	start := time.Now()
 	budget := engine.NewBudget(nil, engine.Limits{Timeout: timeout})
 	bvin := bv.NewInterner().SetBudget(budget)
+	var cache *qcache.Cache
+	if cfg.QCache {
+		cache = qcache.New(bvin)
+	}
 	s := strsolver.New(bvin, "s", n)
 	outcomes := vocab.RunSymbolic(vocab.Symbolize(bvin, summary), s)
 	m := Measurement{Mode: "str", Length: n, Paths: len(outcomes)}
@@ -89,14 +130,28 @@ func Str(summary vocab.Program, n int, timeout time.Duration) Measurement {
 			m.TimedOut = true
 			break
 		}
-		st, _ := bv.CheckSat(budget, 0, o.Guard)
+		st := checkSat(cache, budget, o.Guard)
 		m.SolverQueries++
-		if st.String() == "sat" {
+		if st == sat.Sat {
 			m.Tests++
 		}
 	}
 	m.Time = time.Since(start)
+	m.Conflicts = budget.Conflicts()
+	if cache != nil {
+		m.Cache = cache.Stats()
+	}
 	return m
+}
+
+// checkSat routes one query through the cache when enabled.
+func checkSat(cache *qcache.Cache, budget *engine.Budget, f *bv.Bool) sat.Status {
+	if cache != nil {
+		st, _ := cache.CheckSat(budget, 0, f)
+		return st
+	}
+	st, _ := bv.CheckSat(budget, 0, f)
+	return st
 }
 
 // Speedup returns vanilla time over str time (the Figure 4 metric); timed-out

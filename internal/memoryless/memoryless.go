@@ -24,6 +24,7 @@ import (
 	"stringloops/internal/bv"
 	"stringloops/internal/cir"
 	"stringloops/internal/engine"
+	"stringloops/internal/qcache"
 	"stringloops/internal/sat"
 	"stringloops/internal/symex"
 	"stringloops/internal/vocab"
@@ -356,8 +357,9 @@ func (spec *Spec) missResult(k int) vocab.Result {
 // of length <= maxLen, trying forward then backward traversal.
 func checkEquivalence(loop *cir.Func, spec *Spec, maxLen int, budget *engine.Budget) (bool, []byte, error) {
 	bvin := bv.NewInterner().SetBudget(budget)
+	cache := qcache.New(bvin)
 	buf := symex.SymbolicString(bvin, "s", maxLen)
-	eng := &symex.Engine{Objects: [][]*bv.Term{buf}, CheckFeasibility: true, In: bvin, Budget: budget}
+	eng := &symex.Engine{Objects: [][]*bv.Term{buf}, CheckFeasibility: true, In: bvin, Budget: budget, Cache: cache}
 	paths, err := eng.Run(loop, []symex.Value{symex.PtrValue(0, bvin.Int32(0))}, bv.True)
 	if err != nil {
 		if errors.Is(err, symex.ErrTimeout) {
@@ -413,16 +415,21 @@ func checkEquivalence(loop *cir.Func, spec *Spec, maxLen int, budget *engine.Bud
 				equal = bvin.BOr2(equal, clause)
 			}
 		}
-		solver := bv.NewSolver()
-		solver.Assert(bvin.BNot1(equal))
-		if solver.Check() == sat.Unsat {
+		st, model := cache.CheckSat(budget, 0, bvin.BNot1(equal))
+		switch st {
+		case sat.Unsat:
 			spec.Dir = dir
 			spec.Miss = trySpec.Miss
 			return true, nil, nil
+		case sat.Unknown:
+			// The refutation query itself ran out of budget: neither verified
+			// nor refuted — surface the timeout rather than a wrong verdict.
+			return false, nil, ErrTimeout
 		}
+		ev := bv.NewEvaluator(model)
 		cex := make([]byte, maxLen+1)
 		for i := 0; i < maxLen; i++ {
-			cex[i] = byte(solver.Value(buf[i]))
+			cex[i] = byte(ev.Term(buf[i]))
 		}
 		lastCex = cex
 	}

@@ -1,0 +1,405 @@
+// Package qcache is the query-optimization layer between the bit-vector
+// solver (internal/bv) and its callers, modeled on KLEE's solver chain. It
+// answers satisfiability queries over conjunctions of *bv.Bool constraints
+// through three stacked optimizations:
+//
+//  1. Constraint-independence slicing: the conjunction is partitioned into
+//     groups that share no symbolic variables, and each group is decided
+//     separately — the models of independent groups merge trivially, and an
+//     unsat verdict for any group settles the whole query.
+//  2. Counterexample/query caching: each group is normalized to a sorted set
+//     of conjunct IDs. An exact-match entry answers immediately; otherwise a
+//     cached model that evaluates every conjunct true proves Sat without
+//     solving (missing variables default to zero, so the model extends to a
+//     genuine witness), and a cached unsat core that is a subset of the
+//     group proves Unsat (adding conjuncts cannot revive an unsat core).
+//  3. Incremental solving: misses go to one long-lived bv.Solver whose
+//     Tseitin encoding is memoized, with the group's conjuncts passed as
+//     assumption literals. Symex forks that share a path prefix therefore
+//     blast the prefix once and pay only for their new branch condition.
+//
+// A Cache is scoped to one bv.Interner — conjunct identity is pointer
+// identity, so every formula passed to CheckSat must come from that interner.
+// This mirrors the per-pipeline interner discipline: one pipeline, one
+// interner, one cache. All methods are safe for concurrent use.
+package qcache
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"stringloops/internal/bv"
+	"stringloops/internal/engine"
+	"stringloops/internal/sat"
+)
+
+// Tuning caps. Scans are linear, so the model and core lists stay small;
+// the exact map is cheap per entry and gets a larger allowance.
+const (
+	maxModels     = 64      // cached satisfying assignments scanned per miss
+	maxUnsatCores = 256     // cached unsat ID-sets scanned per miss
+	maxExact      = 1 << 14 // exact-entry map size before wholesale reset
+	maxSolverVars = 1 << 18 // SAT vars before the incremental solver rebuilds
+)
+
+// Stats is a snapshot of cache effectiveness and solver-time accounting.
+type Stats struct {
+	// Queries counts CheckSat calls; Groups counts the independent slices
+	// they decomposed into (each group is one potential solver query).
+	Queries int64
+	Groups  int64
+	// ExactHits, ModelHits and SubsetHits partition the hits by reuse rule;
+	// Misses counts groups that reached the SAT solver.
+	ExactHits  int64
+	ModelHits  int64
+	SubsetHits int64
+	Misses     int64
+	// MaxGroup is the largest slice (in conjuncts) seen.
+	MaxGroup int
+	// Rebuilds counts incremental-solver resets at the var cap.
+	Rebuilds int64
+	// BlastTime is time spent Tseitin-encoding, SearchTime time spent in
+	// CDCL search, Conflicts the conflicts burned by cache-owned solving.
+	BlastTime  time.Duration
+	SearchTime time.Duration
+	Conflicts  int64
+}
+
+// Hits returns the total hits across all reuse rules.
+func (s Stats) Hits() int64 { return s.ExactHits + s.ModelHits + s.SubsetHits }
+
+// HitRate returns hits / (hits + misses), or 0 before any group was decided.
+func (s Stats) HitRate() float64 {
+	total := s.Hits() + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(total)
+}
+
+// Add accumulates other into s (for aggregating per-pipeline snapshots).
+func (s *Stats) Add(other Stats) {
+	s.Queries += other.Queries
+	s.Groups += other.Groups
+	s.ExactHits += other.ExactHits
+	s.ModelHits += other.ModelHits
+	s.SubsetHits += other.SubsetHits
+	s.Misses += other.Misses
+	if other.MaxGroup > s.MaxGroup {
+		s.MaxGroup = other.MaxGroup
+	}
+	s.Rebuilds += other.Rebuilds
+	s.BlastTime += other.BlastTime
+	s.SearchTime += other.SearchTime
+	s.Conflicts += other.Conflicts
+}
+
+type exactEntry struct {
+	status sat.Status
+	model  *bv.Assignment // restricted to the group's variables; nil on unsat
+}
+
+// Cache is a per-pipeline solver chain: slicer, reuse cache and incremental
+// solver in front of the bit-vector layer.
+type Cache struct {
+	in *bv.Interner
+
+	mu sync.Mutex
+	// ids interns each distinct conjunct (by pointer) to a small integer;
+	// sorted ID sets are the normalized query keys.
+	ids    map[*bv.Bool]int
+	nextID int
+	// conjVars memoizes the deduped, sorted, sort-tagged variable names of
+	// each conjunct.
+	conjVars map[*bv.Bool][]string
+	exact    map[string]exactEntry
+	// unsatCores holds sorted conjunct-ID sets proven unsat; any superset
+	// is unsat too.
+	unsatCores [][]int
+	// models holds restricted satisfying assignments; any group they
+	// evaluate true is sat.
+	models []*bv.Assignment
+
+	solver *bv.Solver
+	stats  Stats
+}
+
+// New returns an empty cache scoped to the given interner. Every formula
+// later passed to CheckSat/IsValid must be built by that interner.
+func New(in *bv.Interner) *Cache {
+	return &Cache{
+		in:       in,
+		ids:      map[*bv.Bool]int{},
+		conjVars: map[*bv.Bool][]string{},
+		exact:    map[string]exactEntry{},
+		solver:   bv.NewSolver(),
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Interner returns the interner this cache is scoped to.
+func (c *Cache) Interner() *bv.Interner { return c.in }
+
+// CheckSat decides the conjunction of the given formulas, returning a model
+// on Sat. It has the same contract as bv.CheckSat — maxConflicts bounds each
+// underlying SAT query (0 = unbounded) and the optional budget b carries
+// cancellation, conflict and cache-hit accounting — but routes the query
+// through slicing, the reuse cache and the incremental solver. Unknown
+// results are never cached.
+func (c *Cache) CheckSat(b *engine.Budget, maxConflicts int64, formulas ...*bv.Bool) (sat.Status, *bv.Assignment) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Queries++
+	if b.Exceeded() {
+		return sat.Unknown, nil
+	}
+
+	// Normalize: flatten BAnd trees, drop True, dedupe by pointer identity.
+	var conj []*bv.Bool
+	for _, f := range formulas {
+		conj = bv.Conjuncts(conj, f)
+	}
+	seen := make(map[*bv.Bool]bool, len(conj))
+	kept := conj[:0]
+	for _, cj := range conj {
+		if cj == bv.True || seen[cj] {
+			continue
+		}
+		if cj == bv.False {
+			return sat.Unsat, nil
+		}
+		seen[cj] = true
+		kept = append(kept, cj)
+	}
+	conj = kept
+	if len(conj) == 0 {
+		return sat.Sat, &bv.Assignment{Terms: map[string]uint64{}, Bools: map[string]bool{}}
+	}
+
+	groups := c.slice(conj)
+	c.stats.Groups += int64(len(groups))
+	merged := &bv.Assignment{Terms: map[string]uint64{}, Bools: map[string]bool{}}
+	for _, g := range groups {
+		if len(g.conj) > c.stats.MaxGroup {
+			c.stats.MaxGroup = len(g.conj)
+		}
+		st, model := c.checkGroup(b, maxConflicts, g)
+		switch st {
+		case sat.Unsat:
+			return sat.Unsat, nil
+		case sat.Unknown:
+			return sat.Unknown, nil
+		}
+		// Groups are variable-disjoint by construction, so models merge
+		// without collisions.
+		for k, v := range model.Terms {
+			merged.Terms[k] = v
+		}
+		for k, v := range model.Bools {
+			merged.Bools[k] = v
+		}
+	}
+	return sat.Sat, merged
+}
+
+// IsValid reports whether f holds under all assignments, by refuting its
+// negation through the cache. Same contract as bv.Interner.IsValid.
+func (c *Cache) IsValid(b *engine.Budget, maxConflicts int64, f *bv.Bool) (valid bool, counterexample *bv.Assignment, st sat.Status) {
+	status, model := c.CheckSat(b, maxConflicts, c.in.BNot1(f))
+	switch status {
+	case sat.Unsat:
+		return true, nil, status
+	case sat.Sat:
+		return false, model, status
+	default:
+		return false, nil, status
+	}
+}
+
+// checkGroup decides one independent slice, consulting the reuse rules
+// before the solver. Caller holds c.mu.
+func (c *Cache) checkGroup(b *engine.Budget, maxConflicts int64, g group) (sat.Status, *bv.Assignment) {
+	key := idKey(g.ids)
+
+	if e, ok := c.exact[key]; ok {
+		c.stats.ExactHits++
+		b.AddCacheHits(1)
+		return e.status, e.model
+	}
+
+	// Counterexample reuse: a cached model under which every conjunct of
+	// this group evaluates true is a witness — unbound variables evaluate
+	// to zero, so (model ∪ zeros) genuinely satisfies the group.
+	for _, m := range c.models {
+		ev := bv.NewEvaluator(m)
+		ok := true
+		for _, cj := range g.conj {
+			if !ev.Bool(cj) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			c.stats.ModelHits++
+			b.AddCacheHits(1)
+			restricted := restrictModel(m, g.vars)
+			c.remember(key, sat.Sat, restricted)
+			return sat.Sat, restricted
+		}
+	}
+
+	// Subset rule: a cached unsat core contained in this group proves the
+	// group unsat — strengthening an unsatisfiable conjunction cannot make
+	// it satisfiable.
+	for _, core := range c.unsatCores {
+		if subsetOf(core, g.ids) {
+			c.stats.SubsetHits++
+			b.AddCacheHits(1)
+			c.remember(key, sat.Unsat, nil)
+			return sat.Unsat, nil
+		}
+	}
+
+	c.stats.Misses++
+	b.AddCacheMisses(1)
+	return c.solveGroup(b, maxConflicts, key, g)
+}
+
+// solveGroup sends one slice to the incremental solver under assumption
+// literals and caches the verdict. Caller holds c.mu.
+func (c *Cache) solveGroup(b *engine.Budget, maxConflicts int64, key string, g group) (sat.Status, *bv.Assignment) {
+	if c.solver.NumSATVars() > maxSolverVars {
+		c.solver = bv.NewSolver()
+		c.stats.Rebuilds++
+	}
+	c.solver.MaxConflicts = maxConflicts
+	c.solver.Budget = b
+
+	blastStart := time.Now()
+	lits := make([]sat.Lit, len(g.conj))
+	for i, cj := range g.conj {
+		lits[i] = c.solver.Lit(cj)
+	}
+	c.stats.BlastTime += time.Since(blastStart)
+
+	searchStart := time.Now()
+	before := c.solver.Conflicts()
+	st := c.solver.CheckAssumingLits(lits...)
+	c.stats.Conflicts += c.solver.Conflicts() - before
+	c.stats.SearchTime += time.Since(searchStart)
+
+	switch st {
+	case sat.Sat:
+		// The solver's model covers every variable ever blasted on it, so
+		// restrict to this group's variables before caching or merging —
+		// stale assignments to other queries' variables must not leak.
+		restricted := restrictModel(c.solver.ModelAssignment(), g.vars)
+		c.remember(key, sat.Sat, restricted)
+		if len(c.models) >= maxModels {
+			c.models = c.models[1:]
+		}
+		c.models = append(c.models, restricted)
+		return sat.Sat, restricted
+	case sat.Unsat:
+		c.remember(key, sat.Unsat, nil)
+		if len(c.unsatCores) >= maxUnsatCores {
+			c.unsatCores = c.unsatCores[1:]
+		}
+		c.unsatCores = append(c.unsatCores, g.ids)
+		return sat.Unsat, nil
+	default:
+		// Unknown (budget/conflict cap): not a verdict, never cached.
+		return sat.Unknown, nil
+	}
+}
+
+// remember stores an exact entry, resetting the map wholesale at the cap
+// (simple and O(1) amortized; precision rebuilds quickly).
+func (c *Cache) remember(key string, st sat.Status, model *bv.Assignment) {
+	if len(c.exact) >= maxExact {
+		c.exact = map[string]exactEntry{}
+	}
+	c.exact[key] = exactEntry{status: st, model: model}
+}
+
+// restrictModel projects a full assignment onto the given tagged variable
+// names, zero-filling variables the model leaves unbound.
+func restrictModel(m *bv.Assignment, vars []string) *bv.Assignment {
+	out := &bv.Assignment{Terms: map[string]uint64{}, Bools: map[string]bool{}}
+	for _, v := range vars {
+		name := v[2:]
+		if v[0] == 't' {
+			out.Terms[name] = m.Terms[name] // zero value when unbound
+		} else {
+			out.Bools[name] = m.Bools[name]
+		}
+	}
+	return out
+}
+
+// idKey renders a sorted ID set as a map key.
+func idKey(ids []int) string {
+	buf := make([]byte, 0, len(ids)*4)
+	for i, id := range ids {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(id), 10)
+	}
+	return string(buf)
+}
+
+// subsetOf reports whether sorted ID set a is contained in sorted ID set b.
+func subsetOf(a, b []int) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// id interns a conjunct pointer to its small-integer ID. Caller holds c.mu.
+func (c *Cache) id(cj *bv.Bool) int {
+	if id, ok := c.ids[cj]; ok {
+		return id
+	}
+	id := c.nextID
+	c.nextID++
+	c.ids[cj] = id
+	return id
+}
+
+// varsOf memoizes the deduped sorted tagged variable names of a conjunct.
+// Caller holds c.mu.
+func (c *Cache) varsOf(cj *bv.Bool) []string {
+	if vs, ok := c.conjVars[cj]; ok {
+		return vs
+	}
+	names := bv.VarNames(nil, cj)
+	sort.Strings(names)
+	uniq := names[:0]
+	for i, n := range names {
+		if i == 0 || names[i-1] != n {
+			uniq = append(uniq, n)
+		}
+	}
+	c.conjVars[cj] = uniq
+	return uniq
+}

@@ -1,0 +1,86 @@
+package qcache
+
+import "sort"
+
+import "stringloops/internal/bv"
+
+// group is one independent slice of a query: conjuncts that transitively
+// share variables, with their sorted ID set (the cache key material) and the
+// union of their tagged variable names.
+type group struct {
+	conj []*bv.Bool
+	ids  []int
+	vars []string
+}
+
+// slice partitions conj into variable-disjoint groups with a union-find over
+// shared variable names: two conjuncts land in one group iff they are
+// connected through a chain of common variables. Variable-free conjuncts
+// (possible only if they escaped constant folding) become singletons.
+// Caller holds c.mu.
+func (c *Cache) slice(conj []*bv.Bool) []group {
+	parent := make([]int, len(conj))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	varOwner := map[string]int{}
+	for i, cj := range conj {
+		for _, v := range c.varsOf(cj) {
+			if j, ok := varOwner[v]; ok {
+				union(i, j)
+			} else {
+				varOwner[v] = i
+			}
+		}
+	}
+
+	byRoot := map[int]*group{}
+	var order []int
+	for i, cj := range conj {
+		r := find(i)
+		g, ok := byRoot[r]
+		if !ok {
+			g = &group{}
+			byRoot[r] = g
+			order = append(order, r)
+		}
+		g.conj = append(g.conj, cj)
+		g.ids = append(g.ids, c.id(cj))
+	}
+
+	out := make([]group, 0, len(order))
+	for _, r := range order {
+		g := byRoot[r]
+		sort.Ints(g.ids)
+		// Union of variable names across the group's conjuncts, deduped.
+		var vars []string
+		for _, cj := range g.conj {
+			vars = append(vars, c.varsOf(cj)...)
+		}
+		sort.Strings(vars)
+		uniq := vars[:0]
+		for i, v := range vars {
+			if i == 0 || vars[i-1] != v {
+				uniq = append(uniq, v)
+			}
+		}
+		g.vars = uniq
+		out = append(out, *g)
+	}
+	return out
+}

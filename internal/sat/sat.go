@@ -7,9 +7,12 @@
 //
 // The API follows the MiniSat convention: variables are created with NewVar,
 // literals are built with Lit/NegLit, clauses are added with AddClause, and
-// Solve returns a model or UNSAT. Solving is single-shot per instance;
-// callers build a fresh Solver per query (queries in this project are small,
-// so incrementality is not worth its complexity).
+// Solve returns a model or UNSAT. A Solver is multi-shot: after any Solve,
+// more clauses may be added (the solver backtracks to the root level first)
+// and SolveAssuming answers queries under temporary assumption literals
+// without making them permanent — learnt clauses and variable activity carry
+// over between calls, which is what makes the incremental bit-blasting of
+// the query-cache layer (internal/qcache) pay off across symex forks.
 //
 // Search is budgeted two ways: MaxConflicts caps one query locally, and an
 // optional engine.Budget is charged per conflict and polled inside the CDCL
@@ -101,7 +104,13 @@ type Solver struct {
 	ok        bool // false once a top-level conflict is found
 	conflicts int64
 	decisions int64
-	// MaxConflicts bounds the search; <=0 means unbounded. When exceeded,
+	// assumptions holds the temporary decision literals of the current
+	// SolveAssuming call; assumption i is decided at level i+1.
+	assumptions []Lit
+	// solveBase is s.conflicts at the start of the current Solve call, so
+	// MaxConflicts bounds each query rather than the solver's lifetime.
+	solveBase int64
+	// MaxConflicts bounds one Solve call; <=0 means unbounded. When exceeded,
 	// Solve returns Unknown.
 	MaxConflicts int64
 	// Budget, when non-nil, is charged one conflict per conflict and polled
@@ -153,10 +162,14 @@ func (s *Solver) valueLit(l Lit) lbool {
 
 // AddClause adds a clause over the given literals. It returns false if the
 // instance became trivially unsatisfiable. The literal slice is copied.
+// Adding a clause after a Solve backtracks to the root level first, which
+// discards the model of a preceding Sat result — read models before growing
+// the instance.
 func (s *Solver) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
 	}
+	s.cancelUntil(0)
 	// Simplify: drop duplicate and false literals, detect tautology.
 	seen := map[Lit]bool{}
 	out := make([]Lit, 0, len(lits))
@@ -370,13 +383,24 @@ func (s *Solver) pickBranchVar() int {
 
 // Solve runs the CDCL search and returns the status. On Sat, Model reports
 // variable values.
-func (s *Solver) Solve() Status {
+func (s *Solver) Solve() Status { return s.SolveAssuming() }
+
+// SolveAssuming runs the CDCL search with the given literals as temporary
+// assumptions: they are decided (in order) before any free decision, and a
+// conflicting assumption yields Unsat without making the instance
+// permanently unsatisfiable. Learnt clauses derive from the permanent clause
+// set only, so they remain valid for later calls under different
+// assumptions. On Sat, Model reports variable values.
+func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
+	s.cancelUntil(0)
 	if !s.ok {
 		return Unsat
 	}
 	if s.Budget.Exceeded() {
 		return Unknown
 	}
+	s.assumptions = assumptions
+	s.solveBase = s.conflicts
 	restartBase := int64(100)
 	for restart := 0; ; restart++ {
 		limit := restartBase * int64(luby(restart))
@@ -392,10 +416,14 @@ func (s *Solver) Solve() Status {
 	}
 }
 
+// Conflicts returns the total conflicts across every Solve call on this
+// solver (cumulative, for per-query deltas at the caller).
+func (s *Solver) Conflicts() int64 { return s.conflicts }
+
 // outOfBudget reports whether either the local per-query conflict cap or the
 // shared run budget forbids further search.
 func (s *Solver) outOfBudget() bool {
-	if s.MaxConflicts > 0 && s.conflicts >= s.MaxConflicts {
+	if s.MaxConflicts > 0 && s.conflicts-s.solveBase >= s.MaxConflicts {
 		return true
 	}
 	return s.Budget.Exceeded()
@@ -432,23 +460,43 @@ func (s *Solver) search(conflictBudget int64) Status {
 		if budget >= conflictBudget {
 			return Unknown
 		}
-		if s.MaxConflicts > 0 && s.conflicts >= s.MaxConflicts {
+		if s.MaxConflicts > 0 && s.conflicts-s.solveBase >= s.MaxConflicts {
 			return Unknown
 		}
 		s.decisions++
 		if s.decisions&budgetPollMask == 0 && s.Budget.Exceeded() {
 			return Unknown
 		}
-		v := s.pickBranchVar()
-		if v == -1 {
-			return Sat
+		// Assumptions are decided (in order) before any free decision. An
+		// already-true assumption still opens a dummy level so that level i+1
+		// always corresponds to assumption i; a false one means the instance
+		// is unsat under these assumptions, without poisoning the permanent
+		// clause set (s.ok stays true).
+		next := Lit(-1)
+		for next == Lit(-1) && s.decisionLevel() < len(s.assumptions) {
+			p := s.assumptions[s.decisionLevel()]
+			switch s.valueLit(p) {
+			case lTrue:
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case lFalse:
+				return Unsat
+			default:
+				next = p
+			}
+		}
+		if next == Lit(-1) {
+			v := s.pickBranchVar()
+			if v == -1 {
+				return Sat
+			}
+			if s.phase[v] {
+				next = PosLit(v)
+			} else {
+				next = NegLit(v)
+			}
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))
-		if s.phase[v] {
-			s.uncheckedEnqueue(PosLit(v), nil)
-		} else {
-			s.uncheckedEnqueue(NegLit(v), nil)
-		}
+		s.uncheckedEnqueue(next, nil)
 	}
 }
 
@@ -518,19 +566,26 @@ func (h *varHeap) down(i int) {
 	}
 }
 
+// push inserts v unconditionally; callers must know v is not on the heap
+// (NewVar, which only ever sees fresh variables, and pushIfAbsent).
 func (h *varHeap) push(v int) {
 	for len(h.pos) <= v {
 		h.pos = append(h.pos, -1)
-	}
-	if h.pos[v] != -1 {
-		return
 	}
 	h.heap = append(h.heap, v)
 	h.pos[v] = len(h.heap) - 1
 	h.up(len(h.heap) - 1)
 }
 
-func (h *varHeap) pushIfAbsent(v int) { h.push(v) }
+// pushIfAbsent re-queues v for branching after backtracking; a variable
+// still on the heap is left in place (re-pushing would duplicate the entry,
+// corrupt pos bookkeeping, and make pop yield stale copies).
+func (h *varHeap) pushIfAbsent(v int) {
+	if v < len(h.pos) && h.pos[v] != -1 {
+		return
+	}
+	h.push(v)
+}
 
 func (h *varHeap) pop() (int, bool) {
 	if len(h.heap) == 0 {

@@ -19,6 +19,7 @@ import (
 	"stringloops/internal/bv"
 	"stringloops/internal/cir"
 	"stringloops/internal/engine"
+	"stringloops/internal/qcache"
 	"stringloops/internal/sat"
 )
 
@@ -76,6 +77,9 @@ type Stats struct {
 	SolverQueries int
 	SolverTime    time.Duration
 	Steps         int
+	// Cache is a snapshot of the engine's query cache after the run (zero
+	// when the engine solves without a cache).
+	Cache qcache.Stats
 }
 
 // Engine executes functions against a fixed set of symbolic data objects.
@@ -103,6 +107,11 @@ type Engine struct {
 	// loop polls it between states, forks are charged to it, and it is
 	// threaded into every feasibility query. Nil means unlimited.
 	Budget *engine.Budget
+	// Cache, when non-nil, routes feasibility queries through the
+	// slicing/caching/incremental solver chain instead of a fresh solver per
+	// query. It must be scoped to the same interner as In — forks sharing a
+	// path prefix then re-use its encoding and cached verdicts.
+	Cache *qcache.Cache
 
 	Stats Stats
 
@@ -400,9 +409,22 @@ func (e *Engine) branch(s *state, cond *bv.Bool, thenB, elseB *cir.Block, work [
 func (e *Engine) feasible(cond *bv.Bool) bool {
 	e.Stats.SolverQueries++
 	start := time.Now()
-	st, _ := bv.CheckSat(e.Budget, e.SolverBudget, cond)
+	var st sat.Status
+	if e.Cache != nil {
+		st, _ = e.Cache.CheckSat(e.Budget, e.SolverBudget, cond)
+	} else {
+		st, _ = bv.CheckSat(e.Budget, e.SolverBudget, cond)
+	}
 	e.Stats.SolverTime += time.Since(start)
+	e.snapshotCache()
 	return st != sat.Unsat
+}
+
+// snapshotCache mirrors the cache counters into the run stats.
+func (e *Engine) snapshotCache() {
+	if e.Cache != nil {
+		e.Stats.Cache = e.Cache.Stats()
+	}
 }
 
 func (e *Engine) operand(s *state, f *cir.Func, o cir.Operand) Value {
