@@ -32,6 +32,8 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
 		nomin   = flag.Bool("nomin", false, "skip finding minimization")
 		qcache  = flag.Bool("qcache", false, "route symex feasibility checks through the query cache (differentially tests internal/qcache)")
+		faults  = flag.Float64("faults", 0, "fault-injection intensity in [0,1]: seeded skip-safe fault storms over the pipeline under test (0 disables)")
+		fseed   = flag.Uint64("faultseed", 0, "decorrelate fault schedules from generator seeds")
 		verbose = flag.Bool("v", false, "print per-finding sources even when clean")
 	)
 	flag.Parse()
@@ -46,6 +48,8 @@ func main() {
 		MaxExSize:    *maxex,
 		NoMinimize:   *nomin,
 		QCache:       *qcache,
+		FaultRate:    *faults,
+		FaultSeed:    *fseed,
 	}
 	if *synth <= 0 {
 		opts.SynthTimeout = -time.Millisecond

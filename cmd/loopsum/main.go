@@ -24,6 +24,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "synthesis budget")
 	maxSize := flag.Int("maxsize", 9, "maximum encoded program size")
 	requireMem := flag.Bool("memoryless", false, "fail unless the loop verifies memoryless (summary then holds for all lengths)")
+	resilient := flag.Bool("resilient", false, "degrade gracefully: report the best rung reached (summary, memorylessness, covering inputs, smoke run) instead of failing outright")
 	candidates := flag.Bool("candidates", false, "list loop candidates instead of summarising")
 	check := flag.String("check", "", "verify a refactoring: 'original,refactored' function names")
 	flag.Parse()
@@ -70,12 +71,19 @@ func main() {
 		return
 	}
 
-	summary, err := stringloops.SummarizeFunc(string(src), *funcName, stringloops.Options{
+	opts := stringloops.Options{
 		Vocabulary:        *vocabLetters,
 		MaxProgramSize:    *maxSize,
 		Timeout:           *timeout,
 		RequireMemoryless: *requireMem,
-	})
+	}
+
+	if *resilient {
+		runResilient(string(src), *funcName, opts)
+		return
+	}
+
+	summary, err := stringloops.SummarizeFunc(string(src), *funcName, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loopsum: %v\n", err)
 		os.Exit(1)
@@ -89,4 +97,47 @@ func main() {
 	}
 	fmt.Printf("synthesis: %v\n\n", summary.Elapsed.Round(time.Millisecond))
 	fmt.Println(summary.C)
+}
+
+// runResilient walks the degradation ladder and reports the best rung
+// reached. Degraded outcomes (any rung above failed) exit zero — only an
+// infrastructure failure, where even the concrete floor produced nothing,
+// is a process failure.
+func runResilient(src, funcName string, opts stringloops.Options) {
+	out := stringloops.SummarizeResilient(src, funcName, opts)
+	fmt.Printf("rung:      %s\n", out.Rung)
+	for i, a := range out.Attempts {
+		status := "ok"
+		switch {
+		case a.Panicked:
+			status = "panic: " + a.Err.Error()
+		case a.Err != nil:
+			status = a.Err.Error()
+		}
+		fmt.Printf("attempt %d: %-10s %s\n", i+1, a.Rung, status)
+	}
+	switch out.Rung {
+	case stringloops.RungFull:
+		fmt.Printf("summary:   %s\n", out.Summary.Readable)
+		fmt.Printf("encoded:   %q\n\n", out.Summary.Encoded)
+		fmt.Println(out.Summary.C)
+	case stringloops.RungMemoryless:
+		fmt.Printf("verdict:   memoryless=%v (%s)\n", out.Memoryless.Memoryless, out.Memoryless.Reason)
+	case stringloops.RungCovering:
+		fmt.Printf("covering:  %d path-covering inputs\n", len(out.Covering))
+		for _, ti := range out.Covering {
+			fmt.Printf("  %q -> offset %d null=%v\n", ti.Input, ti.Offset, ti.Null)
+		}
+	case stringloops.RungSmoke:
+		fmt.Printf("smoke:     %d concrete runs\n", len(out.Smoke.Inputs))
+		for _, ti := range out.Smoke.Inputs {
+			fmt.Printf("  %q -> offset %d null=%v\n", ti.Input, ti.Offset, ti.Null)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "loopsum: even the concrete floor failed: %v\n", out.Err)
+		os.Exit(1)
+	}
+	if out.Rung != stringloops.RungFull && out.Err != nil {
+		fmt.Printf("degraded:  %v\n", out.Err)
+	}
 }

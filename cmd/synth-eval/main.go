@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"stringloops/internal/cegis"
+	"stringloops/internal/core"
 	"stringloops/internal/harness"
 	"stringloops/internal/loopdb"
 )
@@ -27,7 +28,11 @@ func main() {
 	maxSet := flag.Int("maxset", 3, "maximum strspn-family set size (4 reaches the libosip outliers)")
 	verbose := flag.Bool("v", false, "per-loop progress")
 	jobs := flag.Int("j", 1, "parallel synthesis workers (<1 = one per CPU)")
+	resilient := flag.Bool("resilient", false, "sweep the corpus through the degradation ladder and report per-loop rungs instead of Table 3/Figure 2")
 	flag.Parse()
+	if *resilient {
+		os.Exit(resilientSweep(*timeout, *maxSize, *maxSet, *jobs))
+	}
 	if !*table3 && !*figure2 {
 		*table3, *figure2 = true, true
 	}
@@ -119,4 +124,44 @@ func main() {
 			fmt.Println()
 		}
 	}
+}
+
+// resilientSweep runs every corpus loop through the degradation ladder and
+// prints the rung each loop reached with its attempt count and, when the
+// ladder descended, the reason. Degraded loops are expected output, not
+// failures: the exit code is non-zero only when a loop fails outright
+// (infrastructure failure — even the concrete floor produced nothing).
+func resilientSweep(timeout time.Duration, maxSize, maxSet, jobs int) int {
+	corpus := loopdb.Corpus()
+	items := make([]core.ResilientItem, len(corpus))
+	for i, l := range corpus {
+		items[i] = core.ResilientItem{Source: l.Source, Func: l.FuncName, Opts: core.ResilientOptions{
+			Options: core.Options{Timeout: timeout, MaxProgramSize: maxSize, MaxSetSize: maxSet},
+		}}
+	}
+	fmt.Printf("resilient sweep over %d loops (timeout %v, %d workers)...\n", len(items), timeout, jobs)
+	start := time.Now()
+	outcomes := core.SummarizeAllResilient(items, jobs)
+	fmt.Printf("sweep finished in %v\n\n", time.Since(start).Round(time.Second))
+
+	rungCount := map[core.Rung]int{}
+	failed := 0
+	for i, out := range outcomes {
+		rungCount[out.Rung]++
+		line := fmt.Sprintf("%-28s %-10s attempts=%d", corpus[i].Name, out.Rung, len(out.Attempts))
+		if out.Rung != core.RungFull && out.Err != nil {
+			line += fmt.Sprintf("  (%v)", out.Err)
+		}
+		fmt.Println(line)
+		if out.Rung == core.RungFailed {
+			failed++
+		}
+	}
+	fmt.Printf("\nrungs: full=%d memoryless=%d covering=%d smoke=%d failed=%d\n",
+		rungCount[core.RungFull], rungCount[core.RungMemoryless],
+		rungCount[core.RungCovering], rungCount[core.RungSmoke], rungCount[core.RungFailed])
+	if failed > 0 {
+		return 1
+	}
+	return 0
 }

@@ -2,6 +2,7 @@ package bv
 
 import (
 	"stringloops/internal/engine"
+	"stringloops/internal/faultpoint"
 	"stringloops/internal/sat"
 )
 
@@ -27,6 +28,9 @@ type Solver struct {
 	// Budget, when non-nil, is threaded into the SAT search: conflicts are
 	// charged to it and cancellation makes Check return Unknown promptly.
 	Budget *engine.Budget
+	// Faults, when non-nil, is handed to the SAT layer per query so the
+	// sat.* injection sites fire under this solver's schedule.
+	Faults *faultpoint.Registry
 }
 
 // NewSolver returns an empty bit-vector solver.
@@ -287,6 +291,7 @@ func (s *Solver) Assert(b *Bool) {
 func (s *Solver) Check() sat.Status {
 	s.sat.MaxConflicts = s.MaxConflicts
 	s.sat.Budget = s.Budget
+	s.sat.Faults = s.Faults
 	s.status = s.sat.Solve()
 	return s.status
 }
@@ -313,6 +318,7 @@ func (s *Solver) CheckAssuming(formulas ...*Bool) sat.Status {
 func (s *Solver) CheckAssumingLits(lits ...sat.Lit) sat.Status {
 	s.sat.MaxConflicts = s.MaxConflicts
 	s.sat.Budget = s.Budget
+	s.sat.Faults = s.Faults
 	s.status = s.sat.SolveAssuming(lits...)
 	return s.status
 }
@@ -388,9 +394,17 @@ func (s *Solver) modelAssignment() *Assignment {
 // (0 = unbounded) and the optional budget b carries run-wide cancellation
 // and conflict accounting into the SAT layer.
 func CheckSat(b *engine.Budget, maxConflicts int64, formulas ...*Bool) (sat.Status, *Assignment) {
+	return CheckSatFaults(b, maxConflicts, nil, formulas...)
+}
+
+// CheckSatFaults is CheckSat with a fault-injection registry threaded into
+// the SAT layer (nil disables injection) — the cache-less solver path of
+// callers that run with Options.DisableQCache.
+func CheckSatFaults(b *engine.Budget, maxConflicts int64, faults *faultpoint.Registry, formulas ...*Bool) (sat.Status, *Assignment) {
 	s := NewSolver()
 	s.MaxConflicts = maxConflicts
 	s.Budget = b
+	s.Faults = faults
 	for _, f := range formulas {
 		s.Assert(f)
 	}

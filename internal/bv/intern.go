@@ -1,9 +1,11 @@
 package bv
 
 import (
+	"errors"
 	"sync"
 
 	"stringloops/internal/engine"
+	"stringloops/internal/faultpoint"
 )
 
 // Hash-consing: every constructor funnels through intern/internBool, so
@@ -55,6 +57,7 @@ type Interner struct {
 	boolTab map[boolKey]*Bool
 	softCap int
 	budget  *engine.Budget
+	faults  *faultpoint.Registry
 	nodes   int64
 }
 
@@ -93,6 +96,23 @@ func (in *Interner) SetBudget(b *engine.Budget) *Interner {
 	return in
 }
 
+// SetFaults arms the BVNodeExhaust injection site: each newly interned node
+// consults the registry, and a firing fails the interner's budget as if the
+// interned-node limit had tripped — the whole pipeline then unwinds through
+// its ordinary budget-exhaustion paths. A nil registry (the default) costs
+// one pointer comparison per new node and nothing on table hits. Returns the
+// interner for chaining.
+func (in *Interner) SetFaults(f *faultpoint.Registry) *Interner {
+	in.mu.Lock()
+	in.faults = f
+	in.mu.Unlock()
+	return in
+}
+
+// errInjectedNodeExhaustion is the cause recorded when BVNodeExhaust fires.
+var errInjectedNodeExhaustion = errors.Join(
+	errors.New("bv: interned-node limit"), faultpoint.ErrInjected)
+
 // Nodes reports how many distinct nodes this interner has created (monotone;
 // clearing the tables at the soft cap does not reset it).
 func (in *Interner) Nodes() int64 {
@@ -113,9 +133,12 @@ func (in *Interner) intern(t *Term) *Term {
 	}
 	in.termTab[k] = t
 	in.nodes++
-	b := in.budget
+	b, f := in.budget, in.faults
 	in.mu.Unlock()
 	b.AddNodes(1)
+	if f.Fire(faultpoint.BVNodeExhaust) {
+		b.Fail(errInjectedNodeExhaustion)
+	}
 	return t
 }
 
@@ -131,8 +154,11 @@ func (in *Interner) internBool(b *Bool) *Bool {
 	}
 	in.boolTab[k] = b
 	in.nodes++
-	bud := in.budget
+	bud, f := in.budget, in.faults
 	in.mu.Unlock()
 	bud.AddNodes(1)
+	if f.Fire(faultpoint.BVNodeExhaust) {
+		bud.Fail(errInjectedNodeExhaustion)
+	}
 	return b
 }

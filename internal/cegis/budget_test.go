@@ -2,6 +2,7 @@ package cegis
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -32,8 +33,11 @@ func TestSynthesizeHonoursCancelledContext(t *testing.T) {
 		Budget:      engine.NewBudget(ctx, engine.Limits{}),
 		MaxProgSize: 6,
 	})
-	if err != ErrTimeout {
+	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if !errors.Is(err, engine.ErrBudget) {
+		t.Fatalf("err = %v must classify as engine.ErrBudget", err)
 	}
 	if out.Found {
 		t.Fatal("cancelled synthesis must not report a program")
@@ -50,7 +54,7 @@ func TestSynthesizeShortBudgetReturnsPromptly(t *testing.T) {
 		Budget:      engine.NewBudget(nil, engine.Limits{Timeout: 50 * time.Millisecond}),
 		MaxProgSize: 6,
 	})
-	if err != nil && err != ErrTimeout {
+	if err != nil && !errors.Is(err, ErrTimeout) {
 		t.Fatalf("unexpected error: %v", err)
 	}
 	if out.Found {
@@ -67,7 +71,7 @@ func TestSynthesizeForkLimit(t *testing.T) {
 	f := lowerLoop(t, midLoop)
 	b := engine.NewBudget(nil, engine.Limits{Forks: 1})
 	_, err := Synthesize(f, Options{Budget: b, MaxProgSize: 6})
-	if err != ErrTimeout {
+	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
 }

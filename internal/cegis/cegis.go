@@ -25,6 +25,7 @@ import (
 	"stringloops/internal/cir"
 	"stringloops/internal/cstr"
 	"stringloops/internal/engine"
+	"stringloops/internal/faultpoint"
 	"stringloops/internal/qcache"
 	"stringloops/internal/sat"
 	"stringloops/internal/strsolver"
@@ -70,6 +71,11 @@ type Options struct {
 	// (internal/qcache) and solves every query with a fresh solver — the
 	// baseline configuration for the cache-on/off benchmarks.
 	DisableQCache bool
+	// Faults, when non-nil, arms the fault-injection sites of this
+	// synthesis pipeline: the CegisReject candidate-rejection burst here,
+	// and the sat/bv/qcache/symex sites in the layers below, all under one
+	// seeded schedule. Nil (the default) disables injection at zero cost.
+	Faults *faultpoint.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -114,8 +120,10 @@ type Outcome struct {
 // Errors.
 var (
 	// ErrTimeout means the budget expired (timeout, cancellation, or a
-	// resource cap) before a program was found.
-	ErrTimeout = errors.New("cegis: timeout")
+	// resource cap) before a program was found. It wraps engine.ErrBudget
+	// so every layer above can classify it as retryable exhaustion with
+	// errors.Is(err, engine.ErrBudget).
+	ErrTimeout = fmt.Errorf("cegis: timeout (%w)", engine.ErrBudget)
 	// ErrUnsupportedLoop means the loop uses operations outside the symbolic
 	// executor's subset.
 	ErrUnsupportedLoop = errors.New("cegis: loop not supported by symbolic execution")
@@ -148,8 +156,9 @@ type Synthesizer struct {
 func New(loop *cir.Func, opts Options) (*Synthesizer, error) {
 	opts = opts.withDefaults()
 	s := &Synthesizer{opts: opts, loop: loop, bvin: bv.NewInterner(), budget: opts.Budget}
+	s.bvin.SetFaults(opts.Faults)
 	if !opts.DisableQCache {
-		s.cache = qcache.New(s.bvin)
+		s.cache = qcache.New(s.bvin).SetFaults(opts.Faults)
 	}
 	if len(loop.Params) != 1 || loop.Params[0].Ty != cir.TyPtr {
 		return nil, fmt.Errorf("cegis: %s does not have the loopFunction signature", loop.Name)
@@ -164,7 +173,7 @@ func New(loop *cir.Func, opts Options) (*Synthesizer, error) {
 	// (line 10 of Algorithm 2), merged: computed once, reused per candidate.
 	buf := symex.SymbolicString(s.bvin, "s", opts.MaxExSize)
 	s.symStr = strsolver.Wrap(s.bvin, buf)
-	paths, err := symbolicPaths(loop, s.bvin, s.cache, s.budget, buf, opts.SolverBudget)
+	paths, err := symbolicPaths(loop, s.bvin, s.cache, s.budget, opts.Faults, buf, opts.SolverBudget)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +186,7 @@ func New(loop *cir.Func, opts Options) (*Synthesizer, error) {
 // infeasible iterations of loops over symbolic cursors (without it, a
 // backward scan whose guard never folds syntactically would spin to the
 // step limit).
-func symbolicPaths(f *cir.Func, bvin *bv.Interner, cache *qcache.Cache, budget *engine.Budget, buf []*bv.Term, solverBudget int64) ([]origPath, error) {
+func symbolicPaths(f *cir.Func, bvin *bv.Interner, cache *qcache.Cache, budget *engine.Budget, faults *faultpoint.Registry, buf []*bv.Term, solverBudget int64) ([]origPath, error) {
 	eng := &symex.Engine{
 		Objects:          [][]*bv.Term{buf},
 		CheckFeasibility: true,
@@ -185,10 +194,11 @@ func symbolicPaths(f *cir.Func, bvin *bv.Interner, cache *qcache.Cache, budget *
 		In:               bvin,
 		Budget:           budget,
 		Cache:            cache,
+		Faults:           faults,
 	}
 	paths, runErr := eng.Run(f, []symex.Value{symex.PtrValue(0, bvin.Int32(0))}, bv.True)
 	if errors.Is(runErr, symex.ErrTimeout) {
-		return nil, ErrTimeout
+		return nil, fmt.Errorf("%w: %w", ErrTimeout, runErr)
 	}
 	if runErr != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnsupportedLoop, runErr)
@@ -240,11 +250,11 @@ func VerifyFunctionEquivalence(a, b *cir.Func, maxLen int) (bool, []byte, error)
 	bvin := bv.NewInterner()
 	cache := qcache.New(bvin)
 	buf := symex.SymbolicString(bvin, "s", maxLen)
-	pathsA, err := symbolicPaths(a, bvin, cache, nil, buf, 0)
+	pathsA, err := symbolicPaths(a, bvin, cache, nil, nil, buf, 0)
 	if err != nil {
 		return false, nil, err
 	}
-	pathsB, err := symbolicPaths(b, bvin, cache, nil, buf, 0)
+	pathsB, err := symbolicPaths(b, bvin, cache, nil, nil, buf, 0)
 	if err != nil {
 		return false, nil, err
 	}
@@ -266,7 +276,7 @@ func VerifyFunctionEquivalence(a, b *cir.Func, maxLen int) (bool, []byte, error)
 	case valid:
 		return true, nil, nil
 	case st == sat.Unknown:
-		return false, nil, fmt.Errorf("cegis: equivalence query exhausted its budget")
+		return false, nil, fmt.Errorf("%w: equivalence query exhausted its budget", ErrTimeout)
 	}
 	ev := bv.NewEvaluator(model)
 	cex := make([]byte, maxLen+1)
@@ -457,6 +467,12 @@ func pruneShape(prefix []shape, next shape) bool {
 // characters against the counterexample set, verify, and iterate until the
 // skeleton is exhausted or a program is verified.
 func (s *Synthesizer) trySkeleton(skel []shape) (vocab.Program, error) {
+	// Injected rejection burst: drop this skeleton as if it had failed the
+	// NULL-input test. Deterministic and terminating — the enumeration still
+	// advances, the schedule just skips candidates the seed selects.
+	if s.opts.Faults.Fire(faultpoint.CegisReject) {
+		return nil, nil
+	}
 	// NULL-input behaviour depends only on the skeleton; test it first.
 	symProg, argVars := symbolizeSkeleton(s.bvin, skel)
 	if symProg.RunNullInput() != s.origNull {
@@ -584,7 +600,7 @@ func (s *Synthesizer) checkSat(constraints ...*bv.Bool) (sat.Status, *bv.Assignm
 	if s.cache != nil {
 		return s.cache.CheckSat(s.budget, s.opts.SolverBudget, constraints...)
 	}
-	return bv.CheckSat(s.budget, s.opts.SolverBudget, constraints...)
+	return bv.CheckSatFaults(s.budget, s.opts.SolverBudget, s.opts.Faults, constraints...)
 }
 
 // verify checks bounded equivalence of a concrete candidate against the

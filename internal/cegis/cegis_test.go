@@ -1,6 +1,7 @@
 package cegis
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -246,7 +247,7 @@ char *mid(char *s) {
   return s + n / 2;
 }`)
 	out, err := Synthesize(f, Options{Timeout: 2 * time.Second, MaxProgSize: 4})
-	if err != nil && err != ErrTimeout {
+	if err != nil && !errors.Is(err, ErrTimeout) {
 		t.Fatalf("unexpected error: %v", err)
 	}
 	if out.Found {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"stringloops/internal/engine"
+	"stringloops/internal/supervise"
 )
 
 // BatchItem is one loop to summarise in a SummarizeAll run.
@@ -33,10 +34,22 @@ type BatchResult struct {
 // SummarizeAll(items, 8) and SummarizeAll(items, 1) return element-wise
 // identical outcomes. workers < 1 means one worker per CPU; workers == 1
 // degenerates to a plain serial loop on the calling goroutine.
+//
+// A panic inside one item is isolated to that item: its result carries a
+// *supervise.PanicError (errors.As-able) with the goroutine stack attached,
+// and every other item completes normally.
 func SummarizeAll(items []BatchItem, workers int) []BatchResult {
 	results := make([]BatchResult, len(items))
 	engine.Map(engine.Workers(workers, len(items)), len(items), func(i int) {
-		s, err := Summarize(items[i].Source, items[i].Func, items[i].Opts)
+		var s *Summary
+		err := supervise.Guard(func() error {
+			var ierr error
+			s, ierr = Summarize(items[i].Source, items[i].Func, items[i].Opts)
+			return ierr
+		})
+		if err != nil {
+			s = nil // a panic after partial work must not leak a half summary
+		}
 		results[i] = BatchResult{Index: i, Summary: s, Err: err}
 	})
 	return results

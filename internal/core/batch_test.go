@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -83,8 +84,11 @@ func TestSummarizeCancelledBudgetReturnsPromptly(t *testing.T) {
 	_, err := Summarize(figure1, "", Options{
 		Budget: engine.NewBudget(ctx, engine.Limits{}),
 	})
-	if err != ErrNotFound {
+	if !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if !errors.Is(err, engine.ErrBudget) {
+		t.Fatalf("err = %v must classify as engine.ErrBudget", err)
 	}
 	if d := time.Since(start); d > 5*time.Second {
 		t.Fatalf("cancelled Summarize took %v to return", d)

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"flag"
+	"testing"
+
+	"stringloops/internal/engine"
+	"stringloops/internal/faultpoint"
+	"stringloops/internal/loopdb"
+)
+
+// chaosSeeds is the seed-sweep width of the chaos soak. The default sweep
+// over the 12-program corpus gives 12 × 17 = 204 distinct fault schedules;
+// the CI chaos-smoke lane runs it explicitly, `-short` shrinks it for the
+// ordinary tier-1 run.
+var chaosSeeds = flag.Int("chaos.seeds", 17, "fault schedules per corpus loop in the chaos soak")
+
+// chaosLoops picks one representative loop per corpus program: the soak
+// wants breadth across loop shapes (including unsupported and
+// non-memoryless ones), not 115 near-duplicates.
+func chaosLoops() []loopdb.Loop {
+	var out []loopdb.Loop
+	seen := map[string]bool{}
+	for _, l := range loopdb.Corpus() {
+		if seen[l.Program] {
+			continue
+		}
+		seen[l.Program] = true
+		out = append(out, l)
+	}
+	return out
+}
+
+// chaosRegistry builds the per-item registry for one (sweep seed, item)
+// pair: every site armed, rates chosen so schedules regularly hit several
+// sites per run without drowning the pipeline.
+func chaosRegistry(seed uint64, item int) *faultpoint.Registry {
+	return faultpoint.New(faultpoint.Config{
+		Seed: seed ^ faultpointItemSalt(item),
+		Rates: map[faultpoint.Site]float64{
+			faultpoint.SatUnknown:       0.05,
+			faultpoint.SatConflictStorm: 0.05,
+			faultpoint.BVNodeExhaust:    0.0002,
+			faultpoint.QCacheMiss:       0.25,
+			faultpoint.SymexForkFail:    0.05,
+			faultpoint.SymexPanic:       0.03,
+			faultpoint.CegisReject:      0.10,
+		},
+	})
+}
+
+// faultpointItemSalt decorrelates per-item schedules within one sweep seed
+// (same mixer as the registry so the salt is well spread).
+func faultpointItemSalt(item int) uint64 {
+	x := uint64(item) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func chaosItems(seed uint64, loops []loopdb.Loop) []ResilientItem {
+	items := make([]ResilientItem, len(loops))
+	for i, l := range loops {
+		items[i] = ResilientItem{Source: l.Source, Func: l.FuncName, Opts: ResilientOptions{
+			Options: Options{Faults: chaosRegistry(seed, i)},
+			// Pure resource limits: no wall clock anywhere, so a schedule's
+			// outcome is a function of the seed alone, not machine speed.
+			Limits:      engine.Limits{Conflicts: 5000, Forks: 20000, Nodes: 500000},
+			MaxLimits:   engine.Limits{Conflicts: 20000, Forks: 80000, Nodes: 2000000},
+			MaxAttempts: 2,
+			Seed:        seed,
+		}}
+	}
+	return items
+}
+
+// TestChaosSoak drives the resilient batch path over one loop per corpus
+// program under seeded fault storms: every item must come back as a typed
+// outcome (no escaped panic — an escape would crash the test binary — and
+// no RungFailed, because the smoke floor needs nothing the faults can
+// break), and the same seed must reproduce bit-identical outcomes
+// regardless of worker count.
+func TestChaosSoak(t *testing.T) {
+	loops := chaosLoops()
+	if len(loops) < 10 {
+		t.Fatalf("corpus has %d programs, expected the full 13", len(loops))
+	}
+	seeds := *chaosSeeds
+	if testing.Short() {
+		seeds = 2
+	}
+	schedules := 0
+	rungCount := map[Rung]int{}
+	for s := 0; s < seeds; s++ {
+		seed := uint64(s)*0x9e3779b9 + 1
+		parallel := SummarizeAllResilient(chaosItems(seed, loops), 4)
+		serial := SummarizeAllResilient(chaosItems(seed, loops), 1)
+		for i := range parallel {
+			schedules++
+			p, q := parallel[i], serial[i]
+			rungCount[p.Rung]++
+
+			// Typed outcome: a reached rung always carries its payload.
+			switch p.Rung {
+			case RungFull:
+				if p.Summary == nil {
+					t.Errorf("seed %d %s: full rung without summary", seed, loops[i].Name)
+				}
+			case RungMemoryless:
+				if p.Memoryless == nil {
+					t.Errorf("seed %d %s: memoryless rung without report", seed, loops[i].Name)
+				}
+			case RungCovering:
+				if p.Covering == nil {
+					t.Errorf("seed %d %s: covering rung without inputs", seed, loops[i].Name)
+				}
+			case RungSmoke:
+				if p.Smoke == nil {
+					t.Errorf("seed %d %s: smoke rung without result", seed, loops[i].Name)
+				}
+			default:
+				t.Errorf("seed %d %s: rung failed (%v) — the smoke floor must always hold", seed, loops[i].Name, p.Err)
+			}
+			// Injected panics must surface as recorded attempts, never as
+			// process crashes, and errors must stay classified.
+			for _, a := range p.Attempts {
+				if a.Err == nil {
+					continue
+				}
+				if a.Panicked {
+					var pe *PanicError
+					if !errors.As(a.Err, &pe) {
+						t.Errorf("seed %d %s: panicked attempt without PanicError: %v", seed, loops[i].Name, a.Err)
+					}
+				}
+			}
+
+			// Replay determinism: same seed, different worker count.
+			if p.Rung != q.Rung {
+				t.Errorf("seed %d %s: rung %v (4 workers) vs %v (serial)", seed, loops[i].Name, p.Rung, q.Rung)
+				continue
+			}
+			if (p.Summary == nil) != (q.Summary == nil) ||
+				(p.Summary != nil && p.Summary.Encoded != q.Summary.Encoded) {
+				t.Errorf("seed %d %s: summaries differ across worker counts", seed, loops[i].Name)
+			}
+			if len(p.Attempts) != len(q.Attempts) {
+				t.Errorf("seed %d %s: %d attempts vs %d", seed, loops[i].Name, len(p.Attempts), len(q.Attempts))
+				continue
+			}
+			for j := range p.Attempts {
+				pa, qa := p.Attempts[j], q.Attempts[j]
+				if pa.Rung != qa.Rung || pa.Limits != qa.Limits || pa.Panicked != qa.Panicked {
+					t.Errorf("seed %d %s attempt %d: %+v vs %+v", seed, loops[i].Name, j, pa, qa)
+				}
+				if (pa.Err == nil) != (qa.Err == nil) ||
+					(pa.Err != nil && !pa.Panicked && pa.Err.Error() != qa.Err.Error()) {
+					t.Errorf("seed %d %s attempt %d: err %v vs %v", seed, loops[i].Name, j, pa.Err, qa.Err)
+				}
+			}
+		}
+	}
+	t.Logf("chaos soak: %d schedules, rung distribution: full=%d memoryless=%d covering=%d smoke=%d",
+		schedules, rungCount[RungFull], rungCount[RungMemoryless], rungCount[RungCovering], rungCount[RungSmoke])
+	if !testing.Short() && schedules < 200 {
+		t.Errorf("only %d fault schedules exercised, want >= 200", schedules)
+	}
+	// The sweep must actually degrade somewhere: a soak where every schedule
+	// lands on RungFull never exercised the ladder.
+	if rungCount[RungFull] == schedules {
+		t.Error("no schedule degraded below the full rung — fault rates too low to test anything")
+	}
+}

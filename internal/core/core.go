@@ -17,6 +17,7 @@ import (
 	"stringloops/internal/cir"
 	"stringloops/internal/cstr"
 	"stringloops/internal/engine"
+	"stringloops/internal/faultpoint"
 	"stringloops/internal/idiom"
 	"stringloops/internal/memoryless"
 	"stringloops/internal/qcache"
@@ -48,6 +49,10 @@ type Options struct {
 	// memorylessness verification, guaranteeing the summary is equivalent on
 	// strings of every length, not just the bounded check.
 	RequireMemoryless bool
+	// Faults, when non-nil, arms the fault-injection sites of the whole
+	// pipeline (memorylessness check and synthesis) under one seeded
+	// schedule. Nil (the default) disables injection at zero cost.
+	Faults *faultpoint.Registry
 }
 
 // Summary is a synthesised loop summary.
@@ -114,8 +119,14 @@ func Summarize(source, funcName string, opts Options) (*Summary, error) {
 		return nil, err
 	}
 
-	report := memoryless.VerifyBudget(f, max(3, opts.MaxExampleLength), opts.Budget)
+	report := memoryless.VerifyFaults(f, max(3, opts.MaxExampleLength), opts.Budget, opts.Faults)
 	if opts.RequireMemoryless && !report.Memoryless {
+		if report.Err != nil {
+			// The check was interrupted, not refuted: keep the budget
+			// classification (engine.ErrBudget) in the chain so callers can
+			// retry with a larger budget.
+			return nil, fmt.Errorf("%w: %w", ErrNotMemoryless, report.Err)
+		}
 		return nil, fmt.Errorf("%w: %s", ErrNotMemoryless, report.Reason)
 	}
 
@@ -125,6 +136,7 @@ func Summarize(source, funcName string, opts Options) (*Summary, error) {
 		MaxExSize:   opts.MaxExampleLength,
 		Timeout:     opts.Timeout,
 		Budget:      opts.Budget,
+		Faults:      opts.Faults,
 	}
 	if opts.Vocabulary != "" {
 		v, err := vocab.VocabularyOf(opts.Vocabulary)
@@ -138,6 +150,12 @@ func Summarize(source, funcName string, opts Options) (*Summary, error) {
 		return nil, err
 	}
 	if !out.Found {
+		if err != nil {
+			// Budget exhaustion: still "no summary found" to existing callers
+			// (errors.Is ErrNotFound), but with the exhaustion cause in the
+			// chain so errors.Is(·, engine.ErrBudget) classifies it retryable.
+			return nil, fmt.Errorf("%w: %w", ErrNotFound, err)
+		}
 		return nil, ErrNotFound
 	}
 	s := &Summary{

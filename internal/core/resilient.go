@@ -1,0 +1,331 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"stringloops/internal/bv"
+	"stringloops/internal/cir"
+	"stringloops/internal/cstr"
+	"stringloops/internal/engine"
+	"stringloops/internal/memoryless"
+	"stringloops/internal/qcache"
+	"stringloops/internal/sat"
+	"stringloops/internal/supervise"
+	"stringloops/internal/symex"
+)
+
+// Rung identifies a level of the graceful-degradation ladder walked by
+// SummarizeResilient, from the full result down to the concrete floor.
+type Rung int
+
+// The ladder, best first.
+const (
+	// RungFull is the complete summary (what Summarize returns).
+	RungFull Rung = iota
+	// RungMemoryless is the §3 memorylessness verdict alone — synthesis
+	// failed, but the loop's class is still established.
+	RungMemoryless
+	// RungCovering is a set of path-covering concrete inputs obtained from
+	// symbolic execution of the loop directly (no synthesis, no solver-heavy
+	// equivalence queries) — the §4.3 testing application degraded to the
+	// loop itself.
+	RungCovering
+	// RungSmoke is the loop's concrete behaviour on a fixed input battery,
+	// computed purely by the interpreter; it uses no solver and no symbolic
+	// engine, so it is the fault-free floor of the ladder.
+	RungSmoke
+	// RungFailed means even the floor failed (e.g. the source does not
+	// parse); Outcome.Err carries the cause.
+	RungFailed
+)
+
+func (r Rung) String() string {
+	switch r {
+	case RungFull:
+		return "full"
+	case RungMemoryless:
+		return "memoryless"
+	case RungCovering:
+		return "covering"
+	case RungSmoke:
+		return "smoke"
+	}
+	return "failed"
+}
+
+// AttemptRecord is one supervised attempt at one rung.
+type AttemptRecord struct {
+	Rung     Rung
+	Limits   engine.Limits
+	Err      error
+	Panicked bool
+}
+
+// SmokeResult is the floor rung's payload: the loop's concrete behaviour on
+// the fixed smoke battery (undefined-behaviour inputs are omitted).
+type SmokeResult struct {
+	Inputs []TestInput
+}
+
+// Outcome is the structured result of a resilient summarisation: which rung
+// was reached, its payload, and the full attempt history that led there.
+type Outcome struct {
+	// Rung is the highest rung that succeeded.
+	Rung Rung
+	// Summary is set when Rung == RungFull.
+	Summary *Summary
+	// Memoryless is set when Rung == RungMemoryless.
+	Memoryless *MemorylessReport
+	// Covering is set when Rung == RungCovering.
+	Covering []TestInput
+	// Smoke is set when Rung == RungSmoke.
+	Smoke *SmokeResult
+	// Attempts is every attempt made, across all rungs tried, in order.
+	Attempts []AttemptRecord
+	// Err is the final error when Rung == RungFailed (and the last rung
+	// error otherwise, for diagnostics; nil when RungFull succeeded on the
+	// first attempt).
+	Err error
+}
+
+// ResilientOptions configures SummarizeResilient. The embedded Options
+// configure each attempt exactly as for Summarize, except that Budget is
+// ignored: every attempt runs under a fresh budget derived from Limits so
+// escalation can actually grant more resources.
+type ResilientOptions struct {
+	Options
+	// Limits is the first attempt's resource envelope. The zero value means
+	// a wall-clock envelope from Options.Timeout (default 30s); chaos tests
+	// use pure resource limits (conflicts/forks/nodes) for determinism.
+	Limits engine.Limits
+	// MaxLimits caps escalation per field (zero fields are uncapped).
+	MaxLimits engine.Limits
+	// MaxAttempts bounds attempts per rung (default 3).
+	MaxAttempts int
+	// Multiplier scales limits between attempts (default 2).
+	Multiplier float64
+	// Backoff is the base sleep before each retry (default 0: no sleeping,
+	// which keeps batch runs deterministic).
+	Backoff time.Duration
+	// Seed drives the deterministic backoff jitter.
+	Seed uint64
+}
+
+func (o ResilientOptions) policy() supervise.Policy {
+	lim := o.Limits
+	if lim == (engine.Limits{}) {
+		t := o.Timeout
+		if t == 0 {
+			t = 30 * time.Second
+		}
+		lim = engine.Limits{Timeout: t}
+	}
+	return supervise.Policy{
+		MaxAttempts: o.MaxAttempts,
+		Multiplier:  o.Multiplier,
+		Limits:      lim,
+		MaxLimits:   o.MaxLimits,
+		Backoff:     o.Backoff,
+		Seed:        o.Seed,
+	}
+}
+
+// SummarizeResilient summarises with supervision: panics are isolated into
+// typed errors, budget exhaustion is retried under exponentially escalating
+// limits, and when the full summary stays out of reach the ladder degrades
+// — memorylessness verdict, then covering inputs, then the concrete smoke
+// floor — so every item yields the best outcome its faults allow.
+func SummarizeResilient(source, funcName string, opts ResilientOptions) Outcome {
+	var out Outcome
+
+	// The floor rungs need the lowered loop; a lowering failure is the one
+	// genuinely unrecoverable outcome (nothing to run the interpreter on).
+	f, lowerErr := lowerNamed(source, funcName)
+	if lowerErr != nil {
+		return Outcome{Rung: RungFailed, Err: lowerErr}
+	}
+
+	maxLen := max(3, opts.MaxExampleLength)
+	rungs := []supervise.Rung{
+		{Name: RungFull.String(), Run: func(lim engine.Limits) error {
+			o := opts.Options
+			o.Budget = engine.NewBudget(nil, lim)
+			s, err := Summarize(source, funcName, o)
+			if err != nil {
+				return err
+			}
+			out.Summary = s
+			return nil
+		}},
+		{Name: RungMemoryless.String(), Run: func(lim engine.Limits) error {
+			b := engine.NewBudget(nil, lim)
+			r := memoryless.VerifyFaults(f, maxLen, b, opts.Faults)
+			if r.Err != nil {
+				return r.Err
+			}
+			m := &MemorylessReport{Memoryless: r.Memoryless, Reason: r.Reason, Elapsed: r.Elapsed}
+			if r.Memoryless {
+				m.Direction = r.Spec.Dir.String()
+			}
+			out.Memoryless = m
+			return nil
+		}},
+		{Name: RungCovering.String(), Run: func(lim engine.Limits) error {
+			b := engine.NewBudget(nil, lim)
+			inputs, err := loopCoveringInputs(f, maxLen, b, opts)
+			if err != nil {
+				return err
+			}
+			out.Covering = inputs
+			return nil
+		}},
+		{Name: RungSmoke.String(), Run: func(engine.Limits) error {
+			out.Smoke = smokeRun(f)
+			return nil
+		}},
+	}
+
+	idx, history, err := supervise.Descend(opts.policy(), rungs)
+	for ri, attempts := range history {
+		for _, a := range attempts {
+			out.Attempts = append(out.Attempts, AttemptRecord{
+				Rung: Rung(ri), Limits: a.Limits, Err: a.Err, Panicked: a.Panicked,
+			})
+		}
+	}
+	out.Err = err
+	if idx >= len(rungs) {
+		out.Rung = RungFailed
+		return out
+	}
+	out.Rung = Rung(idx)
+	// Lower rungs' payloads stay nil; a successful rung clears Err only for
+	// the top rung (lower-rung successes keep the last failure around as the
+	// reason the ladder descended).
+	if out.Rung == RungFull {
+		out.Err = nil
+	}
+	return out
+}
+
+// loopCoveringInputs generates one concrete input per feasible terminal path
+// of the loop on strings up to maxLen, directly from symbolic execution —
+// the degraded form of Summary.CoveringInputs that needs no synthesised
+// summary.
+func loopCoveringInputs(f *cir.Func, maxLen int, budget *engine.Budget, opts ResilientOptions) ([]TestInput, error) {
+	bvin := bv.NewInterner().SetBudget(budget).SetFaults(opts.Faults)
+	cache := qcache.New(bvin).SetFaults(opts.Faults)
+	buf := symex.SymbolicString(bvin, "s", maxLen)
+	eng := &symex.Engine{
+		Objects:          [][]*bv.Term{buf},
+		CheckFeasibility: true,
+		In:               bvin,
+		Budget:           budget,
+		Cache:            cache,
+		Faults:           opts.Faults,
+	}
+	paths, err := eng.Run(f, []symex.Value{symex.PtrValue(0, bvin.Int32(0))}, bv.True)
+	if err != nil {
+		return nil, err
+	}
+	var out []TestInput
+	seen := map[string]bool{}
+	for _, p := range paths {
+		if p.Err != nil {
+			continue // undefined behaviour: no test input to emit
+		}
+		st, model := cache.CheckSat(budget, 0, p.Cond)
+		if st == sat.Unknown {
+			return nil, fmt.Errorf("core: covering-input query exhausted its budget (%w)", engine.ErrBudget)
+		}
+		if st != sat.Sat {
+			continue
+		}
+		ev := bv.NewEvaluator(model)
+		raw := make([]byte, maxLen+1)
+		for i := 0; i < maxLen; i++ {
+			raw[i] = byte(ev.Term(buf[i]))
+		}
+		in := cstr.GoString(raw, 0)
+		if seen[in] {
+			continue
+		}
+		seen[in] = true
+		ti := TestInput{Input: in}
+		switch {
+		case p.Ret.IsNull():
+			ti.Null = true
+		case p.Ret.IsPtr && p.Ret.Obj == 0:
+			ti.Offset = int(int32(ev.Term(p.Ret.Off)))
+		default:
+			continue
+		}
+		out = append(out, ti)
+	}
+	// Under fault injection every path can come back errored (e.g. injected
+	// fork failures); an empty input set is no payload, so the rung reports
+	// failure and the ladder descends to the smoke floor.
+	if len(out) == 0 {
+		return nil, errors.New("core: no feasible terminal path yielded a covering input")
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Input < out[j].Input })
+	return out, nil
+}
+
+// smokeBattery is the fixed input set of the floor rung.
+var smokeBattery = []string{
+	"", " ", "a", "ab", "abc", "  x", "x  ", "0", "123", ":", "a:b", "/", "\t",
+}
+
+// smokeRun executes the loop concretely on the smoke battery. It needs only
+// the interpreter — no solver, no symbolic engine — so it succeeds whenever
+// the loop was lowered at all.
+func smokeRun(f *cir.Func) *SmokeResult {
+	res := &SmokeResult{}
+	for _, in := range smokeBattery {
+		buf := cstr.Terminate(in)
+		mem := cir.NewMemory()
+		obj := mem.AllocData(append([]byte{}, buf...))
+		r, err := cir.Exec(f, []cir.CVal{cir.PtrVal(obj, 0)}, mem, 1<<16)
+		ti := TestInput{Input: in}
+		switch {
+		case err != nil:
+			continue // undefined behaviour on this input
+		case r.Ret.IsNull():
+			ti.Null = true
+		case r.Ret.IsPtr && r.Ret.Obj == obj:
+			ti.Offset = r.Ret.Off
+		default:
+			continue
+		}
+		res.Inputs = append(res.Inputs, ti)
+	}
+	return res
+}
+
+// ResilientItem is one loop in a SummarizeAllResilient batch.
+type ResilientItem struct {
+	Source string
+	Func   string
+	Opts   ResilientOptions
+}
+
+// SummarizeAllResilient runs SummarizeResilient over every item on a bounded
+// worker pool. Like SummarizeAll, each item owns its whole pipeline (and,
+// under fault injection, its own registry), so outcomes are element-wise
+// independent of the worker count and identical across reruns with the same
+// seeds.
+func SummarizeAllResilient(items []ResilientItem, workers int) []Outcome {
+	results := make([]Outcome, len(items))
+	engine.Map(engine.Workers(workers, len(items)), len(items), func(i int) {
+		results[i] = SummarizeResilient(items[i].Source, items[i].Func, items[i].Opts)
+	})
+	return results
+}
+
+// PanicError re-exports the supervised panic type so callers of this package
+// (and the facade) can errors.As against it without importing supervise.
+type PanicError = supervise.PanicError

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"stringloops/internal/engine"
+	"stringloops/internal/faultpoint"
+	"stringloops/internal/supervise"
+)
+
+// panicAlways arms only the symex panic site, at rate 1: every symbolic
+// execution entry panics.
+func panicAlways(seed uint64) *faultpoint.Registry {
+	return faultpoint.New(faultpoint.Config{
+		Seed:  seed,
+		Rates: map[faultpoint.Site]float64{faultpoint.SymexPanic: 1},
+	})
+}
+
+// TestSummarizeAllIsolatesPanics is the regression test for the batch panic
+// exposure: one deliberately panicking item must not take down the batch,
+// and its result must carry a typed *supervise.PanicError.
+func TestSummarizeAllIsolatesPanics(t *testing.T) {
+	items := []BatchItem{
+		{Source: `char *f(char *s) { while (*s == ' ') s++; return s; }`,
+			Opts: Options{Timeout: time.Minute}},
+		{Source: figure1,
+			Opts: Options{Timeout: time.Minute, Faults: panicAlways(7)}},
+		{Source: `char *f(char *s) { while (*s == 'x') s++; return s; }`,
+			Opts: Options{Timeout: time.Minute}},
+	}
+	res := SummarizeAll(items, 2)
+	if res[0].Err != nil || res[0].Summary == nil {
+		t.Errorf("item 0 (healthy): err = %v", res[0].Err)
+	}
+	if res[2].Err != nil || res[2].Summary == nil {
+		t.Errorf("item 2 (healthy): err = %v", res[2].Err)
+	}
+	var pe *supervise.PanicError
+	if !errors.As(res[1].Err, &pe) {
+		t.Fatalf("item 1 err = %v, want *supervise.PanicError", res[1].Err)
+	}
+	var ip faultpoint.InjectedPanic
+	if v, ok := pe.Value.(faultpoint.InjectedPanic); ok {
+		ip = v
+	} else {
+		t.Fatalf("panic value %v (%T), want faultpoint.InjectedPanic", pe.Value, pe.Value)
+	}
+	if ip.Site != faultpoint.SymexPanic {
+		t.Errorf("panic site = %v, want SymexPanic", ip.Site)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic stack not captured")
+	}
+	if res[1].Summary != nil {
+		t.Error("panicked item leaked a summary")
+	}
+}
+
+// TestSummarizeResilientMatchesSummarize is the faults-off parity check:
+// with no registry armed, the resilient path must land on RungFull with a
+// summary element-wise identical to plain Summarize.
+func TestSummarizeResilientMatchesSummarize(t *testing.T) {
+	srcs := []string{
+		figure1,
+		`char *f(char *s) { while (*s == ' ') s++; return s; }`,
+		`char *f(char *s) { while (*s && *s != ':') s++; return s; }`,
+	}
+	for _, src := range srcs {
+		plain, err := Summarize(src, "", Options{Timeout: time.Minute})
+		if err != nil {
+			t.Fatalf("Summarize: %v", err)
+		}
+		out := SummarizeResilient(src, "", ResilientOptions{
+			Options: Options{Timeout: time.Minute},
+		})
+		if out.Rung != RungFull {
+			t.Fatalf("rung = %v (err %v), want full", out.Rung, out.Err)
+		}
+		if out.Summary.Encoded != plain.Encoded {
+			t.Errorf("resilient summary %q != plain %q", out.Summary.Encoded, plain.Encoded)
+		}
+		if len(out.Attempts) != 1 || out.Attempts[0].Err != nil {
+			t.Errorf("attempts = %+v, want one clean attempt", out.Attempts)
+		}
+	}
+}
+
+// TestSummarizeResilientDegradesToSmokeUnderPanicStorm: with every symbolic
+// execution panicking, the full/memoryless/covering rungs all fail but the
+// concrete smoke floor still produces a result.
+func TestSummarizeResilientDegradesToSmokeUnderPanicStorm(t *testing.T) {
+	out := SummarizeResilient(figure1, "", ResilientOptions{
+		Options: Options{Timeout: time.Minute, Faults: panicAlways(3)},
+	})
+	if out.Rung != RungSmoke {
+		t.Fatalf("rung = %v (err %v), want smoke", out.Rung, out.Err)
+	}
+	if out.Smoke == nil || len(out.Smoke.Inputs) == 0 {
+		t.Fatal("smoke payload empty")
+	}
+	// figure1 skips leading whitespace: "  x" must map to offset 2.
+	found := false
+	for _, ti := range out.Smoke.Inputs {
+		if ti.Input == "  x" {
+			found = true
+			if ti.Null || ti.Offset != 2 {
+				t.Errorf("smoke on %q = %+v, want offset 2", ti.Input, ti)
+			}
+		}
+	}
+	if !found {
+		t.Error(`smoke battery missing "  x"`)
+	}
+	// Every failed rung must have recorded a panicked attempt.
+	panicked := 0
+	for _, a := range out.Attempts {
+		if a.Panicked {
+			panicked++
+		}
+	}
+	if panicked != 3 {
+		t.Errorf("recorded %d panicked attempts, want 3 (full, memoryless, covering)", panicked)
+	}
+}
+
+// TestSummarizeResilientEscalatesBudget: a node-starved first attempt must be
+// retried with doubled limits, and the attempt history must show the
+// escalation.
+func TestSummarizeResilientEscalatesBudget(t *testing.T) {
+	out := SummarizeResilient(figure1, "", ResilientOptions{
+		Options:     Options{Timeout: time.Minute},
+		Limits:      engine.Limits{Nodes: 50},
+		MaxAttempts: 2,
+	})
+	if len(out.Attempts) < 2 {
+		t.Fatalf("attempts = %+v, want at least the escalated retry", out.Attempts)
+	}
+	if out.Attempts[0].Rung != RungFull || out.Attempts[0].Limits.Nodes != 50 {
+		t.Errorf("attempt 0 = %+v, want full rung at 50 nodes", out.Attempts[0])
+	}
+	if !errors.Is(out.Attempts[0].Err, engine.ErrBudget) {
+		t.Errorf("attempt 0 err = %v, want budget classification", out.Attempts[0].Err)
+	}
+	if out.Attempts[1].Limits.Nodes != 100 {
+		t.Errorf("attempt 1 nodes = %d, want doubled to 100", out.Attempts[1].Limits.Nodes)
+	}
+}
+
+// TestSummarizeResilientFailedOnBadSource: a source that does not parse has
+// no floor to stand on — the outcome is RungFailed with the parse error.
+func TestSummarizeResilientFailedOnBadSource(t *testing.T) {
+	out := SummarizeResilient(`int notaloop(int x) { return x; }`, "", ResilientOptions{})
+	if out.Rung != RungFailed {
+		t.Fatalf("rung = %v, want failed", out.Rung)
+	}
+	if !errors.Is(out.Err, ErrNoLoopFunction) {
+		t.Errorf("err = %v, want ErrNoLoopFunction", out.Err)
+	}
+}
+
+// TestSummarizeResilientDeterministicUnderSeed: the same fault seed must
+// reproduce the same outcome, rung, and attempt shape, serially and in a
+// batch at any worker count.
+func TestSummarizeResilientDeterministicUnderSeed(t *testing.T) {
+	mkItems := func() []ResilientItem {
+		srcs := []string{
+			figure1,
+			`char *f(char *s) { while (*s == ' ') s++; return s; }`,
+			`char *f(char *s) { while (*s && *s != ':') s++; return s; }`,
+			`char *f(char *s) { while (*s == 'a' || *s == 'b') s++; return s; }`,
+		}
+		items := make([]ResilientItem, len(srcs))
+		for i, src := range srcs {
+			items[i] = ResilientItem{Source: src, Opts: ResilientOptions{
+				Options: Options{
+					Timeout: time.Minute,
+					Faults: faultpoint.New(faultpoint.Config{
+						Seed: uint64(1000 + i),
+						Rates: map[faultpoint.Site]float64{
+							faultpoint.SatUnknown:    0.05,
+							faultpoint.BVNodeExhaust: 0.0005,
+							faultpoint.QCacheMiss:    0.2,
+							faultpoint.CegisReject:   0.1,
+						},
+					}),
+				},
+				Limits:      engine.Limits{Conflicts: 20000, Nodes: 2000000},
+				MaxAttempts: 2,
+			}}
+		}
+		return items
+	}
+	a := SummarizeAllResilient(mkItems(), 1)
+	b := SummarizeAllResilient(mkItems(), 4)
+	for i := range a {
+		if a[i].Rung != b[i].Rung {
+			t.Errorf("item %d: rung %v (serial) vs %v (parallel)", i, a[i].Rung, b[i].Rung)
+		}
+		if len(a[i].Attempts) != len(b[i].Attempts) {
+			t.Errorf("item %d: %d attempts vs %d", i, len(a[i].Attempts), len(b[i].Attempts))
+			continue
+		}
+		for j := range a[i].Attempts {
+			ae, be := a[i].Attempts[j].Err, b[i].Attempts[j].Err
+			if (ae == nil) != (be == nil) || (ae != nil && ae.Error() != be.Error()) {
+				t.Errorf("item %d attempt %d: %v vs %v", i, j, ae, be)
+			}
+		}
+		if (a[i].Summary == nil) != (b[i].Summary == nil) {
+			t.Errorf("item %d: summary presence differs", i)
+		}
+		if a[i].Summary != nil && a[i].Summary.Encoded != b[i].Summary.Encoded {
+			t.Errorf("item %d: summary %q vs %q", i, a[i].Summary.Encoded, b[i].Summary.Encoded)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"stringloops/internal/cegis"
+	"stringloops/internal/engine"
+	"stringloops/internal/memoryless"
+	"stringloops/internal/symex"
+)
+
+// TestBudgetSentinelTaxonomy pins the error taxonomy: every package-level
+// budget/timeout sentinel classifies as engine.ErrBudget, so one errors.Is
+// check at any layer recognises exhaustion no matter which layer hit it.
+func TestBudgetSentinelTaxonomy(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{
+		{"symex.ErrTimeout", symex.ErrTimeout},
+		{"symex.ErrPathLimit", symex.ErrPathLimit},
+		{"cegis.ErrTimeout", cegis.ErrTimeout},
+		{"memoryless.ErrTimeout", memoryless.ErrTimeout},
+	} {
+		if !errors.Is(tc.err, engine.ErrBudget) {
+			t.Errorf("%s does not wrap engine.ErrBudget", tc.name)
+		}
+	}
+}
+
+// TestSummarizeBudgetErrorChain walks a real exhaustion from the core API
+// surface down: a cancelled budget must surface as ErrNotFound (the
+// compatibility contract) while keeping the cegis and engine classification
+// in the chain.
+func TestSummarizeBudgetErrorChain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Summarize(figure1, "", Options{Budget: engine.NewBudget(ctx, engine.Limits{})})
+	if err == nil {
+		t.Fatal("cancelled Summarize returned nil error")
+	}
+	for _, want := range []struct {
+		name string
+		err  error
+	}{
+		{"core.ErrNotFound", ErrNotFound},
+		{"cegis.ErrTimeout", cegis.ErrTimeout},
+		{"engine.ErrBudget", engine.ErrBudget},
+	} {
+		if !errors.Is(err, want.err) {
+			t.Errorf("errors.Is(%v, %s) = false", err, want.name)
+		}
+	}
+}
+
+// TestRequireMemorylessBudgetErrorChain: when the memorylessness check itself
+// is interrupted under RequireMemoryless, the error must stay classified as
+// budget exhaustion (retryable), not as a refutation.
+func TestRequireMemorylessBudgetErrorChain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Summarize(figure1, "", Options{
+		Budget:            engine.NewBudget(ctx, engine.Limits{}),
+		RequireMemoryless: true,
+	})
+	if err == nil {
+		t.Fatal("cancelled Summarize returned nil error")
+	}
+	if !errors.Is(err, ErrNotMemoryless) {
+		t.Errorf("errors.Is(%v, ErrNotMemoryless) = false", err)
+	}
+	if !errors.Is(err, engine.ErrBudget) {
+		t.Errorf("errors.Is(%v, engine.ErrBudget) = false — an interrupted check must classify as exhaustion", err)
+	}
+}

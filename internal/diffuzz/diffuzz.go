@@ -41,6 +41,18 @@ type Options struct {
 	// that wrongly prunes a feasible path then surfaces as a "no-path"
 	// finding, turning the fuzzer into a differential test of the cache.
 	QCache bool
+	// FaultRate, when positive, arms a per-seed fault-injection registry
+	// (internal/faultpoint) over the pipeline under test, scaled so that
+	// rate 1 is a heavy storm. Only skip-safe sites are armed — injected
+	// faults degrade runs (solver Unknowns, budget exhaustion, fork
+	// failures) but can never manufacture a finding, so any finding under
+	// -faults is still a real bug, now caught on the error paths too.
+	// SymexPanic stays unarmed: the executors' panic guard reports every
+	// recovered panic as a finding by design.
+	FaultRate float64
+	// FaultSeed decorrelates fault schedules from generator seeds (default
+	// 0: the schedule for generator seed s is keyed on s alone).
+	FaultSeed uint64
 	// NoMinimize skips delta-debugging of findings.
 	NoMinimize bool
 }

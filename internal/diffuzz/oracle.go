@@ -10,6 +10,7 @@ import (
 	"stringloops/internal/cegis"
 	"stringloops/internal/cir"
 	"stringloops/internal/engine"
+	"stringloops/internal/faultpoint"
 	"stringloops/internal/memoryless"
 	"stringloops/internal/qcache"
 	"stringloops/internal/symex"
@@ -73,7 +74,8 @@ type Target struct {
 	mu     sync.Mutex
 	paths  map[int]pathSet // keyed by free content bytes (capacity - 1)
 	budget *engine.Budget
-	cache  *qcache.Cache // non-nil under Options.QCache
+	cache  *qcache.Cache        // non-nil under Options.QCache
+	faults *faultpoint.Registry // non-nil under Options.FaultRate > 0
 }
 
 type pathSet struct {
@@ -108,6 +110,27 @@ func (f *Finding) String() string {
 		f.Seed, f.Stage, f.Kind, min, in, f.Detail, f.Source)
 }
 
+// faultRegistry builds the per-seed fault schedule for a -faults run. The
+// profile arms only skip-safe sites: solver Unknowns and conflict storms,
+// cache-miss storms, candidate rejections and fork failures all make a stage
+// degrade or skip, never diverge, so findings stay trustworthy under
+// injection. SymexPanic is deliberately unarmed (the panic guard reports
+// every recovered panic as a finding) and BVNodeExhaust is unarmed because
+// the replay interner carries no per-seed budget to fail.
+func faultRegistry(seed uint64, o *Options) *faultpoint.Registry {
+	r := o.FaultRate
+	return faultpoint.New(faultpoint.Config{
+		Seed: seed ^ o.FaultSeed,
+		Rates: map[faultpoint.Site]float64{
+			faultpoint.SatUnknown:       0.05 * r,
+			faultpoint.SatConflictStorm: 0.05 * r,
+			faultpoint.QCacheMiss:       0.25 * r,
+			faultpoint.SymexForkFail:    0.02 * r,
+			faultpoint.CegisReject:      0.10 * r,
+		},
+	})
+}
+
 // guard runs fn, converting a panic into a finding against the given stage.
 // The executors must never kill the process on generated programs; a
 // recovered panic is itself a first-class fuzzing result.
@@ -137,8 +160,12 @@ func PrepareTarget(seed uint64, p *Prog, opts *Options) (*Target, *Finding) {
 		paths:     map[int]pathSet{},
 		budget:    opts.Budget,
 	}
+	if opts.FaultRate > 0 {
+		t.faults = faultRegistry(seed, opts)
+		t.in.SetFaults(t.faults)
+	}
 	if opts.QCache {
-		t.cache = qcache.New(t.in)
+		t.cache = qcache.New(t.in).SetFaults(t.faults)
 	}
 
 	if f := guard(seed, "frontend", src, nil, false, func() *Finding {
@@ -165,6 +192,7 @@ func PrepareTarget(seed uint64, p *Prog, opts *Options) (*Target, *Finding) {
 			out, err := cegis.Synthesize(t.F, cegis.Options{
 				MaxExSize: t.MaxExSize,
 				Budget:    b,
+				Faults:    t.faults,
 			})
 			// Failure to synthesize is not a finding: many generated loops
 			// have no gadget equivalent, and the budget is deliberately tiny.
@@ -181,7 +209,7 @@ func PrepareTarget(seed uint64, p *Prog, opts *Options) (*Target, *Finding) {
 				// Bounded like synthesis: a timeout is a safe "don't know"
 				// (the summary is then only compared on small buffers).
 				b := engine.NewBudget(opts.Budget.Context(), engine.Limits{Timeout: opts.SynthTimeout})
-				rep := memoryless.VerifyBudget(t.F, t.MaxExSize, b)
+				rep := memoryless.VerifyFaults(t.F, t.MaxExSize, b, t.faults)
 				t.Memoryless = rep.Memoryless && rep.Err == nil
 				return nil
 			}); f != nil {
@@ -347,6 +375,7 @@ func (t *Target) pathsFor(n int) pathSet {
 		Budget:   t.budget,
 		MaxSteps: 1 << 14,
 		MaxPaths: 1 << 14,
+		Faults:   t.faults,
 	}
 	if t.cache != nil {
 		eng.CheckFeasibility = true

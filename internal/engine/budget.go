@@ -37,6 +37,51 @@ type Limits struct {
 	Nodes int64
 }
 
+// Scale returns a copy of l with every finite limit multiplied by mult —
+// the escalation step of the supervisor's retry policy. Zero ("unlimited")
+// fields stay zero: an unlimited resource cannot be made more limited by
+// escalation. Each scaled field is capped by the corresponding non-zero
+// field of max (a zero max field means uncapped), so repeated doubling
+// converges to the cap instead of overflowing. mult <= 1 returns l
+// unchanged apart from the caps.
+func (l Limits) Scale(mult float64, max Limits) Limits {
+	if mult < 1 {
+		mult = 1
+	}
+	scaleInt := func(v, cap int64) int64 {
+		if v == 0 {
+			return 0
+		}
+		f := float64(v) * mult
+		if f > float64(1<<62) {
+			v = 1 << 62
+		} else {
+			v = int64(f)
+		}
+		if cap > 0 && v > cap {
+			v = cap
+		}
+		return v
+	}
+	out := Limits{
+		Conflicts: scaleInt(l.Conflicts, max.Conflicts),
+		Forks:     scaleInt(l.Forks, max.Forks),
+		Nodes:     scaleInt(l.Nodes, max.Nodes),
+	}
+	if l.Timeout > 0 {
+		f := float64(l.Timeout) * mult
+		if f > float64(1<<62) {
+			out.Timeout = 1 << 62
+		} else {
+			out.Timeout = time.Duration(f)
+		}
+		if max.Timeout > 0 && out.Timeout > max.Timeout {
+			out.Timeout = max.Timeout
+		}
+	}
+	return out
+}
+
 // Budget is a shared, concurrency-safe cancellation and accounting object.
 // All methods are safe on a nil receiver, which behaves as an unlimited,
 // never-cancelled budget — layers thread a *Budget without nil checks.
@@ -125,6 +170,20 @@ func (b *Budget) check() error {
 
 // Exceeded reports whether the budget is exhausted or cancelled.
 func (b *Budget) Exceeded() bool { return b.Err() != nil }
+
+// Fail forces the budget into the exhausted state with the given cause
+// (wrapped under ErrBudget), as if a limit had tripped. Layers use it to
+// convert their own fatal resource conditions — including injected
+// faults — into the uniform budget-exhaustion unwind every other layer
+// already polls for. The first cause wins; Fail after exhaustion is a
+// no-op, and Fail on a nil budget does nothing.
+func (b *Budget) Fail(cause error) {
+	if b == nil {
+		return
+	}
+	err := errors.Join(ErrBudget, cause)
+	b.done.CompareAndSwap(nil, &err)
+}
 
 // AddConflicts charges n SAT conflicts.
 func (b *Budget) AddConflicts(n int64) {

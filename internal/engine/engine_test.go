@@ -108,3 +108,90 @@ func TestWorkersClamp(t *testing.T) {
 		t.Fatalf("Workers(2,0) = %d", got)
 	}
 }
+
+func TestLimitsScaleDoubling(t *testing.T) {
+	l := Limits{Timeout: time.Second, Conflicts: 100, Forks: 10, Nodes: 1000}
+	got := l.Scale(2, Limits{})
+	want := Limits{Timeout: 2 * time.Second, Conflicts: 200, Forks: 20, Nodes: 2000}
+	if got != want {
+		t.Fatalf("Scale(2) = %+v, want %+v", got, want)
+	}
+}
+
+func TestLimitsScaleZeroStaysUnlimited(t *testing.T) {
+	l := Limits{Conflicts: 100} // everything else unlimited
+	got := l.Scale(2, Limits{})
+	if got.Timeout != 0 || got.Forks != 0 || got.Nodes != 0 {
+		t.Fatalf("unlimited fields must stay zero, got %+v", got)
+	}
+	if got.Conflicts != 200 {
+		t.Fatalf("Conflicts = %d, want 200", got.Conflicts)
+	}
+	if z := (Limits{}).Scale(4, Limits{}); z != (Limits{}) {
+		t.Fatalf("zero Limits must scale to zero, got %+v", z)
+	}
+}
+
+func TestLimitsScaleCaps(t *testing.T) {
+	l := Limits{Conflicts: 100, Nodes: 100}
+	max := Limits{Conflicts: 150} // Nodes uncapped
+	got := l.Scale(2, max)
+	if got.Conflicts != 150 {
+		t.Fatalf("Conflicts = %d, want capped at 150", got.Conflicts)
+	}
+	if got.Nodes != 200 {
+		t.Fatalf("Nodes = %d, want 200 (uncapped)", got.Nodes)
+	}
+	// Repeated doubling converges to the cap instead of overflowing.
+	cur := Limits{Conflicts: 1}
+	for i := 0; i < 200; i++ {
+		cur = cur.Scale(2, Limits{Conflicts: 1 << 20})
+	}
+	if cur.Conflicts != 1<<20 {
+		t.Fatalf("after repeated doubling Conflicts = %d, want cap 1<<20", cur.Conflicts)
+	}
+}
+
+func TestLimitsScaleNoOverflow(t *testing.T) {
+	l := Limits{Conflicts: 1 << 61, Timeout: time.Duration(1) << 61}
+	got := l.Scale(8, Limits{})
+	if got.Conflicts <= 0 || got.Conflicts > 1<<62 {
+		t.Fatalf("Conflicts overflowed: %d", got.Conflicts)
+	}
+	if got.Timeout <= 0 {
+		t.Fatalf("Timeout overflowed: %d", got.Timeout)
+	}
+}
+
+func TestLimitsScaleBelowOneIsIdentityPlusCaps(t *testing.T) {
+	l := Limits{Conflicts: 100}
+	if got := l.Scale(0.5, Limits{}); got.Conflicts != 100 {
+		t.Fatalf("Scale(0.5) shrank the limit: %+v", got)
+	}
+}
+
+func TestBudgetFail(t *testing.T) {
+	cause := errors.New("injected")
+	b := NewBudget(nil, Limits{})
+	if b.Exceeded() {
+		t.Fatal("fresh budget already exceeded")
+	}
+	b.Fail(cause)
+	if !b.Exceeded() {
+		t.Fatal("Fail must exhaust the budget")
+	}
+	if err := b.Err(); !errors.Is(err, ErrBudget) || !errors.Is(err, cause) {
+		t.Fatalf("Err = %v, want ErrBudget and the cause", err)
+	}
+	// First cause sticks.
+	b.Fail(errors.New("second"))
+	if !errors.Is(b.Err(), cause) {
+		t.Fatalf("first cause must stick, got %v", b.Err())
+	}
+	// Nil budget: no-op.
+	var nb *Budget
+	nb.Fail(cause)
+	if nb.Exceeded() {
+		t.Fatal("nil budget cannot be exceeded")
+	}
+}

@@ -20,6 +20,7 @@
 package kleebench
 
 import (
+	"errors"
 	"time"
 
 	"stringloops/internal/bv"
@@ -85,7 +86,7 @@ func VanillaWith(loop *cir.Func, n int, timeout time.Duration, cfg Config) Measu
 		Length:        n,
 		Paths:         len(paths),
 		SolverQueries: eng.Stats.SolverQueries,
-		TimedOut:      err == symex.ErrTimeout,
+		TimedOut:      errors.Is(err, symex.ErrTimeout),
 	}
 	// KLEE generates a concrete test input per terminated path.
 	for _, p := range paths {

@@ -24,6 +24,7 @@ import (
 	"stringloops/internal/bv"
 	"stringloops/internal/cir"
 	"stringloops/internal/engine"
+	"stringloops/internal/faultpoint"
 	"stringloops/internal/qcache"
 	"stringloops/internal/sat"
 	"stringloops/internal/symex"
@@ -94,8 +95,10 @@ type Report struct {
 // subset.
 var ErrUnsupported = errors.New("memoryless: loop not supported")
 
-// ErrTimeout means the budget expired before the bounded check finished.
-var ErrTimeout = errors.New("memoryless: budget exhausted")
+// ErrTimeout means the budget expired before the bounded check finished. It
+// wraps engine.ErrBudget so callers can classify it as retryable exhaustion
+// with errors.Is(err, engine.ErrBudget).
+var ErrTimeout = fmt.Errorf("memoryless: budget exhausted (%w)", engine.ErrBudget)
 
 // Verify checks that the loop (a char* loopFunction(char*) cir function) is
 // memoryless, inferring a specification and discharging the bounded
@@ -108,6 +111,13 @@ func Verify(loop *cir.Func, maxLen int) Report {
 // solver poll b and the report comes back with Err == ErrTimeout (not a
 // refutation) when it expires first. A nil budget is unlimited.
 func VerifyBudget(loop *cir.Func, maxLen int, budget *engine.Budget) Report {
+	return VerifyFaults(loop, maxLen, budget, nil)
+}
+
+// VerifyFaults is VerifyBudget with a fault-injection registry threaded into
+// the verification pipeline (interner, query cache, symbolic engine). A nil
+// registry disables injection at zero cost.
+func VerifyFaults(loop *cir.Func, maxLen int, budget *engine.Budget, faults *faultpoint.Registry) Report {
 	start := time.Now()
 	done := func(ok bool, spec *Spec, reason string) Report {
 		return Report{Memoryless: ok, Spec: spec, Reason: reason, Elapsed: time.Since(start)}
@@ -131,7 +141,7 @@ func VerifyBudget(loop *cir.Func, maxLen int, budget *engine.Budget) Report {
 		return done(false, nil, "inference: "+reason)
 	}
 
-	ok, cex, err := checkEquivalence(loop, spec, maxLen, budget)
+	ok, cex, err := checkEquivalence(loop, spec, maxLen, budget, faults)
 	if err != nil {
 		r := done(false, spec, err.Error())
 		if errors.Is(err, ErrTimeout) {
@@ -355,15 +365,15 @@ func (spec *Spec) missResult(k int) vocab.Result {
 
 // checkEquivalence discharges the bounded check: loop ≡ spec on all strings
 // of length <= maxLen, trying forward then backward traversal.
-func checkEquivalence(loop *cir.Func, spec *Spec, maxLen int, budget *engine.Budget) (bool, []byte, error) {
-	bvin := bv.NewInterner().SetBudget(budget)
-	cache := qcache.New(bvin)
+func checkEquivalence(loop *cir.Func, spec *Spec, maxLen int, budget *engine.Budget, faults *faultpoint.Registry) (bool, []byte, error) {
+	bvin := bv.NewInterner().SetBudget(budget).SetFaults(faults)
+	cache := qcache.New(bvin).SetFaults(faults)
 	buf := symex.SymbolicString(bvin, "s", maxLen)
-	eng := &symex.Engine{Objects: [][]*bv.Term{buf}, CheckFeasibility: true, In: bvin, Budget: budget, Cache: cache}
+	eng := &symex.Engine{Objects: [][]*bv.Term{buf}, CheckFeasibility: true, In: bvin, Budget: budget, Cache: cache, Faults: faults}
 	paths, err := eng.Run(loop, []symex.Value{symex.PtrValue(0, bvin.Int32(0))}, bv.True)
 	if err != nil {
 		if errors.Is(err, symex.ErrTimeout) {
-			return false, nil, ErrTimeout
+			return false, nil, fmt.Errorf("%w: %w", ErrTimeout, err)
 		}
 		return false, nil, fmt.Errorf("%w: %v", ErrUnsupported, err)
 	}

@@ -32,6 +32,7 @@ import (
 
 	"stringloops/internal/bv"
 	"stringloops/internal/engine"
+	"stringloops/internal/faultpoint"
 	"stringloops/internal/sat"
 )
 
@@ -123,6 +124,7 @@ type Cache struct {
 	models []*bv.Assignment
 
 	solver *bv.Solver
+	faults *faultpoint.Registry
 	stats  Stats
 }
 
@@ -136,6 +138,20 @@ func New(in *bv.Interner) *Cache {
 		exact:    map[string]exactEntry{},
 		solver:   bv.NewSolver(),
 	}
+}
+
+// SetFaults arms the QCacheMiss injection site: a firing makes one group
+// skip the reuse rules and go straight to the SAT solver — a cache-miss
+// storm. Verdicts stay correct (the solver is the ground truth the cache
+// only short-circuits), so this site degrades throughput, never answers.
+// The registry is also handed to the incremental solver so the sat.* sites
+// fire under the same schedule. Returns the cache for chaining.
+func (c *Cache) SetFaults(f *faultpoint.Registry) *Cache {
+	c.mu.Lock()
+	c.faults = f
+	c.solver.Faults = f
+	c.mu.Unlock()
+	return c
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -229,6 +245,13 @@ func (c *Cache) IsValid(b *engine.Budget, maxConflicts int64, f *bv.Bool) (valid
 func (c *Cache) checkGroup(b *engine.Budget, maxConflicts int64, g group) (sat.Status, *bv.Assignment) {
 	key := idKey(g.ids)
 
+	if c.faults.Fire(faultpoint.QCacheMiss) {
+		// Injected miss storm: bypass every reuse rule and pay the solver.
+		c.stats.Misses++
+		b.AddCacheMisses(1)
+		return c.solveGroup(b, maxConflicts, key, g)
+	}
+
 	if e, ok := c.exact[key]; ok {
 		c.stats.ExactHits++
 		b.AddCacheHits(1)
@@ -278,6 +301,7 @@ func (c *Cache) checkGroup(b *engine.Budget, maxConflicts int64, g group) (sat.S
 func (c *Cache) solveGroup(b *engine.Budget, maxConflicts int64, key string, g group) (sat.Status, *bv.Assignment) {
 	if c.solver.NumSATVars() > maxSolverVars {
 		c.solver = bv.NewSolver()
+		c.solver.Faults = c.faults
 		c.stats.Rebuilds++
 	}
 	c.solver.MaxConflicts = maxConflicts

@@ -21,7 +21,10 @@
 // running unbounded.
 package sat
 
-import "stringloops/internal/engine"
+import (
+	"stringloops/internal/engine"
+	"stringloops/internal/faultpoint"
+)
 
 // Lit is a literal: variable index shifted left once, low bit 1 for negated.
 type Lit int32
@@ -117,7 +120,25 @@ type Solver struct {
 	// periodically inside the search loop; an exhausted or cancelled budget
 	// makes Solve return Unknown promptly.
 	Budget *engine.Budget
+	// Faults, when non-nil, is consulted once per SolveAssuming call: the
+	// SatUnknown site forces an Unknown give-up, the SatConflictStorm site
+	// charges a burst of conflicts to the shared budget before searching.
+	// Both are query-granular, so the CDCL inner loop stays fault-free and
+	// full speed. Nil means no injection.
+	Faults *faultpoint.Registry
 }
+
+// Injected-fault magnitudes: a forced give-up still burned real work in a
+// production solver, and a conflict storm models a pathological query, so
+// both charge the shared budget in realistic lumps.
+const (
+	// faultGiveUpConflicts is charged when SatUnknown forces an Unknown,
+	// so repeated forced give-ups exhaust a conflict-limited budget the
+	// way organic hard queries would.
+	faultGiveUpConflicts = 64
+	// faultStormConflicts is charged by one SatConflictStorm firing.
+	faultStormConflicts = 256
+)
 
 // budgetPollMask controls how often the search loop polls the shared budget:
 // every (budgetPollMask+1)-th conflict. Polling is cheap (an atomic load on
@@ -397,6 +418,16 @@ func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
 		return Unsat
 	}
 	if s.Budget.Exceeded() {
+		return Unknown
+	}
+	if s.Faults.Fire(faultpoint.SatConflictStorm) {
+		s.Budget.AddConflicts(faultStormConflicts)
+		if s.Budget.Exceeded() {
+			return Unknown
+		}
+	}
+	if s.Faults.Fire(faultpoint.SatUnknown) {
+		s.Budget.AddConflicts(faultGiveUpConflicts)
 		return Unknown
 	}
 	s.assumptions = assumptions

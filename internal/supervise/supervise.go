@@ -1,0 +1,176 @@
+// Package supervise isolates and retries unreliable pipeline work: it
+// converts panics into typed errors with the goroutine stack attached,
+// retries budget-exhausted attempts under exponentially escalating limits,
+// and walks a caller-supplied degradation ladder so a batch item that cannot
+// produce its full result still produces the best result it can.
+//
+// The package is deliberately domain-free — it knows about engine.Limits and
+// engine.ErrBudget, nothing else — so the summarisation ladder in
+// internal/core and any future pipeline (benchmark drivers, fuzzers) can
+// share the same supervision semantics.
+package supervise
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"stringloops/internal/engine"
+)
+
+// PanicError is a recovered panic, preserving the panic value and the stack
+// of the panicking goroutine. It lets batch drivers treat a panic in one
+// item like any other per-item error instead of tearing the process down.
+type PanicError struct {
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the formatted stack trace captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("supervise: panic: %v", e.Value)
+}
+
+// Guard runs fn, converting a panic into a *PanicError return. The returned
+// error is fn's own error when it returns normally.
+func Guard(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			buf := make([]byte, 64<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = &PanicError{Value: v, Stack: buf}
+		}
+	}()
+	return fn()
+}
+
+// Policy configures Retry and Descend. The zero value retries up to 3
+// attempts, doubling every non-zero limit between attempts, with no backoff
+// sleep and engine.ErrBudget as the retryable classification.
+type Policy struct {
+	// MaxAttempts bounds the attempts per rung (default 3; values < 1 mean
+	// the default).
+	MaxAttempts int
+	// Multiplier scales every non-zero limit field between attempts
+	// (default 2; values <= 1 escalate nothing).
+	Multiplier float64
+	// Limits is the starting resource envelope handed to the first attempt.
+	// Zero fields are unlimited and stay unlimited across escalation.
+	Limits engine.Limits
+	// MaxLimits caps escalation per field; zero fields are uncapped.
+	MaxLimits engine.Limits
+	// Retryable classifies errors worth retrying with a larger budget.
+	// Nil means errors.Is(err, engine.ErrBudget). Panics are never retried.
+	Retryable func(error) bool
+	// Backoff is the base sleep before each retry (attempt n sleeps
+	// Backoff + jitter; zero disables sleeping entirely, keeping tests and
+	// chaos soaks deterministic in wall-clock-free mode).
+	Backoff time.Duration
+	// Seed drives the deterministic backoff jitter.
+	Seed uint64
+	// Sleep replaces time.Sleep (tests). Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 3
+	}
+	if p.Multiplier == 0 {
+		p.Multiplier = 2
+	}
+	if p.Retryable == nil {
+		p.Retryable = func(err error) bool { return errors.Is(err, engine.ErrBudget) }
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// Attempt records one supervised try.
+type Attempt struct {
+	// Limits is the resource envelope the attempt ran under.
+	Limits engine.Limits
+	// Err is the attempt's outcome (nil on success; *PanicError when it
+	// panicked).
+	Err error
+	// Panicked reports that Err is a recovered panic.
+	Panicked bool
+}
+
+// splitmix64 is the jitter mixer (same construction as internal/faultpoint,
+// duplicated to keep this package dependency-free beyond engine).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// jitter returns a deterministic duration in [0, base) for the given attempt.
+func jitter(seed uint64, attempt int, base time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	h := splitmix64(seed ^ splitmix64(uint64(attempt)+1))
+	return time.Duration(h % uint64(base))
+}
+
+// Retry runs fn under Guard with escalating limits until it succeeds,
+// returns a non-retryable error, panics, or MaxAttempts is reached. It
+// returns the attempt history alongside the final error; attempts[len-1].Err
+// is always the returned error (nil on success).
+func Retry(p Policy, fn func(limits engine.Limits) error) ([]Attempt, error) {
+	p = p.withDefaults()
+	limits := p.Limits
+	var attempts []Attempt
+	for n := 0; n < p.MaxAttempts; n++ {
+		if n > 0 {
+			if d := p.Backoff + jitter(p.Seed, n, p.Backoff); d > 0 {
+				p.Sleep(d)
+			}
+		}
+		err := Guard(func() error { return fn(limits) })
+		var pe *PanicError
+		panicked := errors.As(err, &pe)
+		attempts = append(attempts, Attempt{Limits: limits, Err: err, Panicked: panicked})
+		if err == nil {
+			return attempts, nil
+		}
+		if panicked || !p.Retryable(err) {
+			return attempts, err
+		}
+		limits = limits.Scale(p.Multiplier, p.MaxLimits)
+	}
+	return attempts, attempts[len(attempts)-1].Err
+}
+
+// Rung is one level of a degradation ladder: a named, progressively cheaper
+// way to extract some value from a failing item.
+type Rung struct {
+	// Name identifies the rung in reports ("full", "memoryless", ...).
+	Name string
+	// Run attempts the rung under the given limits.
+	Run func(limits engine.Limits) error
+}
+
+// Descend walks the ladder top to bottom. Each rung gets a full Retry cycle
+// (escalating limits, panic isolation); the first rung that succeeds wins.
+// It returns the index of the successful rung (or len(rungs) when every rung
+// failed), the per-rung attempt history, and the last error.
+func Descend(p Policy, rungs []Rung) (int, [][]Attempt, error) {
+	history := make([][]Attempt, 0, len(rungs))
+	var lastErr error
+	for i, r := range rungs {
+		attempts, err := Retry(p, r.Run)
+		history = append(history, attempts)
+		if err == nil {
+			return i, history, nil
+		}
+		lastErr = err
+	}
+	return len(rungs), history, lastErr
+}

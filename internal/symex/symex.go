@@ -19,6 +19,7 @@ import (
 	"stringloops/internal/bv"
 	"stringloops/internal/cir"
 	"stringloops/internal/engine"
+	"stringloops/internal/faultpoint"
 	"stringloops/internal/qcache"
 	"stringloops/internal/sat"
 )
@@ -64,10 +65,13 @@ var (
 	ErrStepLimit = errors.New("symex: step limit exceeded")
 	// ErrUnsupported marks operations outside the modelled subset.
 	ErrUnsupported = errors.New("symex: unsupported operation")
-	// ErrTimeout means the whole run exhausted its budget.
-	ErrTimeout = errors.New("symex: budget exhausted")
-	// ErrPathLimit means the run exceeded its path budget.
-	ErrPathLimit = errors.New("symex: path limit exceeded")
+	// ErrTimeout means the whole run exhausted its budget. It wraps
+	// engine.ErrBudget, so callers at any layer can classify it as
+	// retryable exhaustion with errors.Is(err, engine.ErrBudget).
+	ErrTimeout = fmt.Errorf("symex: budget exhausted (%w)", engine.ErrBudget)
+	// ErrPathLimit means the run exceeded its path budget — a resource
+	// cap, so it too wraps engine.ErrBudget.
+	ErrPathLimit = fmt.Errorf("symex: path limit exceeded (%w)", engine.ErrBudget)
 )
 
 // Stats counts work done by a run.
@@ -112,12 +116,20 @@ type Engine struct {
 	// query. It must be scoped to the same interner as In — forks sharing a
 	// path prefix then re-use its encoding and cached verdicts.
 	Cache *qcache.Cache
+	// Faults, when non-nil, arms the symex injection sites: SymexPanic
+	// panics at Run entry with a faultpoint.InjectedPanic (the supervisor's
+	// poison pill), and SymexForkFail aborts the run at a fork with
+	// ErrTimeout, as if the fork had failed in a resource-starved engine.
+	Faults *faultpoint.Registry
 
 	Stats Stats
 
 	// pending collects terminal paths emitted by forking intrinsics
 	// (stringCall); Run drains it into the result set.
 	pending []Path
+	// injectedErr latches a SymexForkFail firing inside branch (which has
+	// no error return); the work loop surfaces it on its next iteration.
+	injectedErr error
 }
 
 // state is one in-flight execution path.
@@ -153,6 +165,13 @@ func (s *state) fork() *state {
 // (operands of unknown kind) surfaces as an ErrUnsupported error naming the
 // function, block and instruction, never as a panic.
 func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) (rpaths []Path, rerr error) {
+	if e.Faults.Fire(faultpoint.SymexPanic) {
+		panic(faultpoint.InjectedPanic{
+			Site: faultpoint.SymexPanic,
+			Seq:  e.Faults.Fired(faultpoint.SymexPanic),
+		})
+	}
+	e.injectedErr = nil
 	var curState *state
 	defer func() {
 		if r := recover(); r != nil {
@@ -215,6 +234,9 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) (rpaths []Path, r
 	}
 
 	for len(work) > 0 {
+		if e.injectedErr != nil {
+			return paths, e.injectedErr
+		}
 		if e.Budget.Exceeded() {
 			return paths, ErrTimeout
 		}
@@ -372,6 +394,12 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) (rpaths []Path, r
 			}
 		}
 	}
+	// A fork failure on the final worklist item drains the list before the
+	// loop head re-checks the latch; surface it here too, or a partial path
+	// set would masquerade as a complete one.
+	if e.injectedErr != nil {
+		return paths, e.injectedErr
+	}
 	return paths, nil
 }
 
@@ -398,6 +426,13 @@ func (e *Engine) branch(s *state, cond *bv.Bool, thenB, elseB *cir.Block, work [
 	}
 	e.Stats.Forks++
 	e.Budget.AddForks(1)
+	if e.Faults.Fire(faultpoint.SymexForkFail) {
+		// A failed fork poisons the whole run, not just this state: partial
+		// path sets must never masquerade as complete ones. The work loop
+		// surfaces the latched error on its next iteration.
+		e.injectedErr = fmt.Errorf("%w: injected fork failure (%w)", ErrTimeout, faultpoint.ErrInjected)
+		return work
+	}
 	other := s.fork()
 	work = take(s, cond, thenB)
 	work = take(other, bvin.BNot1(cond), elseB)

@@ -54,13 +54,46 @@ type config struct {
 	revN int // -1 = forward space; otherwise reversed with strlen == revN
 }
 
+// guardedConfigs is an insertion-ordered map from configurations to guards.
+// The order matters for determinism, not correctness: guards are accumulated
+// with BOr2 while iterating, so iterating a plain Go map would make the
+// *shape* of the guard formulas (and hence the set of interned bv nodes)
+// follow the runtime's randomized map order — semantically equal run to run,
+// but different DAGs, which breaks bit-identical replay of seeded
+// fault-injection schedules.
+type guardedConfigs struct {
+	order []config
+	guard map[config]*bv.Bool
+}
+
+func newGuardedConfigs() *guardedConfigs {
+	return &guardedConfigs{guard: map[config]*bv.Bool{}}
+}
+
+func (gc *guardedConfigs) add(bvin *bv.Interner, c config, g *bv.Bool) {
+	if g == bv.False {
+		return
+	}
+	if old, ok := gc.guard[c]; ok {
+		gc.guard[c] = bvin.BOr2(old, g)
+		return
+	}
+	gc.order = append(gc.order, c)
+	gc.guard[c] = g
+}
+
 // RunSymbolic interprets prog over the symbolic string s, returning guarded
 // terminal outcomes whose guards are pairwise disjoint and cover all strings
 // in the bounded domain. The result offsets are in the original buffer.
+// The outcome order and the structure of every guard are deterministic
+// functions of (prog, s): configurations are processed and merged in
+// first-reached order.
 func RunSymbolic(prog SymProgram, s *strsolver.SymString) []SymOutcome {
 	bvin := s.Interner()
 	maxLen := s.MaxLen()
-	live := map[config]*bv.Bool{{kind: Ptr, off: 0, revN: -1}: bv.True}
+	live := newGuardedConfigs()
+	live.add(bvin, config{kind: Ptr, off: 0, revN: -1}, bv.True)
+	var termOrder []Result
 	terminal := map[Result]*bv.Bool{}
 
 	// Reversed views, built lazily per concrete length.
@@ -91,15 +124,8 @@ func RunSymbolic(prog SymProgram, s *strsolver.SymString) []SymOutcome {
 		return c.revN
 	}
 
-	addLive := func(next map[config]*bv.Bool, c config, g *bv.Bool) {
-		if g == bv.False {
-			return
-		}
-		if old, ok := next[c]; ok {
-			next[c] = bvin.BOr2(old, g)
-		} else {
-			next[c] = g
-		}
+	addLive := func(next *guardedConfigs, c config, g *bv.Bool) {
+		next.add(bvin, c, g)
 	}
 	addTerminal := func(r Result, g *bv.Bool) {
 		if g == bv.False {
@@ -108,14 +134,16 @@ func RunSymbolic(prog SymProgram, s *strsolver.SymString) []SymOutcome {
 		if old, ok := terminal[r]; ok {
 			terminal[r] = bvin.BOr2(old, g)
 		} else {
+			termOrder = append(termOrder, r)
 			terminal[r] = g
 		}
 	}
 	invalid := func(g *bv.Bool) { addTerminal(InvalidResult(), g) }
 
 	for pc, in := range prog {
-		next := map[config]*bv.Bool{}
-		for c, g := range live {
+		next := newGuardedConfigs()
+		for _, c := range live.order {
+			g := live.guard[c]
 			if c.skip {
 				c.skip = false
 				addLive(next, c, g)
@@ -245,13 +273,13 @@ func RunSymbolic(prog SymProgram, s *strsolver.SymString) []SymOutcome {
 		live = next
 	}
 	// Out of instructions: remaining configurations are invalid.
-	for _, g := range live {
-		invalid(g)
+	for _, c := range live.order {
+		invalid(live.guard[c])
 	}
 
 	out := make([]SymOutcome, 0, len(terminal))
-	for r, g := range terminal {
-		out = append(out, SymOutcome{Guard: g, Res: r})
+	for _, r := range termOrder {
+		out = append(out, SymOutcome{Guard: terminal[r], Res: r})
 	}
 	return out
 }

@@ -116,6 +116,40 @@ func FindCandidates(source string) ([]Candidate, error) {
 	return core.FindCandidates(source)
 }
 
+// Rung identifies a level of SummarizeResilient's graceful-degradation
+// ladder (full summary, memorylessness verdict, covering inputs, concrete
+// smoke run, failed).
+type Rung = core.Rung
+
+// The ladder rungs, best first.
+const (
+	RungFull       = core.RungFull
+	RungMemoryless = core.RungMemoryless
+	RungCovering   = core.RungCovering
+	RungSmoke      = core.RungSmoke
+	RungFailed     = core.RungFailed
+)
+
+// Outcome is the structured result of a resilient summarisation: the rung
+// reached, its payload, and the attempt history (limits, errors, panics).
+type Outcome = core.Outcome
+
+// AttemptRecord is one supervised attempt at one rung of an Outcome.
+type AttemptRecord = core.AttemptRecord
+
+// PanicError is the typed error a recovered panic surfaces as; use errors.As
+// to detect one in an Outcome's attempt history or a batch result.
+type PanicError = core.PanicError
+
+// SummarizeResilient is Summarize with supervision: panics are isolated into
+// typed errors, budget exhaustion is retried under escalating limits, and
+// when the full summary stays out of reach the result degrades rung by rung
+// instead of failing outright. With default options it attempts each rung up
+// to three times under the same Timeout as Summarize.
+func SummarizeResilient(source, funcName string, opts Options) Outcome {
+	return core.SummarizeResilient(source, funcName, core.ResilientOptions{Options: opts.toCore()})
+}
+
 // IdiomRewrite is the outcome of RewriteIdiom.
 type IdiomRewrite = core.IdiomRewrite
 
