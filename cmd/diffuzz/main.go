@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"stringloops/internal/cliflags"
 	"stringloops/internal/diffuzz"
 	"stringloops/internal/engine"
 )
@@ -26,17 +27,23 @@ func main() {
 		base    = flag.Uint64("seed", 1, "first generator seed")
 		inputs  = flag.Int("inputs", 8, "random input buffers per program")
 		maxlen  = flag.Int("maxlen", 6, "max content bytes per input buffer")
-		jobs    = flag.Int("j", 0, "parallel workers (0 = NumCPU)")
+		jobs    = cliflags.Jobs(nil, 0)
 		synth   = flag.Duration("synth", 300*time.Millisecond, "per-program synthesis budget (<=0 disables the summary stage)")
 		maxex   = flag.Int("maxex", 3, "bounded-verification string size (paper max_ex_size)")
 		timeout = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
 		nomin   = flag.Bool("nomin", false, "skip finding minimization")
-		qcache  = flag.Bool("qcache", false, "route symex feasibility checks through the query cache (differentially tests internal/qcache)")
+		qcache  = cliflags.QCache(nil, false)
 		faults  = flag.Float64("faults", 0, "fault-injection intensity in [0,1]: seeded skip-safe fault storms over the pipeline under test (0 disables)")
 		fseed   = flag.Uint64("faultseed", 0, "decorrelate fault schedules from generator seeds")
 		verbose = flag.Bool("v", false, "print per-finding sources even when clean")
 	)
+	obsFlags := cliflags.Obs(nil)
 	flag.Parse()
+	sess, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diffuzz: %v\n", err)
+		os.Exit(2)
+	}
 
 	opts := diffuzz.Options{
 		Seeds:        *seeds,
@@ -54,8 +61,11 @@ func main() {
 	if *synth <= 0 {
 		opts.SynthTimeout = -time.Millisecond
 	}
-	if *timeout > 0 {
-		opts.Budget = engine.WithTimeout(*timeout)
+	// A session or overall timeout both ride the root budget: per-seed
+	// budgets derive from its context, so the obs handles reach every
+	// pipeline under test without diffuzz-internal wiring.
+	if *timeout > 0 || sess.Tracer != nil {
+		opts.Budget = engine.NewBudget(sess.Context(nil), engine.Limits{Timeout: *timeout})
 	}
 
 	rep := diffuzz.Run(opts)
@@ -64,6 +74,10 @@ func main() {
 		rep.Programs, rep.Synthesized, rep.Memoryless, rep.Checks, rep.Skipped,
 		rep.Elapsed.Round(time.Millisecond))
 
+	if err := sess.Finish(os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "diffuzz: %v\n", err)
+		os.Exit(1)
+	}
 	if len(rep.Findings) == 0 {
 		fmt.Println("diffuzz: no findings")
 		if *verbose {

@@ -6,9 +6,16 @@
 //
 // With -candidates it instead runs the automatic filter pipeline over the
 // whole file and reports which loops are worth summarising.
+//
+// With -corpus it sweeps the built-in loop database instead of a file — the
+// observability smoke mode: combined with -trace/-report it produces a
+// Chrome trace and a per-loop/per-phase run report, and it cross-checks that
+// the report's counter totals reconcile exactly with the per-loop budget
+// spend (exiting non-zero on drift).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +23,11 @@ import (
 	"time"
 
 	"stringloops"
+	"stringloops/internal/cliflags"
+	"stringloops/internal/core"
+	"stringloops/internal/engine"
+	"stringloops/internal/loopdb"
+	"stringloops/internal/obs"
 )
 
 func main() {
@@ -24,10 +36,18 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "synthesis budget")
 	maxSize := flag.Int("maxsize", 9, "maximum encoded program size")
 	requireMem := flag.Bool("memoryless", false, "fail unless the loop verifies memoryless (summary then holds for all lengths)")
-	resilient := flag.Bool("resilient", false, "degrade gracefully: report the best rung reached (summary, memorylessness, covering inputs, smoke run) instead of failing outright")
+	resilient := cliflags.Resilient(nil)
 	candidates := flag.Bool("candidates", false, "list loop candidates instead of summarising")
 	check := flag.String("check", "", "verify a refactoring: 'original,refactored' function names")
+	corpus := flag.Bool("corpus", false, "summarise the built-in loop database instead of a file")
+	sample := flag.Int("sample", 0, "with -corpus: only the first N loops (0 = all)")
+	jobs := cliflags.Jobs(nil, 1)
+	obsFlags := cliflags.Obs(nil)
 	flag.Parse()
+
+	if *corpus {
+		os.Exit(runCorpus(*sample, *jobs, *timeout, *maxSize, obsFlags))
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: loopsum [flags] file.c")
@@ -97,6 +117,96 @@ func main() {
 	}
 	fmt.Printf("synthesis: %v\n\n", summary.Elapsed.Round(time.Millisecond))
 	fmt.Println(summary.C)
+}
+
+// runCorpus sweeps the loop database with a per-loop budget carrying the
+// session's observability handles, then reconciles the report's counter
+// totals against the summed budget spend: both sides count through the same
+// engine.Budget mirrors, so any drift means an instrumentation bug.
+func runCorpus(sample, jobs int, timeout time.Duration, maxSize int, obsFlags *obs.Flags) int {
+	sess, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loopsum: %v\n", err)
+		return 2
+	}
+	loops := loopdb.Corpus()
+	if sample > 0 && sample < len(loops) {
+		loops = loops[:sample]
+	}
+	budgets := make([]*engine.Budget, len(loops))
+	outcomes := make([]string, len(loops))
+	engine.MapWorker(engine.Workers(jobs, len(loops)), len(loops), func(worker, i int) {
+		l := loops[i]
+		item := sess.Item(l.Name, l.Program, worker)
+		budget := engine.NewBudget(nil, engine.Limits{Timeout: timeout}).
+			SetObs(item.Tracer(), item.Metrics())
+		budgets[i] = budget
+		_, err := core.Summarize(l.Source, l.FuncName, core.Options{
+			MaxProgramSize: maxSize,
+			Timeout:        timeout,
+			Budget:         budget,
+		})
+		switch {
+		case err == nil:
+			outcomes[i] = "ok"
+		case errors.Is(err, core.ErrNotFound):
+			outcomes[i] = "notfound"
+		default:
+			outcomes[i] = "error"
+		}
+		item.Finish(outcomes[i])
+	})
+
+	found := 0
+	for _, o := range outcomes {
+		if o == "ok" {
+			found++
+		}
+	}
+	fmt.Printf("corpus: %d/%d loops summarised\n", found, len(loops))
+	if err := sess.Finish(os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "loopsum: %v\n", err)
+		return 1
+	}
+	if sess.Report != nil {
+		if err := reconcile(sess, budgets); err != nil {
+			fmt.Fprintf(os.Stderr, "loopsum: reconcile: %v\n", err)
+			return 1
+		}
+		fmt.Println("reconcile: report totals match budget spend")
+	}
+	return 0
+}
+
+// reconcile checks that the report's counter totals equal the summed
+// per-loop budget spend, counter by counter.
+func reconcile(sess *obs.Session, budgets []*engine.Budget) error {
+	var conflicts, propagations, forks, nodes, hits, misses int64
+	for _, b := range budgets {
+		conflicts += b.Conflicts()
+		propagations += b.Propagations()
+		forks += b.Forks()
+		nodes += b.Nodes()
+		hits += b.CacheHits()
+		misses += b.CacheMisses()
+	}
+	_, totals := sess.Report.Totals()
+	for _, c := range []struct {
+		name string
+		want int64
+	}{
+		{obs.MSatConflicts, conflicts},
+		{obs.MSatPropagations, propagations},
+		{obs.MSymexForks, forks},
+		{obs.MBVNodes, nodes},
+		{obs.MQCacheHits, hits},
+		{obs.MQCacheMisses, misses},
+	} {
+		if got := totals[c.name]; got != c.want {
+			return fmt.Errorf("%s: report total %d != budget spend %d", c.name, got, c.want)
+		}
+	}
+	return nil
 }
 
 // runResilient walks the degradation ladder and reports the best rung

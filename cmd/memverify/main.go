@@ -10,6 +10,7 @@ import (
 	"os"
 	"time"
 
+	"stringloops/internal/cliflags"
 	"stringloops/internal/engine"
 	"stringloops/internal/loopdb"
 	"stringloops/internal/memoryless"
@@ -18,21 +19,37 @@ import (
 func main() {
 	maxLen := flag.Int("maxlen", 3, "bounded-check string length")
 	verbose := flag.Bool("v", false, "per-loop results")
-	jobs := flag.Int("j", 1, "parallel verification workers (<1 = one per CPU)")
+	jobs := cliflags.Jobs(nil, 1)
+	obsFlags := cliflags.Obs(nil)
 	flag.Parse()
+	sess, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memverify: %v\n", err)
+		os.Exit(2)
+	}
 
 	// Verify on a worker pool (each loop builds its own solver pipeline),
 	// then aggregate serially in corpus order so the output is stable.
 	loops := loopdb.Corpus()
 	reports := make([]memoryless.Report, len(loops))
 	lowerErrs := make([]error, len(loops))
-	engine.Map(engine.Workers(*jobs, len(loops)), len(loops), func(i int) {
-		f, err := loops[i].Lower()
+	engine.MapWorker(engine.Workers(*jobs, len(loops)), len(loops), func(worker, i int) {
+		l := loops[i]
+		item := sess.Item(l.Name, l.Program, worker)
+		f, err := l.Lower()
 		if err != nil {
 			lowerErrs[i] = err
+			item.Finish("lower-error")
 			return
 		}
-		reports[i] = memoryless.VerifyBudget(f, *maxLen, nil)
+		budget := engine.NewBudget(nil, engine.Limits{}).
+			SetObs(item.Tracer(), item.Metrics())
+		reports[i] = memoryless.VerifyBudget(f, *maxLen, budget)
+		outcome := "rejected"
+		if reports[i].Memoryless {
+			outcome = "memoryless"
+		}
+		item.Finish(outcome)
 	})
 
 	verified, total := 0, 0
@@ -69,4 +86,8 @@ func main() {
 	}
 	fmt.Printf("verified %d of %d loops; average %.3fs per loop (paper: 85/115, <3s)\n",
 		verified, total, elapsed.Seconds()/float64(total))
+	if err := sess.Finish(os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "memverify: %v\n", err)
+		os.Exit(1)
+	}
 }

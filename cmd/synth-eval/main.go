@@ -15,9 +15,12 @@ import (
 	"time"
 
 	"stringloops/internal/cegis"
+	"stringloops/internal/cliflags"
 	"stringloops/internal/core"
+	"stringloops/internal/engine"
 	"stringloops/internal/harness"
 	"stringloops/internal/loopdb"
+	"stringloops/internal/obs"
 )
 
 func main() {
@@ -27,11 +30,22 @@ func main() {
 	maxSize := flag.Int("maxsize", 9, "maximum encoded program size")
 	maxSet := flag.Int("maxset", 3, "maximum strspn-family set size (4 reaches the libosip outliers)")
 	verbose := flag.Bool("v", false, "per-loop progress")
-	jobs := flag.Int("j", 1, "parallel synthesis workers (<1 = one per CPU)")
-	resilient := flag.Bool("resilient", false, "sweep the corpus through the degradation ladder and report per-loop rungs instead of Table 3/Figure 2")
+	jobs := cliflags.Jobs(nil, 1)
+	resilient := cliflags.Resilient(nil)
+	obsFlags := cliflags.Obs(nil)
 	flag.Parse()
+	sess, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "synth-eval: %v\n", err)
+		os.Exit(2)
+	}
 	if *resilient {
-		os.Exit(resilientSweep(*timeout, *maxSize, *maxSet, *jobs))
+		code := resilientSweep(*timeout, *maxSize, *maxSet, *jobs, sess)
+		if err := sess.Finish(os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "synth-eval: %v\n", err)
+			code = 1
+		}
+		os.Exit(code)
 	}
 	if !*table3 && !*figure2 {
 		*table3, *figure2 = true, true
@@ -45,8 +59,14 @@ func main() {
 	fmt.Printf("synthesising %d loops (timeout %v, max size %d, max set %d, %d workers)...\n",
 		len(loopdb.Corpus()), *timeout, *maxSize, *maxSet, *jobs)
 	start := time.Now()
-	records := harness.SynthesizeCorpusParallel(loopdb.Corpus(), opts, progress, *jobs)
+	records := harness.SynthesizeCorpusObs(loopdb.Corpus(), opts, progress, *jobs, sess)
 	fmt.Printf("sweep finished in %v\n\n", time.Since(start).Round(time.Second))
+	defer func() {
+		if err := sess.Finish(os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "synth-eval: %v\n", err)
+			os.Exit(1)
+		}
+	}()
 
 	if *table3 {
 		fmt.Println("Table 3. Successfully synthesised loops per program.")
@@ -131,17 +151,21 @@ func main() {
 // ladder descended, the reason. Degraded loops are expected output, not
 // failures: the exit code is non-zero only when a loop fails outright
 // (infrastructure failure — even the concrete floor produced nothing).
-func resilientSweep(timeout time.Duration, maxSize, maxSet, jobs int) int {
+func resilientSweep(timeout time.Duration, maxSize, maxSet, jobs int, sess *obs.Session) int {
 	corpus := loopdb.Corpus()
-	items := make([]core.ResilientItem, len(corpus))
-	for i, l := range corpus {
-		items[i] = core.ResilientItem{Source: l.Source, Func: l.FuncName, Opts: core.ResilientOptions{
-			Options: core.Options{Timeout: timeout, MaxProgramSize: maxSize, MaxSetSize: maxSet},
-		}}
-	}
-	fmt.Printf("resilient sweep over %d loops (timeout %v, %d workers)...\n", len(items), timeout, jobs)
+	fmt.Printf("resilient sweep over %d loops (timeout %v, %d workers)...\n", len(corpus), timeout, jobs)
 	start := time.Now()
-	outcomes := core.SummarizeAllResilient(items, jobs)
+	outcomes := make([]core.Outcome, len(corpus))
+	engine.MapWorker(engine.Workers(jobs, len(corpus)), len(corpus), func(worker, i int) {
+		l := corpus[i]
+		item := sess.Item(l.Name, l.Program, worker)
+		outcomes[i] = core.SummarizeResilient(l.Source, l.FuncName, core.ResilientOptions{
+			Options: core.Options{Timeout: timeout, MaxProgramSize: maxSize, MaxSetSize: maxSet},
+			Tracer:  item.Tracer(),
+			Metrics: item.Metrics(),
+		})
+		item.Finish(outcomes[i].Rung.String())
+	})
 	fmt.Printf("sweep finished in %v\n\n", time.Since(start).Round(time.Second))
 
 	rungCount := map[core.Rung]int{}

@@ -1,0 +1,37 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced by
+// the -trace flag (internal/obs). CI runs it after the traced loopsum smoke
+// so a schema regression in the exporter fails the lane instead of silently
+// producing files chrome://tracing cannot open.
+//
+//	tracecheck trace.json [more.json ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stringloops/internal/obs"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [more.json ...]")
+		os.Exit(2)
+	}
+	code := 0
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			err = obs.ValidateChromeTrace(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	os.Exit(code)
+}

@@ -26,6 +26,7 @@ import (
 	"stringloops/internal/cstr"
 	"stringloops/internal/engine"
 	"stringloops/internal/faultpoint"
+	"stringloops/internal/obs"
 	"stringloops/internal/qcache"
 	"stringloops/internal/sat"
 	"stringloops/internal/strsolver"
@@ -316,6 +317,20 @@ func (s *Synthesizer) Synthesize() (Outcome, error) {
 		s.budget = engine.NewBudget(nil, engine.Limits{Timeout: s.opts.Timeout})
 	}
 	s.bvin.SetBudget(s.budget)
+	span := s.budget.Tracer().Start("phase/cegis", obs.Attr{Key: "func", Val: s.loop.Name})
+	defer func() {
+		// Mirror the synthesis stats into the metrics registry in one batch;
+		// the enumeration inner loops stay free of instrumentation.
+		if m := s.budget.Metrics(); m != nil {
+			m.Counter(obs.MCegisSkeletons).Add(int64(s.stats.Skeletons))
+			m.Counter(obs.MCegisCandidates).Add(int64(s.stats.CandidatesRun))
+			m.Counter(obs.MCegisCexs).Add(int64(s.stats.Counterexamples))
+			m.Counter(obs.MCegisVerifies).Add(int64(s.stats.VerifyQueries))
+			m.Counter(obs.MCegisArgSolves).Add(int64(s.stats.ArgSolverCalls))
+		}
+		span.SetInt("candidates", int64(s.stats.CandidatesRun))
+		span.End()
+	}()
 	startE := s.budget.Elapsed()
 	elapsed := func() time.Duration { return s.budget.Elapsed() - startE }
 	for size := s.opts.MinProgSize; size <= s.opts.MaxProgSize; size++ {

@@ -1,0 +1,46 @@
+// Package cliflags declares the flags shared by every cmd/ driver once, so
+// the surface stays consistent: -j always means the same worker semantics,
+// -resilient always names the degradation ladder, -qcache always routes
+// queries through internal/qcache, and the observability flags
+// (-trace/-flame/-metrics/-report/-report-json/-pprof) come from one
+// registration in internal/obs.
+package cliflags
+
+import (
+	"flag"
+
+	"stringloops/internal/obs"
+)
+
+// Jobs declares the canonical -j flag (nil fs means flag.CommandLine).
+// The value feeds engine.Workers: values below 1 mean one worker per CPU.
+func Jobs(fs *flag.FlagSet, def int) *int {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return fs.Int("j", def, "parallel workers (<1 = one per CPU)")
+}
+
+// Resilient declares the canonical -resilient flag.
+func Resilient(fs *flag.FlagSet) *bool {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return fs.Bool("resilient", false,
+		"degrade gracefully through the supervision ladder (summary, memorylessness, covering inputs, smoke run) instead of failing outright")
+}
+
+// QCache declares the canonical -qcache flag.
+func QCache(fs *flag.FlagSet, def bool) *bool {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return fs.Bool("qcache", def,
+		"route solver queries through the query-cache chain (independence slicing, reuse cache, incremental solver)")
+}
+
+// Obs declares the shared observability flags and returns their destination;
+// call (*obs.Flags).Start after flag.Parse to open the session.
+func Obs(fs *flag.FlagSet) *obs.Flags {
+	return obs.RegisterFlags(fs)
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"testing"
@@ -8,6 +10,7 @@ import (
 	"stringloops/internal/engine"
 	"stringloops/internal/faultpoint"
 	"stringloops/internal/loopdb"
+	"stringloops/internal/obs"
 )
 
 // chaosSeeds is the seed-sweep width of the chaos soak. The default sweep
@@ -170,5 +173,53 @@ func TestChaosSoak(t *testing.T) {
 	// lands on RungFull never exercised the ladder.
 	if rungCount[RungFull] == schedules {
 		t.Error("no schedule degraded below the full rung — fault rates too low to test anything")
+	}
+}
+
+// chaosTracedItems is chaosItems with a fresh deterministic tracer per item,
+// so each item's event stream is a pure function of its fault schedule.
+func chaosTracedItems(seed uint64, loops []loopdb.Loop) ([]ResilientItem, []*obs.Tracer) {
+	items := chaosItems(seed, loops)
+	tracers := make([]*obs.Tracer, len(items))
+	for i := range items {
+		tracers[i] = obs.NewDeterministic()
+		items[i].Opts.Tracer = tracers[i]
+	}
+	return items, tracers
+}
+
+// TestChaosTraceReplay extends the soak to the observability layer: under
+// the deterministic logical clock, the serialized per-item event stream
+// (rung spans, phase spans, attributes, logical timestamps) must be
+// bit-identical across worker counts for the same fault schedule.
+func TestChaosTraceReplay(t *testing.T) {
+	loops := chaosLoops()
+	seeds := 3
+	if testing.Short() {
+		seeds = 1
+	}
+	for s := 0; s < seeds; s++ {
+		seed := uint64(s)*0x9e3779b9 + 1
+		pItems, pTracers := chaosTracedItems(seed, loops)
+		qItems, qTracers := chaosTracedItems(seed, loops)
+		SummarizeAllResilient(pItems, 4)
+		SummarizeAllResilient(qItems, 1)
+		for i := range loops {
+			pj, err := json.Marshal(pTracers[i].Events())
+			if err != nil {
+				t.Fatal(err)
+			}
+			qj, err := json.Marshal(qTracers[i].Events())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(pj, qj) {
+				t.Errorf("seed %d %s: event streams differ across worker counts\n4 workers: %s\nserial:    %s",
+					seed, loops[i].Name, pj, qj)
+			}
+			if len(pTracers[i].Events()) == 0 {
+				t.Errorf("seed %d %s: no spans recorded — the ladder is not instrumented", seed, loops[i].Name)
+			}
+		}
 	}
 }

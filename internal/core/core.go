@@ -20,6 +20,7 @@ import (
 	"stringloops/internal/faultpoint"
 	"stringloops/internal/idiom"
 	"stringloops/internal/memoryless"
+	"stringloops/internal/obs"
 	"stringloops/internal/qcache"
 	"stringloops/internal/sat"
 	"stringloops/internal/strsolver"
@@ -87,7 +88,15 @@ var (
 // lowerNamed parses source and lowers funcName (or the first loop-shaped
 // function when funcName is empty).
 func lowerNamed(source, funcName string) (*cir.Func, error) {
+	return lowerTraced(source, funcName, nil)
+}
+
+// lowerTraced is lowerNamed with the front-end phases recorded on the given
+// tracer ("phase/parse" and "phase/lower" spans; nil traces nothing).
+func lowerTraced(source, funcName string, tr *obs.Tracer) (*cir.Func, error) {
+	span := tr.Start("phase/parse")
 	file, err := cc.Parse(source)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
@@ -108,13 +117,16 @@ func lowerNamed(source, funcName string) (*cir.Func, error) {
 			return nil, ErrNoLoopFunction
 		}
 	}
-	return cir.LowerFunc(decl, file)
+	span = tr.Start("phase/lower", obs.Attr{Key: "func", Val: decl.Name})
+	f, err := cir.LowerFunc(decl, file)
+	span.End()
+	return f, err
 }
 
 // Summarize synthesises a summary for funcName in the C source (empty
 // funcName picks the first char*(char*) function).
 func Summarize(source, funcName string, opts Options) (*Summary, error) {
-	f, err := lowerNamed(source, funcName)
+	f, err := lowerTraced(source, funcName, opts.Budget.Tracer())
 	if err != nil {
 		return nil, err
 	}

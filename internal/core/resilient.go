@@ -10,7 +10,9 @@ import (
 	"stringloops/internal/cir"
 	"stringloops/internal/cstr"
 	"stringloops/internal/engine"
+	"stringloops/internal/faultpoint"
 	"stringloops/internal/memoryless"
+	"stringloops/internal/obs"
 	"stringloops/internal/qcache"
 	"stringloops/internal/sat"
 	"stringloops/internal/supervise"
@@ -112,6 +114,14 @@ type ResilientOptions struct {
 	Backoff time.Duration
 	// Seed drives the deterministic backoff jitter.
 	Seed uint64
+	// Tracer, when non-nil, records the ladder: one span per rung tried
+	// (with its failure error as an attribute) plus the per-phase spans the
+	// instrumented layers emit under each attempt's budget.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives the supervision counters and every
+	// per-attempt budget's spend; faultpoint firings are dumped into
+	// faultpoint.fired.<site> counters at the end of the run.
+	Metrics *obs.Metrics
 }
 
 func (o ResilientOptions) policy() supervise.Policy {
@@ -130,7 +140,15 @@ func (o ResilientOptions) policy() supervise.Policy {
 		MaxLimits:   o.MaxLimits,
 		Backoff:     o.Backoff,
 		Seed:        o.Seed,
+		Tracer:      o.Tracer,
+		Metrics:     o.Metrics,
 	}
+}
+
+// newAttemptBudget builds one attempt's budget carrying the run's
+// observability handles.
+func (o ResilientOptions) newAttemptBudget(lim engine.Limits) *engine.Budget {
+	return engine.NewBudget(nil, lim).SetObs(o.Tracer, o.Metrics)
 }
 
 // SummarizeResilient summarises with supervision: panics are isolated into
@@ -143,16 +161,27 @@ func SummarizeResilient(source, funcName string, opts ResilientOptions) Outcome 
 
 	// The floor rungs need the lowered loop; a lowering failure is the one
 	// genuinely unrecoverable outcome (nothing to run the interpreter on).
-	f, lowerErr := lowerNamed(source, funcName)
+	f, lowerErr := lowerTraced(source, funcName, opts.Tracer)
 	if lowerErr != nil {
 		return Outcome{Rung: RungFailed, Err: lowerErr}
+	}
+	// Dump faultpoint firings into the registry when the run ends, so chaos
+	// reports show which sites actually fired alongside the retry counters.
+	if opts.Metrics != nil && opts.Faults != nil {
+		defer func() {
+			for _, site := range faultpoint.Sites() {
+				if n := opts.Faults.Fired(site); n > 0 {
+					opts.Metrics.Counter(obs.MFaultPrefix + site.String()).Add(int64(n))
+				}
+			}
+		}()
 	}
 
 	maxLen := max(3, opts.MaxExampleLength)
 	rungs := []supervise.Rung{
 		{Name: RungFull.String(), Run: func(lim engine.Limits) error {
 			o := opts.Options
-			o.Budget = engine.NewBudget(nil, lim)
+			o.Budget = opts.newAttemptBudget(lim)
 			s, err := Summarize(source, funcName, o)
 			if err != nil {
 				return err
@@ -161,7 +190,7 @@ func SummarizeResilient(source, funcName string, opts ResilientOptions) Outcome 
 			return nil
 		}},
 		{Name: RungMemoryless.String(), Run: func(lim engine.Limits) error {
-			b := engine.NewBudget(nil, lim)
+			b := opts.newAttemptBudget(lim)
 			r := memoryless.VerifyFaults(f, maxLen, b, opts.Faults)
 			if r.Err != nil {
 				return r.Err
@@ -174,7 +203,7 @@ func SummarizeResilient(source, funcName string, opts ResilientOptions) Outcome 
 			return nil
 		}},
 		{Name: RungCovering.String(), Run: func(lim engine.Limits) error {
-			b := engine.NewBudget(nil, lim)
+			b := opts.newAttemptBudget(lim)
 			inputs, err := loopCoveringInputs(f, maxLen, b, opts)
 			if err != nil {
 				return err

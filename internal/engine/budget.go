@@ -19,6 +19,8 @@ import (
 	"errors"
 	"sync/atomic"
 	"time"
+
+	"stringloops/internal/obs"
 )
 
 // ErrBudget is the sentinel wrapped by every budget-exhaustion error.
@@ -95,6 +97,10 @@ type Budget struct {
 	forks     atomic.Int64
 	nodes     atomic.Int64
 
+	// propagations accounts for SAT unit propagations (observability only,
+	// no limit trips on it).
+	propagations atomic.Int64
+
 	// cacheHits/cacheMisses account for the query-cache layer
 	// (internal/qcache). They are pure observability — no limit trips on
 	// them — but they live here so every pipeline sharing a budget reports
@@ -105,11 +111,31 @@ type Budget struct {
 	// done caches the first observed exhaustion so later polls are cheap
 	// and the reported cause is stable.
 	done atomic.Pointer[error]
+
+	// Observability handles ride the budget because the budget is already
+	// threaded through every layer (sat → bv → qcache → symex → cegis →
+	// memoryless → core): layers read b.Tracer()/b.Metrics() instead of
+	// growing new parameters. All nil when observability is off. The
+	// m* counters mirror the atomics above into the metrics registry so the
+	// run report reconciles 1:1 with budget spend.
+	tracer  *obs.Tracer
+	metrics *obs.Metrics
+
+	mConflicts    *obs.Counter
+	mPropagations *obs.Counter
+	mForks        *obs.Counter
+	mNodes        *obs.Counter
+	mCacheHits    *obs.Counter
+	mCacheMisses  *obs.Counter
 }
 
 // NewBudget builds a budget from a context and limits. A nil context means
 // context.Background(). When the context itself carries a deadline, the
-// effective wall-clock limit is the earlier of the two.
+// effective wall-clock limit is the earlier of the two. When the context
+// carries observability handles (obs.NewContext), the budget picks them up —
+// so budgets derived from an instrumented run (e.g. diffuzz's per-seed
+// budgets built from opts.Budget.Context()) inherit tracing and metrics
+// without any caller changes.
 func NewBudget(ctx context.Context, lim Limits) *Budget {
 	if ctx == nil {
 		ctx = context.Background()
@@ -121,7 +147,45 @@ func NewBudget(ctx context.Context, lim Limits) *Budget {
 	if d, ok := ctx.Deadline(); ok && (b.deadline.IsZero() || d.Before(b.deadline)) {
 		b.deadline = d
 	}
+	if t, m := obs.TracerFrom(ctx), obs.MetricsFrom(ctx); t != nil || m != nil {
+		b.SetObs(t, m)
+	}
 	return b
+}
+
+// SetObs attaches a tracer and metrics registry to the budget (either may be
+// nil) and returns b for chaining. From then on every Add* charge is
+// mirrored into the registry's canonical counters, and layers holding the
+// budget reach the tracer via b.Tracer(). Call before handing the budget to
+// workers; it is not synchronised against concurrent Add*.
+func (b *Budget) SetObs(t *obs.Tracer, m *obs.Metrics) *Budget {
+	if b == nil {
+		return nil
+	}
+	b.tracer, b.metrics = t, m
+	b.mConflicts = m.Counter(obs.MSatConflicts)
+	b.mPropagations = m.Counter(obs.MSatPropagations)
+	b.mForks = m.Counter(obs.MSymexForks)
+	b.mNodes = m.Counter(obs.MBVNodes)
+	b.mCacheHits = m.Counter(obs.MQCacheHits)
+	b.mCacheMisses = m.Counter(obs.MQCacheMisses)
+	return b
+}
+
+// Tracer returns the attached tracer (nil when observability is off).
+func (b *Budget) Tracer() *obs.Tracer {
+	if b == nil {
+		return nil
+	}
+	return b.tracer
+}
+
+// Metrics returns the attached metrics registry (nil when off).
+func (b *Budget) Metrics() *obs.Metrics {
+	if b == nil {
+		return nil
+	}
+	return b.metrics
 }
 
 // WithTimeout is shorthand for a wall-clock-only budget.
@@ -189,6 +253,16 @@ func (b *Budget) Fail(cause error) {
 func (b *Budget) AddConflicts(n int64) {
 	if b != nil {
 		b.conflicts.Add(n)
+		b.mConflicts.Add(n)
+	}
+}
+
+// AddPropagations charges n SAT unit propagations (accounting only, never
+// limits).
+func (b *Budget) AddPropagations(n int64) {
+	if b != nil {
+		b.propagations.Add(n)
+		b.mPropagations.Add(n)
 	}
 }
 
@@ -196,6 +270,7 @@ func (b *Budget) AddConflicts(n int64) {
 func (b *Budget) AddForks(n int64) {
 	if b != nil {
 		b.forks.Add(n)
+		b.mForks.Add(n)
 	}
 }
 
@@ -203,6 +278,7 @@ func (b *Budget) AddForks(n int64) {
 func (b *Budget) AddNodes(n int64) {
 	if b != nil {
 		b.nodes.Add(n)
+		b.mNodes.Add(n)
 	}
 }
 
@@ -210,6 +286,7 @@ func (b *Budget) AddNodes(n int64) {
 func (b *Budget) AddCacheHits(n int64) {
 	if b != nil {
 		b.cacheHits.Add(n)
+		b.mCacheHits.Add(n)
 	}
 }
 
@@ -217,6 +294,7 @@ func (b *Budget) AddCacheHits(n int64) {
 func (b *Budget) AddCacheMisses(n int64) {
 	if b != nil {
 		b.cacheMisses.Add(n)
+		b.mCacheMisses.Add(n)
 	}
 }
 
@@ -234,6 +312,14 @@ func (b *Budget) CacheMisses() int64 {
 		return 0
 	}
 	return b.cacheMisses.Load()
+}
+
+// Propagations returns the SAT unit propagations charged so far.
+func (b *Budget) Propagations() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.propagations.Load()
 }
 
 // Conflicts returns the conflicts charged so far.

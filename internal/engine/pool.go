@@ -27,10 +27,18 @@ func Workers(j, n int) int {
 // deterministic regardless of scheduling. With workers <= 1 the calls run
 // serially on the caller's goroutine, bit-identical to a plain loop.
 func Map(workers, n int, fn func(i int)) {
+	MapWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// MapWorker is Map with the worker id passed to fn — observability-aware
+// drivers use it to tag each item's spans with the lane (Chrome trace tid)
+// that processed it. Worker ids are 0..workers-1; in the serial fallback
+// every call runs as worker 0.
+func MapWorker(workers, n int, fn func(worker, i int)) {
 	workers = Workers(workers, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -38,12 +46,12 @@ func Map(workers, n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		next <- i

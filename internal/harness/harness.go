@@ -15,6 +15,7 @@ import (
 	"stringloops/internal/cegis"
 	"stringloops/internal/engine"
 	"stringloops/internal/loopdb"
+	"stringloops/internal/obs"
 	"stringloops/internal/vocab"
 )
 
@@ -40,18 +41,34 @@ func SynthesizeCorpus(loops []loopdb.Loop, opts cegis.Options, progress io.Write
 // corpus order; only the interleaving of progress lines varies. workers < 1
 // means one worker per CPU.
 func SynthesizeCorpusParallel(loops []loopdb.Loop, opts cegis.Options, progress io.Writer, workers int) []SynthRecord {
+	return SynthesizeCorpusObs(loops, opts, progress, workers, nil)
+}
+
+// SynthesizeCorpusObs is SynthesizeCorpusParallel with an observability
+// session: each loop gets its own item scope (child tracer on the worker's
+// trace lane, fresh per-item metrics registry) whose budget carries the
+// handles through the pipeline, and its report row lands in sess.Report. A
+// nil (or disabled) session behaves exactly like SynthesizeCorpusParallel.
+func SynthesizeCorpusObs(loops []loopdb.Loop, opts cegis.Options, progress io.Writer, workers int, sess *obs.Session) []SynthRecord {
 	records := make([]SynthRecord, len(loops))
 	var progressMu sync.Mutex
-	engine.Map(engine.Workers(workers, len(loops)), len(loops), func(i int) {
+	engine.MapWorker(engine.Workers(workers, len(loops)), len(loops), func(worker, i int) {
 		l := loops[i]
+		item := sess.Item(l.Name, l.Program, worker)
+		o := opts
+		if item != nil && o.Budget == nil {
+			o.Budget = engine.NewBudget(nil, engine.Limits{Timeout: o.Timeout}).
+				SetObs(item.Tracer(), item.Metrics())
+		}
 		rec := SynthRecord{Loop: l}
 		f, err := l.Lower()
 		if err != nil {
 			rec.Err = err
 			records[i] = rec
+			item.Finish("lower-error")
 			return
 		}
-		out, err := cegis.Synthesize(f, opts)
+		out, err := cegis.Synthesize(f, o)
 		rec.Err = err
 		rec.Found = out.Found
 		rec.Program = out.Program
@@ -60,6 +77,13 @@ func SynthesizeCorpusParallel(loops []loopdb.Loop, opts cegis.Options, progress 
 			rec.Size = out.Program.EncodedSize()
 		}
 		records[i] = rec
+		outcome := "miss"
+		if rec.Found {
+			outcome = "found"
+		} else if err != nil {
+			outcome = "error"
+		}
+		item.Finish(outcome)
 		if progress != nil {
 			status := "miss"
 			if rec.Found {

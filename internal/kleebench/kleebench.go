@@ -20,6 +20,7 @@
 package kleebench
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -38,6 +39,9 @@ type Config struct {
 	// QCache routes all queries through a per-run qcache.Cache (slicing,
 	// reuse cache, incremental solver) instead of a fresh solver per query.
 	QCache bool
+	// Ctx, when non-nil, seeds the run's budget — cancellation and, when it
+	// carries obs handles (obs.NewContext), tracing and metrics.
+	Ctx context.Context
 }
 
 // Measurement is the outcome of one run.
@@ -66,7 +70,7 @@ func Vanilla(loop *cir.Func, n int, timeout time.Duration) Measurement {
 // VanillaWith is Vanilla under an explicit solver-chain configuration.
 func VanillaWith(loop *cir.Func, n int, timeout time.Duration, cfg Config) Measurement {
 	start := time.Now()
-	budget := engine.NewBudget(nil, engine.Limits{Timeout: timeout})
+	budget := engine.NewBudget(cfg.Ctx, engine.Limits{Timeout: timeout})
 	bvin := bv.NewInterner().SetBudget(budget)
 	var cache *qcache.Cache
 	if cfg.QCache {
@@ -117,7 +121,7 @@ func Str(summary vocab.Program, n int, timeout time.Duration) Measurement {
 // StrWith is Str under an explicit solver-chain configuration.
 func StrWith(summary vocab.Program, n int, timeout time.Duration, cfg Config) Measurement {
 	start := time.Now()
-	budget := engine.NewBudget(nil, engine.Limits{Timeout: timeout})
+	budget := engine.NewBudget(cfg.Ctx, engine.Limits{Timeout: timeout})
 	bvin := bv.NewInterner().SetBudget(budget)
 	var cache *qcache.Cache
 	if cfg.QCache {

@@ -25,6 +25,7 @@ import (
 	"stringloops/internal/cir"
 	"stringloops/internal/engine"
 	"stringloops/internal/faultpoint"
+	"stringloops/internal/obs"
 	"stringloops/internal/qcache"
 	"stringloops/internal/sat"
 	"stringloops/internal/symex"
@@ -119,7 +120,14 @@ func VerifyBudget(loop *cir.Func, maxLen int, budget *engine.Budget) Report {
 // registry disables injection at zero cost.
 func VerifyFaults(loop *cir.Func, maxLen int, budget *engine.Budget, faults *faultpoint.Registry) Report {
 	start := time.Now()
+	span := budget.Tracer().Start("phase/memoryless", obs.Attr{Key: "func", Val: loop.Name})
 	done := func(ok bool, spec *Spec, reason string) Report {
+		if ok {
+			span.SetAttr("verdict", "memoryless")
+		} else {
+			span.SetAttr("verdict", "refuted")
+		}
+		span.End()
 		return Report{Memoryless: ok, Spec: spec, Reason: reason, Elapsed: time.Since(start)}
 	}
 	if maxLen <= 0 {

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing and Perfetto both load it). We emit complete ("X")
+// duration events plus thread_name metadata ("M") events naming the worker
+// lanes.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace file.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serialises the tracer's events (including children) as a
+// Chrome trace-event JSON object, one lane (tid) per worker.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events)+8)}
+
+	workers := map[int]bool{}
+	for _, ev := range events {
+		workers[ev.Worker] = true
+	}
+	ids := make([]int, 0, len(workers))
+	for id := range workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: id,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", id)},
+		})
+	}
+
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name, Cat: "obs", Ph: "X",
+			TS: float64(ev.Start) / 1e3, Dur: float64(ev.Dur) / 1e3,
+			PID: 1, TID: ev.Worker,
+		}
+		if len(ev.Attrs) > 0 {
+			ce.Args = make(map[string]any, len(ev.Attrs)+1)
+			for _, a := range ev.Attrs {
+				ce.Args[a.Key] = a.Val
+			}
+		}
+		if ev.Path != ev.Name {
+			if ce.Args == nil {
+				ce.Args = map[string]any{}
+			}
+			ce.Args["path"] = ev.Path
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ValidateChromeTrace checks that data is a well-formed Chrome trace-event
+// JSON object as this package emits it: a traceEvents array whose entries
+// all have a name, a known phase, non-negative timestamps and durations,
+// and consistent pid/tid fields. cmd/tracecheck runs it in CI against the
+// traced loopsum smoke.
+func ValidateChromeTrace(data []byte) error {
+	var tr struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if tr.TraceEvents == nil {
+		return fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	durEvents := 0
+	for i, ev := range tr.TraceEvents {
+		var name, ph string
+		if raw, ok := ev["name"]; !ok || json.Unmarshal(raw, &name) != nil || name == "" {
+			return fmt.Errorf("obs: event %d: missing or empty name", i)
+		}
+		if raw, ok := ev["ph"]; !ok || json.Unmarshal(raw, &ph) != nil {
+			return fmt.Errorf("obs: event %d (%s): missing phase", i, name)
+		}
+		switch ph {
+		case "M":
+			continue
+		case "X":
+		default:
+			return fmt.Errorf("obs: event %d (%s): unexpected phase %q", i, name, ph)
+		}
+		var ts, dur float64
+		if raw, ok := ev["ts"]; !ok || json.Unmarshal(raw, &ts) != nil {
+			return fmt.Errorf("obs: event %d (%s): missing ts", i, name)
+		}
+		if raw, ok := ev["dur"]; ok {
+			if json.Unmarshal(raw, &dur) != nil {
+				return fmt.Errorf("obs: event %d (%s): bad dur", i, name)
+			}
+		}
+		if ts < 0 || dur < 0 {
+			return fmt.Errorf("obs: event %d (%s): negative ts/dur", i, name)
+		}
+		durEvents++
+	}
+	if durEvents == 0 {
+		return fmt.Errorf("obs: trace has no duration events")
+	}
+	return nil
+}
+
+// flameRow is one aggregated path of the flame summary.
+type flameRow struct {
+	path  string
+	count int64
+	total int64 // ns
+}
+
+// FlameSummary renders a human-readable aggregation of the trace: one row
+// per span path (ancestry-joined names), with call count, total and mean
+// time, sorted by total time descending — the "where did the run spend its
+// time" view without leaving the terminal.
+func (t *Tracer) FlameSummary(w io.Writer) {
+	rows := map[string]*flameRow{}
+	for _, ev := range t.Events() {
+		r := rows[ev.Path]
+		if r == nil {
+			r = &flameRow{path: ev.Path}
+			rows[ev.Path] = r
+		}
+		r.count++
+		r.total += ev.Dur
+	}
+	sorted := make([]*flameRow, 0, len(rows))
+	for _, r := range rows {
+		sorted = append(sorted, r)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].total != sorted[j].total {
+			return sorted[i].total > sorted[j].total
+		}
+		return sorted[i].path < sorted[j].path
+	})
+	fmt.Fprintf(w, "%12s %8s %12s  %s\n", "total(ms)", "count", "mean(us)", "span")
+	for _, r := range sorted {
+		fmt.Fprintf(w, "%12.3f %8d %12.1f  %s\n",
+			float64(r.total)/1e6, r.count, float64(r.total)/1e3/float64(r.count), r.path)
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(w, "(%d spans dropped at the %d-event buffer cap)\n", d, maxEvents)
+	}
+}

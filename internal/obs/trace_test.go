@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanNestingBuildsPaths(t *testing.T) {
+	tr := NewDeterministic()
+	ctx, outer := tr.StartSpan(context.Background(), "phase/symex", Attr{Key: "func", Val: "f"})
+	_, inner := tr.StartSpan(ctx, "solve")
+	inner.SetInt("queries", 3)
+	inner.End()
+	outer.End()
+
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	byName := map[string]Event{}
+	for _, ev := range evs {
+		byName[ev.Name] = ev
+	}
+	if got := byName["solve"].Path; got != "phase/symex/solve" {
+		t.Errorf("inner path = %q", got)
+	}
+	if got := byName["phase/symex"].Path; got != "phase/symex" {
+		t.Errorf("outer path = %q", got)
+	}
+	if a := byName["solve"].Attrs; len(a) != 1 || a[0].Key != "queries" || a[0].Val != "3" {
+		t.Errorf("inner attrs = %+v", byName["solve"].Attrs)
+	}
+	if byName["phase/symex"].Dur < byName["solve"].Dur {
+		t.Error("outer span shorter than the inner it contains")
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	ctx, s := tr.StartSpan(context.Background(), "x")
+	s.SetAttr("k", "v")
+	s.SetInt("n", 1)
+	s.End()
+	tr.Start("y").End()
+	if tr.Child(3) != nil {
+		t.Error("nil tracer produced a child")
+	}
+	if tr.Events() != nil || tr.Dropped() != 0 {
+		t.Error("nil tracer recorded something")
+	}
+	if ctx.Value(ctxSpan) != nil {
+		t.Error("nil tracer put a span into the context")
+	}
+}
+
+func TestChildWorkersShareTimeline(t *testing.T) {
+	tr := NewDeterministic()
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := tr.Child(w)
+			for i := 0; i < 5; i++ {
+				c.Start("work").End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := tr.Events()
+	if len(evs) != 15 {
+		t.Fatalf("got %d events, want 15", len(evs))
+	}
+	workers := map[int]int{}
+	for i, ev := range evs {
+		workers[ev.Worker]++
+		if i > 0 && evs[i-1].Start > ev.Start {
+			t.Fatal("events not sorted by start time")
+		}
+	}
+	for w := 0; w < 3; w++ {
+		if workers[w] != 5 {
+			t.Errorf("worker %d has %d events, want 5", w, workers[w])
+		}
+	}
+}
+
+// TestDeterministicReplay pins the property the chaos soak depends on: with
+// the logical clock, the serialized event stream is a pure function of the
+// instrumented code path — two runs of the same work are bit-identical.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []byte {
+		tr := NewDeterministic()
+		ctx, outer := tr.StartSpan(context.Background(), "phase/cegis")
+		for i := 0; i < 4; i++ {
+			_, s := tr.StartSpan(ctx, "candidate")
+			s.SetInt("i", int64(i))
+			s.End()
+		}
+		outer.SetAttr("outcome", "found")
+		outer.End()
+		data, err := json.Marshal(tr.Events())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Errorf("deterministic streams differ:\n%s\n%s", a, b)
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := NewDeterministic()
+	tr.Child(0).Start("phase/parse").End()
+	c1 := tr.Child(1)
+	ctx, outer := c1.StartSpan(context.Background(), "phase/symex")
+	_, inner := c1.StartSpan(ctx, "solve")
+	inner.End()
+	outer.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("exported trace fails validation: %v\n%s", err, buf.String())
+	}
+
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	var meta, complete int
+	tids := map[float64]bool{}
+	for _, ev := range parsed.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			tids[ev["tid"].(float64)] = true
+		}
+	}
+	if meta != 2 {
+		t.Errorf("got %d thread-metadata events, want one per worker (2)", meta)
+	}
+	if complete != 3 {
+		t.Errorf("got %d complete events, want 3", complete)
+	}
+	if !tids[0] || !tids[1] {
+		t.Errorf("worker ids not preserved as tids: %v", tids)
+	}
+}
+
+func TestValidateChromeTraceRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"not json",
+		`{"traceEvents":[]}`,
+		`{"traceEvents":[{"ph":"X","name":"","ts":0,"dur":1}]}`,
+		`{"traceEvents":[{"ph":"Q","name":"x","ts":0,"dur":1}]}`,
+		`{"traceEvents":[{"ph":"X","name":"x","ts":-5,"dur":1}]}`,
+	} {
+		if err := ValidateChromeTrace([]byte(bad)); err == nil {
+			t.Errorf("ValidateChromeTrace accepted %q", bad)
+		}
+	}
+}
+
+func TestFlameSummaryAggregatesByPath(t *testing.T) {
+	tr := NewDeterministic()
+	ctx, outer := tr.StartSpan(context.Background(), "phase/symex")
+	for i := 0; i < 3; i++ {
+		_, s := tr.StartSpan(ctx, "solve")
+		s.End()
+	}
+	outer.End()
+	var sb strings.Builder
+	tr.FlameSummary(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "phase/symex/solve") {
+		t.Errorf("flame summary missing aggregated path:\n%s", out)
+	}
+	if !strings.Contains(out, "3") {
+		t.Errorf("flame summary missing count:\n%s", out)
+	}
+}
+
+func TestContextThreading(t *testing.T) {
+	tr, m := New(), NewMetrics()
+	ctx := NewContext(nil, tr, m)
+	if TracerFrom(ctx) != tr || MetricsFrom(ctx) != m {
+		t.Error("NewContext/From round trip failed")
+	}
+	if TracerFrom(nil) != nil || MetricsFrom(nil) != nil {
+		t.Error("From(nil ctx) not nil")
+	}
+	ctx = WithWorker(ctx, 5)
+	_, s := tr.StartSpan(ctx, "x")
+	s.End()
+	if evs := tr.Events(); len(evs) != 1 || evs[0].Worker != 5 {
+		t.Errorf("span did not inherit worker id from ctx: %+v", evs)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"stringloops/internal/bv"
 	"stringloops/internal/engine"
 	"stringloops/internal/faultpoint"
+	"stringloops/internal/obs"
 	"stringloops/internal/sat"
 )
 
@@ -126,6 +127,17 @@ type Cache struct {
 	solver *bv.Solver
 	faults *faultpoint.Registry
 	stats  Stats
+
+	// Metric handles, lazily bound from the budget's registry on the first
+	// query that carries one (hits/misses are mirrored by the budget itself;
+	// these cover the cache-shape metrics). All nil while observability is
+	// off — writes are nil-safe no-ops.
+	boundMetrics *obs.Metrics
+	mQueries     *obs.Counter
+	mGroups      *obs.Counter
+	mRebuilds    *obs.Counter
+	gMaxGroup    *obs.Gauge
+	hSolveNs     *obs.Histogram
 }
 
 // New returns an empty cache scoped to the given interner. Every formula
@@ -164,6 +176,22 @@ func (c *Cache) Stats() Stats {
 // Interner returns the interner this cache is scoped to.
 func (c *Cache) Interner() *bv.Interner { return c.in }
 
+// bindMetrics resolves the cache-shape instruments from the budget's
+// registry, re-resolving only when the registry changes (per-pipeline caches
+// see one registry for their lifetime). Caller holds c.mu.
+func (c *Cache) bindMetrics(b *engine.Budget) {
+	m := b.Metrics()
+	if m == c.boundMetrics {
+		return
+	}
+	c.boundMetrics = m
+	c.mQueries = m.Counter(obs.MQCacheQueries)
+	c.mGroups = m.Counter(obs.MQCacheGroups)
+	c.mRebuilds = m.Counter(obs.MQCacheRebuilds)
+	c.gMaxGroup = m.Gauge(obs.MQCacheMaxGroup)
+	c.hSolveNs = m.Histogram(obs.MQCacheSolveNs)
+}
+
 // CheckSat decides the conjunction of the given formulas, returning a model
 // on Sat. It has the same contract as bv.CheckSat — maxConflicts bounds each
 // underlying SAT query (0 = unbounded) and the optional budget b carries
@@ -173,7 +201,9 @@ func (c *Cache) Interner() *bv.Interner { return c.in }
 func (c *Cache) CheckSat(b *engine.Budget, maxConflicts int64, formulas ...*bv.Bool) (sat.Status, *bv.Assignment) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.bindMetrics(b)
 	c.stats.Queries++
+	c.mQueries.Inc()
 	if b.Exceeded() {
 		return sat.Unknown, nil
 	}
@@ -202,10 +232,12 @@ func (c *Cache) CheckSat(b *engine.Budget, maxConflicts int64, formulas ...*bv.B
 
 	groups := c.slice(conj)
 	c.stats.Groups += int64(len(groups))
+	c.mGroups.Add(int64(len(groups)))
 	merged := &bv.Assignment{Terms: map[string]uint64{}, Bools: map[string]bool{}}
 	for _, g := range groups {
 		if len(g.conj) > c.stats.MaxGroup {
 			c.stats.MaxGroup = len(g.conj)
+			c.gMaxGroup.SetMax(int64(len(g.conj)))
 		}
 		st, model := c.checkGroup(b, maxConflicts, g)
 		switch st {
@@ -303,6 +335,7 @@ func (c *Cache) solveGroup(b *engine.Budget, maxConflicts int64, key string, g g
 		c.solver = bv.NewSolver()
 		c.solver.Faults = c.faults
 		c.stats.Rebuilds++
+		c.mRebuilds.Inc()
 	}
 	c.solver.MaxConflicts = maxConflicts
 	c.solver.Budget = b
@@ -318,7 +351,9 @@ func (c *Cache) solveGroup(b *engine.Budget, maxConflicts int64, key string, g g
 	before := c.solver.Conflicts()
 	st := c.solver.CheckAssumingLits(lits...)
 	c.stats.Conflicts += c.solver.Conflicts() - before
-	c.stats.SearchTime += time.Since(searchStart)
+	searchDur := time.Since(searchStart)
+	c.stats.SearchTime += searchDur
+	c.hSolveNs.Observe(int64(searchDur))
 
 	switch st {
 	case sat.Sat:

@@ -24,6 +24,7 @@ package sat
 import (
 	"stringloops/internal/engine"
 	"stringloops/internal/faultpoint"
+	"stringloops/internal/obs"
 )
 
 // Lit is a literal: variable index shifted left once, low bit 1 for negated.
@@ -107,6 +108,11 @@ type Solver struct {
 	ok        bool // false once a top-level conflict is found
 	conflicts int64
 	decisions int64
+	// propagations counts trail literals processed by unit propagation. It
+	// is a plain local counter — the hot loop stays free of atomics — and
+	// its per-query delta is flushed to the shared budget (and thence the
+	// metrics registry) once per SolveAssuming call.
+	propagations int64
 	// assumptions holds the temporary decision literals of the current
 	// SolveAssuming call; assumption i is decided at level i+1.
 	assumptions []Lit
@@ -255,6 +261,7 @@ func (s *Solver) propagate() *clause {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
+		s.propagations++
 		ws := s.watches[p]
 		kept := ws[:0]
 		var confl *clause
@@ -413,6 +420,15 @@ func (s *Solver) Solve() Status { return s.SolveAssuming() }
 // set only, so they remain valid for later calls under different
 // assumptions. On Sat, Model reports variable values.
 func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
+	// Flush per-query propagation/decision deltas to the shared budget at
+	// exit — batched so the propagate/search inner loops carry no atomics.
+	propBase, decBase := s.propagations, s.decisions
+	defer func() {
+		s.Budget.AddPropagations(s.propagations - propBase)
+		if m := s.Budget.Metrics(); m != nil {
+			m.Counter(obs.MSatDecisions).Add(s.decisions - decBase)
+		}
+	}()
 	s.cancelUntil(0)
 	if !s.ok {
 		return Unsat
@@ -450,6 +466,13 @@ func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
 // Conflicts returns the total conflicts across every Solve call on this
 // solver (cumulative, for per-query deltas at the caller).
 func (s *Solver) Conflicts() int64 { return s.conflicts }
+
+// Propagations returns the total unit-propagation steps across every Solve
+// call on this solver.
+func (s *Solver) Propagations() int64 { return s.propagations }
+
+// Decisions returns the total branching decisions across every Solve call.
+func (s *Solver) Decisions() int64 { return s.decisions }
 
 // outOfBudget reports whether either the local per-query conflict cap or the
 // shared run budget forbids further search.

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"stringloops/internal/engine"
+	"stringloops/internal/obs"
 )
 
 // PanicError is a recovered panic, preserving the panic value and the stack
@@ -72,6 +73,13 @@ type Policy struct {
 	Seed uint64
 	// Sleep replaces time.Sleep (tests). Nil means time.Sleep.
 	Sleep func(time.Duration)
+	// Tracer, when non-nil, records one span per ladder rung ("rung/<name>")
+	// with the attempt count and failure error as span attributes.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, counts attempts, retries and panics
+	// (supervise.attempts/retries/panics) plus per-rung outcomes
+	// (supervise.rung.<name>).
+	Metrics *obs.Metrics
 }
 
 func (p Policy) withDefaults() Policy {
@@ -129,13 +137,18 @@ func Retry(p Policy, fn func(limits engine.Limits) error) ([]Attempt, error) {
 	var attempts []Attempt
 	for n := 0; n < p.MaxAttempts; n++ {
 		if n > 0 {
+			p.Metrics.Counter(obs.MSupRetries).Inc()
 			if d := p.Backoff + jitter(p.Seed, n, p.Backoff); d > 0 {
 				p.Sleep(d)
 			}
 		}
+		p.Metrics.Counter(obs.MSupAttempts).Inc()
 		err := Guard(func() error { return fn(limits) })
 		var pe *PanicError
 		panicked := errors.As(err, &pe)
+		if panicked {
+			p.Metrics.Counter(obs.MSupPanics).Inc()
+		}
 		attempts = append(attempts, Attempt{Limits: limits, Err: err, Panicked: panicked})
 		if err == nil {
 			return attempts, nil
@@ -165,11 +178,19 @@ func Descend(p Policy, rungs []Rung) (int, [][]Attempt, error) {
 	history := make([][]Attempt, 0, len(rungs))
 	var lastErr error
 	for i, r := range rungs {
+		span := p.Tracer.Start("rung/" + r.Name)
 		attempts, err := Retry(p, r.Run)
 		history = append(history, attempts)
+		span.SetInt("attempts", int64(len(attempts)))
 		if err == nil {
+			span.SetAttr("outcome", "ok")
+			span.End()
+			p.Metrics.Counter(obs.MSupRungPrefix + r.Name).Inc()
 			return i, history, nil
 		}
+		span.SetAttr("outcome", "failed")
+		span.SetAttr("error", err.Error())
+		span.End()
 		lastErr = err
 	}
 	return len(rungs), history, lastErr

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"stringloops/internal/engine"
+	"stringloops/internal/obs"
 )
 
 func TestGuardConvertsPanic(t *testing.T) {
@@ -184,5 +185,84 @@ func TestDescendAllRungsFail(t *testing.T) {
 	}
 	if len(history) != 2 {
 		t.Fatalf("history = %d rungs, want 2", len(history))
+	}
+}
+
+// TestDescendEmitsRungSpans pins the ladder's observability contract: one
+// "rung/<name>" span per rung tried, carrying the attempt count, the outcome
+// and — on failure — the error string, plus the attempt/retry/rung counters.
+func TestDescendEmitsRungSpans(t *testing.T) {
+	tr := obs.NewDeterministic()
+	m := obs.NewMetrics()
+	p := Policy{
+		MaxAttempts: 2,
+		Tracer:      tr,
+		Metrics:     m,
+	}
+	budgetErr := fmt.Errorf("wrapped: %w", engine.ErrBudget)
+	idx, history, err := Descend(p, []Rung{
+		{Name: "full", Run: func(engine.Limits) error { return budgetErr }},
+		{Name: "smoke", Run: func(engine.Limits) error { return nil }},
+	})
+	if err != nil || idx != 1 {
+		t.Fatalf("Descend = %d, %v", idx, err)
+	}
+	if len(history) != 2 || len(history[0]) != 2 || len(history[1]) != 1 {
+		t.Fatalf("history shape = %v", history)
+	}
+
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d spans, want one per rung tried:\n%+v", len(evs), evs)
+	}
+	attrs := func(ev obs.Event) map[string]string {
+		out := map[string]string{}
+		for _, a := range ev.Attrs {
+			out[a.Key] = a.Val
+		}
+		return out
+	}
+	byName := map[string]obs.Event{}
+	for _, ev := range evs {
+		byName[ev.Name] = ev
+	}
+	fa := attrs(byName["rung/full"])
+	if fa["outcome"] != "failed" || fa["attempts"] != "2" {
+		t.Errorf("rung/full attrs = %v", fa)
+	}
+	if !strings.Contains(fa["error"], "budget") {
+		t.Errorf("rung/full error attr = %q, want the failure error", fa["error"])
+	}
+	sa := attrs(byName["rung/smoke"])
+	if sa["outcome"] != "ok" || sa["attempts"] != "1" {
+		t.Errorf("rung/smoke attrs = %v", sa)
+	}
+	if _, ok := sa["error"]; ok {
+		t.Errorf("succeeding rung carries an error attr: %v", sa)
+	}
+
+	snap := m.Snapshot()
+	if got := snap.Counters[obs.MSupAttempts]; got != 3 {
+		t.Errorf("attempts counter = %d, want 3", got)
+	}
+	if got := snap.Counters[obs.MSupRetries]; got != 1 {
+		t.Errorf("retries counter = %d, want 1", got)
+	}
+	if got := snap.Counters[obs.MSupRungPrefix+"smoke"]; got != 1 {
+		t.Errorf("rung counter = %d, want 1", got)
+	}
+}
+
+// TestRetryCountsPanics covers the panic counter alongside Guard's typed
+// conversion.
+func TestRetryCountsPanics(t *testing.T) {
+	m := obs.NewMetrics()
+	_, err := Retry(Policy{Metrics: m}, func(engine.Limits) error { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if got := m.Snapshot().Counters[obs.MSupPanics]; got != 1 {
+		t.Errorf("panic counter = %d, want 1", got)
 	}
 }

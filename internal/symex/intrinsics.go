@@ -108,7 +108,7 @@ func (e *Engine) stringCall(s *state, f *cir.Func, in *cir.Instr, work []*state)
 	// forkFound schedules the found (pointer result under cond) and miss
 	// (missVal or error under !cond) successors.
 	forkFound := func(found *bv.Bool, obj int, offTerm *bv.Term, missVal Value, missErr error) []*state {
-		e.Stats.Forks++
+		e.nForks.Add(1)
 		e.Budget.AddForks(1)
 		miss := s.fork()
 		s.cond = bvin.BAnd2(s.cond, found)
@@ -119,7 +119,8 @@ func (e *Engine) stringCall(s *state, f *cir.Func, in *cir.Instr, work []*state)
 		miss.cond = bvin.BAnd2(miss.cond, bvin.BNot1(found))
 		if miss.cond != bv.False && !(e.CheckFeasibility && !e.feasible(miss.cond)) {
 			if missErr != nil {
-				e.Stats.Paths++
+				e.nPaths.Add(1)
+				e.mPaths.Inc()
 				e.pending = append(e.pending, Path{Cond: miss.cond, Err: missErr})
 			} else {
 				miss.regs[in.Res] = missVal

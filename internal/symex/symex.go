@@ -14,12 +14,14 @@ package symex
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"stringloops/internal/bv"
 	"stringloops/internal/cir"
 	"stringloops/internal/engine"
 	"stringloops/internal/faultpoint"
+	"stringloops/internal/obs"
 	"stringloops/internal/qcache"
 	"stringloops/internal/sat"
 )
@@ -74,7 +76,9 @@ var (
 	ErrPathLimit = fmt.Errorf("symex: path limit exceeded (%w)", engine.ErrBudget)
 )
 
-// Stats counts work done by a run.
+// Stats counts work done by a run. It is a view refreshed from the engine's
+// atomic counters at the end of every Run, so reading it between runs is
+// race-free even when the runs happened on different goroutines.
 type Stats struct {
 	Paths         int
 	Forks         int
@@ -122,7 +126,28 @@ type Engine struct {
 	// ErrTimeout, as if the fork had failed in a resource-starved engine.
 	Faults *faultpoint.Registry
 
+	// Stats is the exported view of the run counters; Run refreshes it from
+	// the atomic counters below on exit. Do not increment it directly.
 	Stats Stats
+
+	// Run counters. Atomics, because drivers historically shared one Engine
+	// value across -j workers; the exported Stats view above used to be
+	// incremented in place, which raced. Hot-path counts (steps) are
+	// accumulated state-locally and flushed here in batches, so the
+	// instruction loop carries no atomics.
+	nPaths   atomic.Int64
+	nForks   atomic.Int64
+	nQueries atomic.Int64
+	nSteps   atomic.Int64
+	nSolveNs atomic.Int64
+
+	// Metric mirrors, lazily bound from the budget's registry at Run entry.
+	// Nil (no-op) while observability is off.
+	boundMetrics *obs.Metrics
+	mPaths       *obs.Counter
+	mSteps       *obs.Counter
+	mQueries     *obs.Counter
+	mRuns        *obs.Counter
 
 	// pending collects terminal paths emitted by forking intrinsics
 	// (stringCall); Run drains it into the result set.
@@ -171,6 +196,14 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) (rpaths []Path, r
 			Seq:  e.Faults.Fired(faultpoint.SymexPanic),
 		})
 	}
+	e.bindMetrics()
+	e.mRuns.Inc()
+	span := e.Budget.Tracer().Start("phase/symex", obs.Attr{Key: "func", Val: f.Name})
+	defer func() {
+		e.refreshStats()
+		span.SetInt("paths", int64(e.Stats.Paths))
+		span.End()
+	}()
 	e.injectedErr = nil
 	var curState *state
 	defer func() {
@@ -230,7 +263,8 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) (rpaths []Path, r
 
 	emit := func(s *state, ret Value, err error) {
 		paths = append(paths, Path{Cond: s.cond, Ret: ret, Err: err})
-		e.Stats.Paths++
+		e.nPaths.Add(1)
+		e.mPaths.Inc()
 	}
 
 	for len(work) > 0 {
@@ -246,6 +280,10 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) (rpaths []Path, r
 		s := work[len(work)-1]
 		work = work[:len(work)-1]
 		curState = s
+		// Steps accumulate on the state and the segment's delta is flushed
+		// after the instruction loop — one batched atomic add per scheduled
+		// segment keeps the per-instruction path free of shared writes.
+		stepsBase := s.steps
 
 		// Evaluate phis simultaneously on block entry.
 		if s.idx == 0 {
@@ -287,7 +325,6 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) (rpaths []Path, r
 				continue
 			}
 			s.steps++
-			e.Stats.Steps++
 			if s.steps > e.MaxSteps {
 				emit(s, Value{}, ErrStepLimit)
 				break instrLoop
@@ -393,6 +430,10 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) (rpaths []Path, r
 				break instrLoop
 			}
 		}
+		if d := int64(s.steps - stepsBase); d > 0 {
+			e.nSteps.Add(d)
+			e.mSteps.Add(d)
+		}
 	}
 	// A fork failure on the final worklist item drains the list before the
 	// loop head re-checks the latch; surface it here too, or a partial path
@@ -424,7 +465,7 @@ func (e *Engine) branch(s *state, cond *bv.Bool, thenB, elseB *cir.Block, work [
 	case bv.False:
 		return take(s, bv.True, elseB)
 	}
-	e.Stats.Forks++
+	e.nForks.Add(1)
 	e.Budget.AddForks(1)
 	if e.Faults.Fire(faultpoint.SymexForkFail) {
 		// A failed fork poisons the whole run, not just this state: partial
@@ -442,7 +483,8 @@ func (e *Engine) branch(s *state, cond *bv.Bool, thenB, elseB *cir.Block, work [
 // feasible asks the solver whether cond is satisfiable; on budget exhaustion
 // it conservatively answers true.
 func (e *Engine) feasible(cond *bv.Bool) bool {
-	e.Stats.SolverQueries++
+	e.nQueries.Add(1)
+	e.mQueries.Inc()
 	start := time.Now()
 	var st sat.Status
 	if e.Cache != nil {
@@ -450,13 +492,32 @@ func (e *Engine) feasible(cond *bv.Bool) bool {
 	} else {
 		st, _ = bv.CheckSat(e.Budget, e.SolverBudget, cond)
 	}
-	e.Stats.SolverTime += time.Since(start)
-	e.snapshotCache()
+	e.nSolveNs.Add(int64(time.Since(start)))
 	return st != sat.Unsat
 }
 
-// snapshotCache mirrors the cache counters into the run stats.
-func (e *Engine) snapshotCache() {
+// bindMetrics resolves the engine's metric mirrors from the budget's
+// registry, re-resolving only when the registry changes.
+func (e *Engine) bindMetrics() {
+	m := e.Budget.Metrics()
+	if m == e.boundMetrics {
+		return
+	}
+	e.boundMetrics = m
+	e.mPaths = m.Counter(obs.MSymexPaths)
+	e.mSteps = m.Counter(obs.MSymexSteps)
+	e.mQueries = m.Counter(obs.MSymexQueries)
+	e.mRuns = m.Counter(obs.MSymexRuns)
+}
+
+// refreshStats rebuilds the exported Stats view from the atomic counters
+// (and the cache snapshot); Run calls it on exit.
+func (e *Engine) refreshStats() {
+	e.Stats.Paths = int(e.nPaths.Load())
+	e.Stats.Forks = int(e.nForks.Load())
+	e.Stats.SolverQueries = int(e.nQueries.Load())
+	e.Stats.Steps = int(e.nSteps.Load())
+	e.Stats.SolverTime = time.Duration(e.nSolveNs.Load())
 	if e.Cache != nil {
 		e.Stats.Cache = e.Cache.Stats()
 	}
