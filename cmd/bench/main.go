@@ -10,11 +10,17 @@
 // disabled-mode cost (the batched-flush pattern every instrumented hot loop
 // uses) at <= 2% over a bare loop.
 //
+// With -merge it runs the state-merging lane and writes BENCH_6.json: the
+// Figure 1 loop enumerated at length n against the merging executor at
+// length 2n, gating that the merged double-length run stays under the
+// enumerated wall time — the n=8 -> n=16 push.
+//
 // Usage:
 //
 //	bench                      # full run, writes BENCH_3.json
 //	bench -short -check        # CI smoke: small length, assert cache wins
 //	bench -obs                 # overhead lane, writes BENCH_5.json
+//	bench -merge -check        # merging lane, writes BENCH_6.json
 package main
 
 import (
@@ -58,7 +64,9 @@ type run struct {
 	SolverQueries int64   `json:"solver_queries_per_op"`
 	Conflicts     int64   `json:"sat_conflicts_per_op"`
 	CacheHitRate  float64 `json:"cache_hit_rate"`
-	Tests         int     `json:"tests"` // generated test inputs (last rep)
+	Tests         int     `json:"tests"`           // generated test inputs (last rep)
+	Paths         int     `json:"paths,omitempty"` // terminal paths (last rep)
+	Merge         bool    `json:"merge,omitempty"` // state-merging executor
 }
 
 // report is the BENCH_3.json schema.
@@ -79,17 +87,30 @@ func main() {
 		n     = flag.Int("n", 8, "symbolic string length")
 		reps  = flag.Int("reps", 3, "repetitions per configuration")
 		obsL  = flag.Bool("obs", false, "run the observability-overhead lane and write BENCH_5.json instead")
+		mrg   = flag.Bool("merge", false, "run the state-merging lane and write BENCH_6.json instead")
 	)
 	flag.Parse()
 	if *short {
-		*n = 6
 		*reps = 1
+		// The merge lane keeps n=8: its gate compares enumeration at n to
+		// merging at 2n, and below the n=8 crossover enumeration is too
+		// cheap for the comparison to mean anything.
+		if !*mrg {
+			*n = 6
+		}
 	}
 	if *obsL {
 		if *out == "BENCH_3.json" {
 			*out = "BENCH_5.json"
 		}
 		obsLane(*n, *reps, *short, *out)
+		return
+	}
+	if *mrg {
+		if *out == "BENCH_3.json" {
+			*out = "BENCH_6.json"
+		}
+		mergeLane(*n, *reps, *check, *out)
 		return
 	}
 
@@ -134,6 +155,65 @@ func main() {
 		}
 		fmt.Printf("check ok: conflicts off/on = %.2f, ns off/on = %.2f, hit rate = %.3f\n",
 			rep.ConflictRatio, rep.NsRatio, on.CacheHitRate)
+	}
+}
+
+// mergeReport is the BENCH_6.json schema: the enumerating executor at the
+// baseline length against the merging executor at double the length, both
+// through the query-cache chain.
+type mergeReport struct {
+	Benchmark string `json:"benchmark"`
+	Loop      string `json:"loop"`
+	GoVersion string `json:"go_version"`
+	Runs      []run  `json:"runs"`
+	// NsRatioEnumOverMerged compares the enumerated baseline-length run to
+	// the merged double-length run; >= 1 means merging absorbed a doubling
+	// of the symbolic string for free.
+	NsRatioEnumOverMerged float64 `json:"ns_ratio_enum_n_over_merged_2n"`
+	// PathRatio is enumerated paths over merged paths at the same length n
+	// — the state-explosion factor merging removes.
+	PathRatio float64 `json:"path_ratio_enum_over_merged_same_n"`
+}
+
+// mergeLane measures state merging: enumeration at n vs merging at n and
+// 2n. With check, the merged 2n run must stay under the enumerated n wall
+// time (the Figure 1 n=8 -> n=16 push).
+func mergeLane(n, reps int, check bool, out string) {
+	f := lower()
+	enum := vanillaRun("EnumN", f, n, reps, kleebench.Config{QCache: true})
+	mergedSame := vanillaRun("MergeN", f, n, reps, kleebench.Config{QCache: true, Merge: true})
+	merged2x := vanillaRun("MergeTwoN", f, 2*n, reps, kleebench.Config{QCache: true, Merge: true})
+
+	rep := mergeReport{
+		Benchmark:             "BenchmarkStateMerging",
+		Loop:                  "figure1/skip_whitespace",
+		GoVersion:             runtime.Version(),
+		Runs:                  []run{enum, mergedSame, merged2x},
+		NsRatioEnumOverMerged: ratio(enum.NsPerOp, merged2x.NsPerOp),
+		PathRatio:             ratio(int64(enum.Paths), int64(mergedSame.Paths)),
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	enc = append(enc, '\n')
+	fmt.Print(string(enc))
+	if out != "" {
+		if err := os.WriteFile(out, enc, 0o644); err != nil {
+			fatal("write %s: %v", out, err)
+		}
+	}
+	if check {
+		if rep.NsRatioEnumOverMerged < 1 {
+			fatal("merge check failed: merged n=%d took %.2fx the enumerated n=%d wall time",
+				2*n, 1/rep.NsRatioEnumOverMerged, n)
+		}
+		if rep.PathRatio < 1 {
+			fatal("merge check failed: merged path count exceeds enumerated at n=%d", n)
+		}
+		fmt.Printf("merge check ok: merged n=%d at %.2fx under enumerated n=%d; same-length path ratio %.1fx\n",
+			2*n, rep.NsRatioEnumOverMerged, n, rep.PathRatio)
 	}
 }
 
@@ -296,7 +376,7 @@ func lower() *cir.Func {
 // feasibility checks, averaging over reps. The loop is re-lowered per rep so
 // each rep gets a fresh interner (matching the per-pipeline cache scope).
 func vanillaRun(name string, f *cir.Func, n, reps int, cfg kleebench.Config) run {
-	r := run{Name: name, Mode: "vanilla", QCache: cfg.QCache, Length: n, Reps: reps}
+	r := run{Name: name, Mode: "vanilla", QCache: cfg.QCache, Length: n, Reps: reps, Merge: cfg.Merge}
 	var ns, queries, conflicts, hits, groups int64
 	for i := 0; i < reps; i++ {
 		f = lower()
@@ -310,6 +390,7 @@ func vanillaRun(name string, f *cir.Func, n, reps int, cfg kleebench.Config) run
 		hits += m.Cache.Hits()
 		groups += m.Cache.Hits() + m.Cache.Misses
 		r.Tests = m.Tests
+		r.Paths = m.Paths
 	}
 	r.NsPerOp = ns / int64(reps)
 	r.SolverQueries = queries / int64(reps)

@@ -33,6 +33,7 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
 		nomin   = flag.Bool("nomin", false, "skip finding minimization")
 		qcache  = cliflags.QCache(nil, false)
+		merge   = cliflags.Merge(nil, false)
 		faults  = flag.Float64("faults", 0, "fault-injection intensity in [0,1]: seeded skip-safe fault storms over the pipeline under test (0 disables)")
 		fseed   = flag.Uint64("faultseed", 0, "decorrelate fault schedules from generator seeds")
 		verbose = flag.Bool("v", false, "print per-finding sources even when clean")
@@ -55,6 +56,7 @@ func main() {
 		MaxExSize:    *maxex,
 		NoMinimize:   *nomin,
 		QCache:       *qcache,
+		Merge:        *merge,
 		FaultRate:    *faults,
 		FaultSeed:    *fseed,
 	}

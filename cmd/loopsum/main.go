@@ -42,11 +42,12 @@ func main() {
 	corpus := flag.Bool("corpus", false, "summarise the built-in loop database instead of a file")
 	sample := flag.Int("sample", 0, "with -corpus: only the first N loops (0 = all)")
 	jobs := cliflags.Jobs(nil, 1)
+	merge := cliflags.Merge(nil, false)
 	obsFlags := cliflags.Obs(nil)
 	flag.Parse()
 
 	if *corpus {
-		os.Exit(runCorpus(*sample, *jobs, *timeout, *maxSize, obsFlags))
+		os.Exit(runCorpus(*sample, *jobs, *timeout, *maxSize, *merge, obsFlags))
 	}
 
 	if flag.NArg() != 1 {
@@ -96,6 +97,7 @@ func main() {
 		MaxProgramSize:    *maxSize,
 		Timeout:           *timeout,
 		RequireMemoryless: *requireMem,
+		Merge:             *merge,
 	}
 
 	if *resilient {
@@ -123,7 +125,7 @@ func main() {
 // session's observability handles, then reconciles the report's counter
 // totals against the summed budget spend: both sides count through the same
 // engine.Budget mirrors, so any drift means an instrumentation bug.
-func runCorpus(sample, jobs int, timeout time.Duration, maxSize int, obsFlags *obs.Flags) int {
+func runCorpus(sample, jobs int, timeout time.Duration, maxSize int, merge bool, obsFlags *obs.Flags) int {
 	sess, err := obsFlags.Start()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loopsum: %v\n", err)
@@ -145,6 +147,7 @@ func runCorpus(sample, jobs int, timeout time.Duration, maxSize int, obsFlags *o
 			MaxProgramSize: maxSize,
 			Timeout:        timeout,
 			Budget:         budget,
+			Merge:          merge,
 		})
 		switch {
 		case err == nil:

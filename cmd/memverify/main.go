@@ -20,6 +20,7 @@ func main() {
 	maxLen := flag.Int("maxlen", 3, "bounded-check string length")
 	verbose := flag.Bool("v", false, "per-loop results")
 	jobs := cliflags.Jobs(nil, 1)
+	merge := cliflags.Merge(nil, false)
 	obsFlags := cliflags.Obs(nil)
 	flag.Parse()
 	sess, err := obsFlags.Start()
@@ -44,7 +45,9 @@ func main() {
 		}
 		budget := engine.NewBudget(nil, engine.Limits{}).
 			SetObs(item.Tracer(), item.Metrics())
-		reports[i] = memoryless.VerifyBudget(f, *maxLen, budget)
+		reports[i] = memoryless.VerifyWith(f, memoryless.VerifyOptions{
+			MaxLen: *maxLen, Budget: budget, Merge: *merge,
+		})
 		outcome := "rejected"
 		if reports[i].Memoryless {
 			outcome = "memoryless"

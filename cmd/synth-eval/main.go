@@ -32,6 +32,7 @@ func main() {
 	verbose := flag.Bool("v", false, "per-loop progress")
 	jobs := cliflags.Jobs(nil, 1)
 	resilient := cliflags.Resilient(nil)
+	merge := cliflags.Merge(nil, false)
 	obsFlags := cliflags.Obs(nil)
 	flag.Parse()
 	sess, err := obsFlags.Start()
@@ -40,7 +41,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *resilient {
-		code := resilientSweep(*timeout, *maxSize, *maxSet, *jobs, sess)
+		code := resilientSweep(*timeout, *maxSize, *maxSet, *jobs, *merge, sess)
 		if err := sess.Finish(os.Stdout, os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "synth-eval: %v\n", err)
 			code = 1
@@ -51,7 +52,7 @@ func main() {
 		*table3, *figure2 = true, true
 	}
 
-	opts := cegis.Options{Timeout: *timeout, MaxProgSize: *maxSize, MaxSetLen: *maxSet}
+	opts := cegis.Options{Timeout: *timeout, MaxProgSize: *maxSize, MaxSetLen: *maxSet, Merge: *merge}
 	progress := (os.Stdout)
 	if !*verbose {
 		progress = nil
@@ -151,7 +152,7 @@ func main() {
 // ladder descended, the reason. Degraded loops are expected output, not
 // failures: the exit code is non-zero only when a loop fails outright
 // (infrastructure failure — even the concrete floor produced nothing).
-func resilientSweep(timeout time.Duration, maxSize, maxSet, jobs int, sess *obs.Session) int {
+func resilientSweep(timeout time.Duration, maxSize, maxSet, jobs int, merge bool, sess *obs.Session) int {
 	corpus := loopdb.Corpus()
 	fmt.Printf("resilient sweep over %d loops (timeout %v, %d workers)...\n", len(corpus), timeout, jobs)
 	start := time.Now()
@@ -160,7 +161,7 @@ func resilientSweep(timeout time.Duration, maxSize, maxSet, jobs int, sess *obs.
 		l := corpus[i]
 		item := sess.Item(l.Name, l.Program, worker)
 		outcomes[i] = core.SummarizeResilient(l.Source, l.FuncName, core.ResilientOptions{
-			Options: core.Options{Timeout: timeout, MaxProgramSize: maxSize, MaxSetSize: maxSet},
+			Options: core.Options{Timeout: timeout, MaxProgramSize: maxSize, MaxSetSize: maxSet, Merge: merge},
 			Tracer:  item.Tracer(),
 			Metrics: item.Metrics(),
 		})

@@ -59,6 +59,16 @@ type Interner struct {
 	budget  *engine.Budget
 	faults  *faultpoint.Registry
 	nodes   int64
+
+	// Rewrite-before-blast simplification memo (see simplify.go). Guarded by
+	// simpMu, which is always acquired before mu (the simplifier calls the
+	// constructors, which take mu), never the other way around.
+	simpMu       sync.Mutex
+	simpTermTab  map[*Term]*Term
+	simpBoolTab  map[*Bool]*Bool
+	simpCalls    int64
+	simpNodesIn  int64
+	simpNodesOut int64
 }
 
 // NewInterner returns an empty interner with the default soft cap.

@@ -1,0 +1,314 @@
+package bv
+
+// Rewrite-before-blast simplification. State merging builds deeply nested
+// ite terms (one per merged variable per join), and the guards of those ites
+// are compared against constants by the very next loop iteration — shapes
+// the local smart-constructor rewrites cannot see because they only look one
+// node deep at construction time. SimplifyBool re-traverses a formula
+// bottom-up through the constructors (re-applying every local fold to
+// already-built nodes) and adds the non-local rules that matter for merged
+// path conditions:
+//
+//   - eq/add identities:      x+c1 = c2   ⇒  x = c2-c1   (modular, exact)
+//     and                     a-b  = c    ⇒  a = b+c
+//   - ite-vs-constant pushes: (c ? k1 : e) = k2  ⇒  c ∨ (e=k2)   [k1 = k2]
+//     and                                        ⇒  ¬c ∧ (e=k2)  [k1 ≠ k2]
+//     (same for unsigned < and <=, both operand sides)
+//   - nested same-guard ites: c ? a : (c ? _ : b)  ⇒  c ? a : b
+//   - complement literals:    a ∧ ¬a ⇒ false,  a ∨ ¬a ⇒ true
+//
+// Results are memoized per interner, so the incremental query streams the
+// qcache layer produces (each query extending the last by one conjunct) pay
+// only for their new suffix. Simplification is equivalence-preserving: a
+// variable can only disappear from a formula when its value is a don't-care,
+// so models of the simplified formula extend to models of the original by
+// zero-filling — exactly the convention the qcache model-restriction code
+// already uses.
+
+// SimplifyStats reports the cumulative effect of the pass on one interner.
+type SimplifyStats struct {
+	Calls    int64 // top-level SimplifyBool/SimplifyTerm invocations
+	NodesIn  int64 // DAG nodes across all inputs
+	NodesOut int64 // DAG nodes across the corresponding outputs
+}
+
+// SimplifyStats returns the interner's cumulative simplification counters.
+func (in *Interner) SimplifyStats() SimplifyStats {
+	in.simpMu.Lock()
+	defer in.simpMu.Unlock()
+	return SimplifyStats{Calls: in.simpCalls, NodesIn: in.simpNodesIn, NodesOut: in.simpNodesOut}
+}
+
+// SimplifyBool returns a formula equivalent to b, rewritten bottom-up.
+func (in *Interner) SimplifyBool(b *Bool) *Bool {
+	in.simpMu.Lock()
+	defer in.simpMu.Unlock()
+	if in.simpBoolTab == nil {
+		in.simpBoolTab = map[*Bool]*Bool{}
+		in.simpTermTab = map[*Term]*Term{}
+	}
+	r := in.simpBool(b)
+	in.simpCalls++
+	in.simpNodesIn += countBoolNodes(b)
+	in.simpNodesOut += countBoolNodes(r)
+	return r
+}
+
+// SimplifyTerm returns a term equivalent to t, rewritten bottom-up.
+func (in *Interner) SimplifyTerm(t *Term) *Term {
+	in.simpMu.Lock()
+	defer in.simpMu.Unlock()
+	if in.simpBoolTab == nil {
+		in.simpBoolTab = map[*Bool]*Bool{}
+		in.simpTermTab = map[*Term]*Term{}
+	}
+	r := in.simpTerm(t)
+	in.simpCalls++
+	in.simpNodesIn += countTermNodes(t)
+	in.simpNodesOut += countTermNodes(r)
+	return r
+}
+
+// simpBool is the memoized recursive worker. Caller holds simpMu.
+func (in *Interner) simpBool(b *Bool) *Bool {
+	if r, ok := in.simpBoolTab[b]; ok {
+		return r
+	}
+	var r *Bool
+	switch b.Kind {
+	case BConst, BVar:
+		r = b
+	case BNot:
+		r = in.BNot1(in.simpBool(b.A))
+	case BAnd:
+		x, y := in.simpBool(b.A), in.simpBool(b.B)
+		if complementary(x, y) {
+			r = False
+		} else {
+			r = in.BAnd2(x, y)
+		}
+	case BOr:
+		x, y := in.simpBool(b.A), in.simpBool(b.B)
+		if complementary(x, y) {
+			r = True
+		} else {
+			r = in.BOr2(x, y)
+		}
+	case BEq:
+		r = in.simpEq(in.simpTerm(b.X), in.simpTerm(b.Y))
+	case BUlt:
+		r = in.simpUlt(in.simpTerm(b.X), in.simpTerm(b.Y))
+	case BUle:
+		r = in.simpUle(in.simpTerm(b.X), in.simpTerm(b.Y))
+	default:
+		r = b
+	}
+	in.simpBoolTab[b] = r
+	return r
+}
+
+// complementary reports a == ¬b (by pointer, valid per-interner).
+func complementary(a, b *Bool) bool {
+	return (a.Kind == BNot && a.A == b) || (b.Kind == BNot && b.A == a)
+}
+
+// simpEq builds x = y with the eq/add, eq/sub, and ite-push rules. Arguments
+// are already simplified; every recursive call strictly shrinks one side, so
+// the rewrite terminates.
+func (in *Interner) simpEq(x, y *Term) *Bool {
+	// Normalise the constant (if any) to the right.
+	if _, ok := x.IsConst(); ok {
+		x, y = y, x
+	}
+	if yv, yok := y.IsConst(); yok {
+		// x+c1 = c2  ⇒  x = c2-c1 (Add keeps its constant in B).
+		if x.Kind == KAdd {
+			if c1, ok := x.B.IsConst(); ok {
+				return in.simpEq(x.A, in.Const(x.Width, yv-c1))
+			}
+		}
+		// a-b = c  ⇒  a = b+c (both symbolic; Sub folds constant operands).
+		if x.Kind == KSub {
+			return in.simpEq(x.A, in.Add(x.B, y))
+		}
+		if r, ok := in.pushAtomIntoIte(in.simpEq, x, y); ok {
+			return r
+		}
+	}
+	return in.Eq(x, y)
+}
+
+func (in *Interner) simpUlt(x, y *Term) *Bool {
+	if _, ok := y.IsConst(); ok {
+		if r, ok := in.pushAtomIntoIte(in.simpUlt, x, y); ok {
+			return r
+		}
+	}
+	if _, ok := x.IsConst(); ok {
+		if r, ok := in.pushAtomIntoIteRight(in.simpUlt, x, y); ok {
+			return r
+		}
+	}
+	return in.Ult(x, y)
+}
+
+func (in *Interner) simpUle(x, y *Term) *Bool {
+	if _, ok := y.IsConst(); ok {
+		if r, ok := in.pushAtomIntoIte(in.simpUle, x, y); ok {
+			return r
+		}
+	}
+	if _, ok := x.IsConst(); ok {
+		if r, ok := in.pushAtomIntoIteRight(in.simpUle, x, y); ok {
+			return r
+		}
+	}
+	return in.Ule(x, y)
+}
+
+// pushAtomIntoIte rewrites atom(ite(c,a,b), k) into a guard-level formula
+// when at least one ite arm is constant (so one branch of the push folds to
+// a boolean constant and the result strictly shrinks). Returns ok=false when
+// the shape does not apply.
+func (in *Interner) pushAtomIntoIte(atom func(a, b *Term) *Bool, x, y *Term) (*Bool, bool) {
+	if x.Kind != KIte {
+		return nil, false
+	}
+	_, aok := x.A.IsConst()
+	_, bok := x.B.IsConst()
+	if !aok && !bok {
+		return nil, false
+	}
+	return in.condBool(x.Cond, atom(x.A, y), atom(x.B, y)), true
+}
+
+// pushAtomIntoIteRight is pushAtomIntoIte for atom(k, ite(c,a,b)).
+func (in *Interner) pushAtomIntoIteRight(atom func(a, b *Term) *Bool, x, y *Term) (*Bool, bool) {
+	if y.Kind != KIte {
+		return nil, false
+	}
+	_, aok := y.A.IsConst()
+	_, bok := y.B.IsConst()
+	if !aok && !bok {
+		return nil, false
+	}
+	return in.condBool(y.Cond, atom(x, y.A), atom(x, y.B)), true
+}
+
+// condBool returns c ? t : e in the absorbed forms (c∨e, ¬c∧e, ...) when
+// either arm is constant, falling back to the expanded mux otherwise.
+func (in *Interner) condBool(c, t, e *Bool) *Bool {
+	switch {
+	case t == True:
+		return in.BOr2(c, e)
+	case t == False:
+		return in.BAnd2(in.BNot1(c), e)
+	case e == True:
+		return in.BOr2(in.BNot1(c), t)
+	case e == False:
+		return in.BAnd2(c, t)
+	}
+	return in.BOr2(in.BAnd2(c, t), in.BAnd2(in.BNot1(c), e))
+}
+
+// simpTerm is the memoized recursive term worker. Caller holds simpMu.
+func (in *Interner) simpTerm(t *Term) *Term {
+	if r, ok := in.simpTermTab[t]; ok {
+		return r
+	}
+	var r *Term
+	switch t.Kind {
+	case KConst, KVar:
+		r = t
+	case KNot:
+		r = in.Not(in.simpTerm(t.A))
+	case KAnd:
+		r = in.And(in.simpTerm(t.A), in.simpTerm(t.B))
+	case KOr:
+		r = in.Or(in.simpTerm(t.A), in.simpTerm(t.B))
+	case KXor:
+		r = in.Xor(in.simpTerm(t.A), in.simpTerm(t.B))
+	case KAdd:
+		r = in.Add(in.simpTerm(t.A), in.simpTerm(t.B))
+	case KSub:
+		r = in.Sub(in.simpTerm(t.A), in.simpTerm(t.B))
+	case KZext:
+		r = in.Zext(in.simpTerm(t.A), t.Width)
+	case KShlC:
+		r = in.ShlC(in.simpTerm(t.A), int(t.Val))
+	case KLshrC:
+		r = in.LshrC(in.simpTerm(t.A), int(t.Val))
+	case KAshrC:
+		r = in.AshrC(in.simpTerm(t.A), int(t.Val))
+	case KIte:
+		c := in.simpBool(t.Cond)
+		a, b := in.simpTerm(t.A), in.simpTerm(t.B)
+		// Nested same-guard collapse: inside the then-arm c is known true,
+		// inside the else-arm known false.
+		if a.Kind == KIte && a.Cond == c {
+			a = a.A
+		}
+		if b.Kind == KIte && b.Cond == c {
+			b = b.B
+		}
+		r = in.Ite(c, a, b)
+	default:
+		r = t
+	}
+	in.simpTermTab[t] = r
+	return r
+}
+
+// ---- DAG node counting (term-count stats) ----
+
+type nodeCounter struct {
+	bools map[*Bool]bool
+	terms map[*Term]bool
+}
+
+func (c *nodeCounter) boolNode(b *Bool) {
+	if b == nil || c.bools[b] {
+		return
+	}
+	c.bools[b] = true
+	switch b.Kind {
+	case BNot, BAnd, BOr:
+		c.boolNode(b.A)
+		c.boolNode(b.B)
+	case BEq, BUlt, BUle:
+		c.termNode(b.X)
+		c.termNode(b.Y)
+	}
+}
+
+func (c *nodeCounter) termNode(t *Term) {
+	if t == nil || c.terms[t] {
+		return
+	}
+	c.terms[t] = true
+	c.boolNode(t.Cond)
+	c.termNode(t.A)
+	c.termNode(t.B)
+}
+
+func newNodeCounter() *nodeCounter {
+	return &nodeCounter{bools: map[*Bool]bool{}, terms: map[*Term]bool{}}
+}
+
+// CountBoolNodes returns the number of distinct DAG nodes (terms and bools)
+// reachable from f.
+func CountBoolNodes(f *Bool) int64 {
+	c := newNodeCounter()
+	c.boolNode(f)
+	return int64(len(c.bools) + len(c.terms))
+}
+
+// CountTermNodes returns the number of distinct DAG nodes reachable from t.
+func CountTermNodes(t *Term) int64 {
+	c := newNodeCounter()
+	c.termNode(t)
+	return int64(len(c.bools) + len(c.terms))
+}
+
+func countBoolNodes(f *Bool) int64 { return CountBoolNodes(f) }
+func countTermNodes(t *Term) int64 { return CountTermNodes(t) }

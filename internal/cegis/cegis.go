@@ -68,6 +68,10 @@ type Options struct {
 	// KeepCounterexamples carries counterexamples across program sizes
 	// (default true; ablation sets DisableCexReuse).
 	DisableCexReuse bool
+	// Merge enables state merging when the loop's symbolic paths are
+	// computed (symex.Engine.Merge): join-point states fold into ite values
+	// and disjoined conditions instead of enumerating every path suffix.
+	Merge bool
 	// DisableQCache turns off the per-synthesizer query cache
 	// (internal/qcache) and solves every query with a fresh solver — the
 	// baseline configuration for the cache-on/off benchmarks.
@@ -174,7 +178,7 @@ func New(loop *cir.Func, opts Options) (*Synthesizer, error) {
 	// (line 10 of Algorithm 2), merged: computed once, reused per candidate.
 	buf := symex.SymbolicString(s.bvin, "s", opts.MaxExSize)
 	s.symStr = strsolver.Wrap(s.bvin, buf)
-	paths, err := symbolicPaths(loop, s.bvin, s.cache, s.budget, opts.Faults, buf, opts.SolverBudget)
+	paths, err := symbolicPaths(loop, s.bvin, s.cache, s.budget, opts.Faults, buf, opts.SolverBudget, opts.Merge)
 	if err != nil {
 		return nil, err
 	}
@@ -187,10 +191,11 @@ func New(loop *cir.Func, opts Options) (*Synthesizer, error) {
 // infeasible iterations of loops over symbolic cursors (without it, a
 // backward scan whose guard never folds syntactically would spin to the
 // step limit).
-func symbolicPaths(f *cir.Func, bvin *bv.Interner, cache *qcache.Cache, budget *engine.Budget, faults *faultpoint.Registry, buf []*bv.Term, solverBudget int64) ([]origPath, error) {
+func symbolicPaths(f *cir.Func, bvin *bv.Interner, cache *qcache.Cache, budget *engine.Budget, faults *faultpoint.Registry, buf []*bv.Term, solverBudget int64, merge bool) ([]origPath, error) {
 	eng := &symex.Engine{
 		Objects:          [][]*bv.Term{buf},
 		CheckFeasibility: true,
+		Merge:            merge,
 		SolverBudget:     solverBudget,
 		In:               bvin,
 		Budget:           budget,
@@ -251,11 +256,11 @@ func VerifyFunctionEquivalence(a, b *cir.Func, maxLen int) (bool, []byte, error)
 	bvin := bv.NewInterner()
 	cache := qcache.New(bvin)
 	buf := symex.SymbolicString(bvin, "s", maxLen)
-	pathsA, err := symbolicPaths(a, bvin, cache, nil, nil, buf, 0)
+	pathsA, err := symbolicPaths(a, bvin, cache, nil, nil, buf, 0, false)
 	if err != nil {
 		return false, nil, err
 	}
-	pathsB, err := symbolicPaths(b, bvin, cache, nil, nil, buf, 0)
+	pathsB, err := symbolicPaths(b, bvin, cache, nil, nil, buf, 0, false)
 	if err != nil {
 		return false, nil, err
 	}

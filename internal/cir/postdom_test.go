@@ -1,0 +1,130 @@
+package cir
+
+import "testing"
+
+// findBlock returns the block whose name has the given prefix.
+func findBlock(t *testing.T, f *Func, prefix string) *Block {
+	t.Helper()
+	for _, b := range f.Blocks {
+		if len(b.Name) >= len(prefix) && b.Name[:len(prefix)] == prefix {
+			return b
+		}
+	}
+	t.Fatalf("no block named %s* in %v", prefix, blockNames(f))
+	return nil
+}
+
+func blockNames(f *Func) []string {
+	var out []string
+	for _, b := range f.Blocks {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+func TestPostDomDiamond(t *testing.T) {
+	src := `
+int f(int x) {
+  int r;
+  if (x) { r = 1; } else { r = 2; }
+  return r;
+}`
+	f := lowerOne(t, src, "f")
+	pd := BuildPostDomTree(f)
+
+	// The branch block's immediate post-dominator is the join after the if.
+	var branch *Block
+	for _, b := range f.Blocks {
+		if len(b.Succs()) == 2 {
+			branch = b
+			break
+		}
+	}
+	if branch == nil {
+		t.Fatal("no two-successor block in lowered diamond")
+	}
+	join := pd.Ipdom(branch)
+	if join == nil {
+		t.Fatalf("branch block %s has no ipdom", branch.Name)
+	}
+	// The join must post-dominate both arms and the branch itself.
+	for _, s := range branch.Succs() {
+		if !pd.PostDominates(join, s) {
+			t.Errorf("join %s does not post-dominate arm %s", join.Name, s.Name)
+		}
+	}
+	if !pd.PostDominates(join, branch) {
+		t.Errorf("join %s does not post-dominate branch %s", join.Name, branch.Name)
+	}
+	// And the join is a JoinBranch point.
+	jp := JoinPoints(f)
+	if jp[join]&JoinBranch == 0 {
+		t.Errorf("join %s not classified JoinBranch: %v", join.Name, jp[join])
+	}
+}
+
+func TestPostDomFigure1JoinPoints(t *testing.T) {
+	f := lowerOne(t, figure1, "loopFunction")
+	jp := JoinPoints(f)
+
+	loops := FindLoops(f)
+	if len(loops) != 1 {
+		t.Fatalf("figure1 should have exactly one loop, got %d", len(loops))
+	}
+	h := loops[0].Header
+	if jp[h]&JoinLoopHeader == 0 {
+		t.Errorf("loop header %s not classified JoinLoopHeader: %v", h.Name, jp[h])
+	}
+	// Every exit edge target is a JoinLoopExit.
+	exits := 0
+	for lb := range loops[0].Blocks {
+		for _, s := range lb.Succs() {
+			if !loops[0].Blocks[s] {
+				exits++
+				if jp[s]&JoinLoopExit == 0 {
+					t.Errorf("loop exit %s not classified JoinLoopExit: %v", s.Name, jp[s])
+				}
+			}
+		}
+	}
+	if exits == 0 {
+		t.Fatal("figure1 loop has no exit edges")
+	}
+	// The short-circuit guard chain (p && *p && whitespace(*p)) reconverges:
+	// at least one JoinBranch point must exist inside or after the loop.
+	branches := 0
+	for _, k := range jp {
+		if k&JoinBranch != 0 {
+			branches++
+		}
+	}
+	if branches == 0 {
+		t.Error("no JoinBranch points found for the short-circuit guard chain")
+	}
+}
+
+func TestPostDomInfiniteLoopBlocks(t *testing.T) {
+	// A block that reaches no return has no post-dominator; the analysis
+	// must terminate and leave it out rather than crash.
+	src := `
+int f(int x) {
+  if (x) { for (;;) { x = x + 1; } }
+  return x;
+}`
+	f := lowerOne(t, src, "f")
+	pd := BuildPostDomTree(f)
+	ret := 0
+	for _, b := range f.Blocks {
+		if term := b.Term(); term != nil && term.Op == OpRet {
+			ret++
+			if got := pd.Ipdom(b); got != nil {
+				t.Errorf("return block %s should have nil Ipdom (virtual exit), got %s", b.Name, got.Name)
+			}
+		}
+	}
+	if ret == 0 {
+		t.Fatal("no return block")
+	}
+	// JoinPoints must not panic on the partial tree.
+	_ = JoinPoints(f)
+}

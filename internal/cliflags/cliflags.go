@@ -39,6 +39,15 @@ func QCache(fs *flag.FlagSet, def bool) *bool {
 		"route solver queries through the query-cache chain (independence slicing, reuse cache, incremental solver)")
 }
 
+// Merge declares the canonical -merge flag.
+func Merge(fs *flag.FlagSet, def bool) *bool {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return fs.Bool("merge", def,
+		"merge symbolic-execution states at control-flow join points (ite values, disjoined path conditions) instead of enumerating every path suffix")
+}
+
 // Obs declares the shared observability flags and returns their destination;
 // call (*obs.Flags).Start after flag.Parse to open the session.
 func Obs(fs *flag.FlagSet) *obs.Flags {

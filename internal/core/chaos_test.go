@@ -66,7 +66,11 @@ func chaosItems(seed uint64, loops []loopdb.Loop) []ResilientItem {
 	items := make([]ResilientItem, len(loops))
 	for i, l := range loops {
 		items[i] = ResilientItem{Source: l.Source, Func: l.FuncName, Opts: ResilientOptions{
-			Options: Options{Faults: chaosRegistry(seed, i)},
+			// Odd seeds run the state-merging executor, even seeds the
+			// enumerating one: both schedules must satisfy the same replay
+			// and typed-outcome contracts, with merging exercised under the
+			// full fault storm.
+			Options: Options{Faults: chaosRegistry(seed, i), Merge: seed%2 == 1},
 			// Pure resource limits: no wall clock anywhere, so a schedule's
 			// outcome is a function of the seed alone, not machine speed.
 			Limits:      engine.Limits{Conflicts: 5000, Forks: 20000, Nodes: 500000},

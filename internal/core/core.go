@@ -46,6 +46,10 @@ type Options struct {
 	// cancellation and resource caps shared by the memorylessness check and
 	// the synthesis; exhaustion surfaces as ErrNotFound, promptly.
 	Budget *engine.Budget
+	// Merge enables state merging in every symbolic execution of the
+	// pipeline (memorylessness check, synthesis path computation, covering
+	// inputs): see symex.Engine.Merge.
+	Merge bool
 	// RequireMemoryless refuses to summarise loops that fail the §3
 	// memorylessness verification, guaranteeing the summary is equivalent on
 	// strings of every length, not just the bounded check.
@@ -131,7 +135,9 @@ func Summarize(source, funcName string, opts Options) (*Summary, error) {
 		return nil, err
 	}
 
-	report := memoryless.VerifyFaults(f, max(3, opts.MaxExampleLength), opts.Budget, opts.Faults)
+	report := memoryless.VerifyWith(f, memoryless.VerifyOptions{
+		MaxLen: max(3, opts.MaxExampleLength), Budget: opts.Budget, Faults: opts.Faults, Merge: opts.Merge,
+	})
 	if opts.RequireMemoryless && !report.Memoryless {
 		if report.Err != nil {
 			// The check was interrupted, not refuted: keep the budget
@@ -149,6 +155,7 @@ func Summarize(source, funcName string, opts Options) (*Summary, error) {
 		Timeout:     opts.Timeout,
 		Budget:      opts.Budget,
 		Faults:      opts.Faults,
+		Merge:       opts.Merge,
 	}
 	if opts.Vocabulary != "" {
 		v, err := vocab.VocabularyOf(opts.Vocabulary)

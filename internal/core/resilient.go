@@ -191,7 +191,9 @@ func SummarizeResilient(source, funcName string, opts ResilientOptions) Outcome 
 		}},
 		{Name: RungMemoryless.String(), Run: func(lim engine.Limits) error {
 			b := opts.newAttemptBudget(lim)
-			r := memoryless.VerifyFaults(f, maxLen, b, opts.Faults)
+			r := memoryless.VerifyWith(f, memoryless.VerifyOptions{
+				MaxLen: maxLen, Budget: b, Faults: opts.Faults, Merge: opts.Merge,
+			})
 			if r.Err != nil {
 				return r.Err
 			}
@@ -251,6 +253,7 @@ func loopCoveringInputs(f *cir.Func, maxLen int, budget *engine.Budget, opts Res
 	eng := &symex.Engine{
 		Objects:          [][]*bv.Term{buf},
 		CheckFeasibility: true,
+		Merge:            opts.Merge,
 		In:               bvin,
 		Budget:           budget,
 		Cache:            cache,
@@ -279,6 +282,23 @@ func loopCoveringInputs(f *cir.Func, maxLen int, budget *engine.Budget, opts Res
 			raw[i] = byte(ev.Term(buf[i]))
 		}
 		in := cstr.GoString(raw, 0)
+		// A model may place significant bytes after an interior NUL (a
+		// rawmemchr-style loop reads past the terminator), but TestInput is
+		// a C string and cannot carry them. Keep the input only if the
+		// NUL-truncated buffer still drives the loop down this path, and
+		// evaluate the result under the truncated bytes.
+		trunc := &bv.Assignment{Terms: map[string]uint64{}}
+		for i := 0; i < maxLen; i++ {
+			var b byte
+			if i < len(in) {
+				b = in[i]
+			}
+			trunc.Terms[fmt.Sprintf("s[%d]", i)] = uint64(b)
+		}
+		tev := bv.NewEvaluator(trunc)
+		if !tev.Bool(p.Cond) {
+			continue
+		}
 		if seen[in] {
 			continue
 		}
@@ -288,7 +308,7 @@ func loopCoveringInputs(f *cir.Func, maxLen int, budget *engine.Budget, opts Res
 		case p.Ret.IsNull():
 			ti.Null = true
 		case p.Ret.IsPtr && p.Ret.Obj == 0:
-			ti.Offset = int(int32(ev.Term(p.Ret.Off)))
+			ti.Offset = int(int32(tev.Term(p.Ret.Off)))
 		default:
 			continue
 		}

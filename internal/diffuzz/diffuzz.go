@@ -53,6 +53,11 @@ type Options struct {
 	// FaultSeed decorrelates fault schedules from generator seeds (default
 	// 0: the schedule for generator seed s is keyed on s alone).
 	FaultSeed uint64
+	// Merge adds the state-merging symbolic executor as a third oracle
+	// (alongside path enumeration and the summary): every input is
+	// cross-checked merged vs enumerated vs concrete, so a merge bug that
+	// loses, duplicates, or mislabels a behaviour becomes a finding.
+	Merge bool
 	// NoMinimize skips delta-debugging of findings.
 	NoMinimize bool
 }
@@ -82,6 +87,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Executors == nil {
 		o.Executors = DefaultExecutors()
+		if o.Merge {
+			o.Executors = append(o.Executors, mergeExecutor{})
+		}
 	}
 	return o
 }

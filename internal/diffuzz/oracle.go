@@ -73,8 +73,10 @@ type Target struct {
 	in     *bv.Interner
 	mu     sync.Mutex
 	paths  map[int]pathSet // keyed by free content bytes (capacity - 1)
+	mpaths map[int]pathSet // state-merged runs, same key (Options.Merge)
 	budget *engine.Budget
 	cache  *qcache.Cache        // non-nil under Options.QCache
+	mcache *qcache.Cache        // the merged executor's own cache (Options.Merge)
 	faults *faultpoint.Registry // non-nil under Options.FaultRate > 0
 }
 
@@ -166,6 +168,10 @@ func PrepareTarget(seed uint64, p *Prog, opts *Options) (*Target, *Finding) {
 	}
 	if opts.QCache {
 		t.cache = qcache.New(t.in).SetFaults(t.faults)
+	}
+	if opts.Merge {
+		t.mpaths = map[int]pathSet{}
+		t.mcache = qcache.New(t.in).SetFaults(t.faults)
 	}
 
 	if f := guard(seed, "frontend", src, nil, false, func() *Finding {
@@ -286,7 +292,30 @@ func (symexExecutor) Run(t *Target, input []byte) (Result, bool, error) {
 	if input != nil {
 		n = len(input) - 1
 	}
-	ps := t.pathsFor(n)
+	return replayPaths(t.pathsFor(n), input, n)
+}
+
+// mergeExecutor is symexExecutor with state merging enabled: the loop's
+// join-point states fold into ite values and disjoined path conditions
+// (symex.Engine.Merge), and the concrete input replays against the merged
+// set. It is the third oracle under Options.Merge — a merge bug that loses
+// or duplicates behaviours surfaces as a no-path or overlap finding, and a
+// wrong ite guard as a result divergence against the interpreter.
+type mergeExecutor struct{}
+
+func (mergeExecutor) Name() string { return "merge" }
+
+func (mergeExecutor) Run(t *Target, input []byte) (Result, bool, error) {
+	n := -1
+	if input != nil {
+		n = len(input) - 1
+	}
+	return replayPaths(t.mergedPathsFor(n), input, n)
+}
+
+// replayPaths replays the concrete input against a symbolic path set:
+// exactly one path must claim it, and its result is the verdict.
+func replayPaths(ps pathSet, input []byte, n int) (Result, bool, error) {
 	if ps.err != nil {
 		if errors.Is(ps.err, symex.ErrTimeout) || errors.Is(ps.err, symex.ErrPathLimit) {
 			return Result{}, false, nil
@@ -328,6 +357,42 @@ func (symexExecutor) Run(t *Target, input []byte) (Result, bool, error) {
 		return Result{}, false, errors.New("no-path: no symbolic path condition matches the concrete input")
 	}
 	return got, true, nil
+}
+
+// mergedPathsFor is pathsFor with state merging. Feasibility checking is
+// always on here (through the merge executor's own query cache): merged
+// loops whose cursors diverge into ite offsets need the solver to fold the
+// exit condition, and the merged disjunctive conditions are exactly the
+// shapes the qcache slicing must keep together — so this path doubles as a
+// differential test of cache-on-merged-conditions.
+func (t *Target) mergedPathsFor(n int) pathSet {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ps, ok := t.mpaths[n]; ok {
+		return ps
+	}
+	eng := &symex.Engine{
+		In:               t.in,
+		Budget:           t.budget,
+		MaxSteps:         1 << 14,
+		MaxPaths:         1 << 14,
+		Faults:           t.faults,
+		Merge:            true,
+		CheckFeasibility: true,
+		Cache:            t.mcache,
+	}
+	var args []symex.Value
+	if n < 0 {
+		args = []symex.Value{symex.NullValue()}
+	} else {
+		buf := symex.SymbolicString(t.in, "s", n)
+		eng.Objects = [][]*bv.Term{buf}
+		args = []symex.Value{symex.PtrValue(0, t.in.Int32(0))}
+	}
+	paths, err := eng.Run(t.F, args, bv.True)
+	ps := pathSet{paths: paths, err: err}
+	t.mpaths[n] = ps
+	return ps
 }
 
 // mapPath maps one symbolic path outcome, under the evaluator for the

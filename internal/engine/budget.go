@@ -108,6 +108,14 @@ type Budget struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 
+	// merges/mergeItes account for the state-merging symbolic executor:
+	// merges counts pairwise state joins, mergeItes the ite nodes those joins
+	// introduced. Accounting only — merging reduces work, so no limit trips
+	// on it — but charged here so merged and enumerated runs reconcile
+	// against one budget.
+	merges    atomic.Int64
+	mergeItes atomic.Int64
+
 	// done caches the first observed exhaustion so later polls are cheap
 	// and the reported cause is stable.
 	done atomic.Pointer[error]
@@ -127,6 +135,8 @@ type Budget struct {
 	mNodes        *obs.Counter
 	mCacheHits    *obs.Counter
 	mCacheMisses  *obs.Counter
+	mMerges       *obs.Counter
+	mMergeItes    *obs.Counter
 }
 
 // NewBudget builds a budget from a context and limits. A nil context means
@@ -169,6 +179,8 @@ func (b *Budget) SetObs(t *obs.Tracer, m *obs.Metrics) *Budget {
 	b.mNodes = m.Counter(obs.MBVNodes)
 	b.mCacheHits = m.Counter(obs.MQCacheHits)
 	b.mCacheMisses = m.Counter(obs.MQCacheMisses)
+	b.mMerges = m.Counter(obs.MSymexMerges)
+	b.mMergeItes = m.Counter(obs.MSymexMergeItes)
 	return b
 }
 
@@ -296,6 +308,38 @@ func (b *Budget) AddCacheMisses(n int64) {
 		b.cacheMisses.Add(n)
 		b.mCacheMisses.Add(n)
 	}
+}
+
+// AddMerges charges n symbolic-state merges (accounting only).
+func (b *Budget) AddMerges(n int64) {
+	if b != nil {
+		b.merges.Add(n)
+		b.mMerges.Add(n)
+	}
+}
+
+// AddMergeItes charges n merge-introduced ite nodes (accounting only).
+func (b *Budget) AddMergeItes(n int64) {
+	if b != nil {
+		b.mergeItes.Add(n)
+		b.mMergeItes.Add(n)
+	}
+}
+
+// Merges returns the symbolic-state merges charged so far.
+func (b *Budget) Merges() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.merges.Load()
+}
+
+// MergeItes returns the merge-introduced ite nodes charged so far.
+func (b *Budget) MergeItes() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.mergeItes.Load()
 }
 
 // CacheHits returns the query-cache hits charged so far.

@@ -39,6 +39,9 @@ type Config struct {
 	// QCache routes all queries through a per-run qcache.Cache (slicing,
 	// reuse cache, incremental solver) instead of a fresh solver per query.
 	QCache bool
+	// Merge enables state merging in the vanilla executor (symex.Engine.Merge):
+	// join-point states fold into ite values instead of enumerating suffixes.
+	Merge bool
 	// Ctx, when non-nil, seeds the run's budget — cancellation and, when it
 	// carries obs handles (obs.NewContext), tracing and metrics.
 	Ctx context.Context
@@ -80,6 +83,7 @@ func VanillaWith(loop *cir.Func, n int, timeout time.Duration, cfg Config) Measu
 	eng := &symex.Engine{
 		Objects:          [][]*bv.Term{buf},
 		CheckFeasibility: true,
+		Merge:            cfg.Merge,
 		In:               bvin,
 		Budget:           budget,
 		Cache:            cache,

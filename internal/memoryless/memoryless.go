@@ -119,6 +119,27 @@ func VerifyBudget(loop *cir.Func, maxLen int, budget *engine.Budget) Report {
 // the verification pipeline (interner, query cache, symbolic engine). A nil
 // registry disables injection at zero cost.
 func VerifyFaults(loop *cir.Func, maxLen int, budget *engine.Budget, faults *faultpoint.Registry) Report {
+	return VerifyWith(loop, VerifyOptions{MaxLen: maxLen, Budget: budget, Faults: faults})
+}
+
+// VerifyOptions bundles the optional knobs of a verification; the zero value
+// matches Verify's defaults.
+type VerifyOptions struct {
+	// MaxLen is the bounded-equivalence string length (<= 0 means 3).
+	MaxLen int
+	// Budget carries cancellation and resource accounting (nil = unlimited).
+	Budget *engine.Budget
+	// Faults arms the fault-injection sites (nil = off).
+	Faults *faultpoint.Registry
+	// Merge enables state merging in the bounded-equivalence symbolic
+	// execution (symex.Engine.Merge).
+	Merge bool
+}
+
+// VerifyWith is the fully-optioned verification entry point; the stacked
+// Verify/VerifyBudget/VerifyFaults forms delegate here.
+func VerifyWith(loop *cir.Func, opts VerifyOptions) Report {
+	maxLen, budget := opts.MaxLen, opts.Budget
 	start := time.Now()
 	span := budget.Tracer().Start("phase/memoryless", obs.Attr{Key: "func", Val: loop.Name})
 	done := func(ok bool, spec *Spec, reason string) Report {
@@ -149,7 +170,7 @@ func VerifyFaults(loop *cir.Func, maxLen int, budget *engine.Budget, faults *fau
 		return done(false, nil, "inference: "+reason)
 	}
 
-	ok, cex, err := checkEquivalence(loop, spec, maxLen, budget, faults)
+	ok, cex, err := checkEquivalence(loop, spec, maxLen, opts)
 	if err != nil {
 		r := done(false, spec, err.Error())
 		if errors.Is(err, ErrTimeout) {
@@ -373,11 +394,12 @@ func (spec *Spec) missResult(k int) vocab.Result {
 
 // checkEquivalence discharges the bounded check: loop ≡ spec on all strings
 // of length <= maxLen, trying forward then backward traversal.
-func checkEquivalence(loop *cir.Func, spec *Spec, maxLen int, budget *engine.Budget, faults *faultpoint.Registry) (bool, []byte, error) {
+func checkEquivalence(loop *cir.Func, spec *Spec, maxLen int, opts VerifyOptions) (bool, []byte, error) {
+	budget, faults := opts.Budget, opts.Faults
 	bvin := bv.NewInterner().SetBudget(budget).SetFaults(faults)
 	cache := qcache.New(bvin).SetFaults(faults)
 	buf := symex.SymbolicString(bvin, "s", maxLen)
-	eng := &symex.Engine{Objects: [][]*bv.Term{buf}, CheckFeasibility: true, In: bvin, Budget: budget, Cache: cache, Faults: faults}
+	eng := &symex.Engine{Objects: [][]*bv.Term{buf}, CheckFeasibility: true, Merge: opts.Merge, In: bvin, Budget: budget, Cache: cache, Faults: faults}
 	paths, err := eng.Run(loop, []symex.Value{symex.PtrValue(0, bvin.Int32(0))}, bv.True)
 	if err != nil {
 		if errors.Is(err, symex.ErrTimeout) {

@@ -48,6 +48,8 @@ const (
 	MSymexSteps      = "symex.steps"
 	MSymexQueries    = "symex.solver_queries"
 	MSymexRuns       = "symex.runs"
+	MSymexMerges     = "symex.merges"
+	MSymexMergeItes  = "symex.merge_ites"
 	MCegisSkeletons  = "cegis.skeletons"
 	MCegisCandidates = "cegis.candidates"
 	MCegisCexs       = "cegis.counterexamples"

@@ -343,7 +343,13 @@ func (c *Cache) solveGroup(b *engine.Budget, maxConflicts int64, key string, g g
 	blastStart := time.Now()
 	lits := make([]sat.Lit, len(g.conj))
 	for i, cj := range g.conj {
-		lits[i] = c.solver.Lit(cj)
+		// Rewrite-before-blast: the simplifier folds the ite-heavy shapes
+		// state merging produces (and is memoized on the interner, so the
+		// shared prefix of an incremental query stream simplifies once).
+		// Every cache key and stat above stays on the original conjunct
+		// pointers — simplification only shrinks what reaches the Tseitin
+		// encoder, it never changes verdicts or cache identity.
+		lits[i] = c.solver.Lit(c.in.SimplifyBool(cj))
 	}
 	c.stats.BlastTime += time.Since(blastStart)
 

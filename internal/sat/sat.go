@@ -22,6 +22,8 @@
 package sat
 
 import (
+	"sort"
+
 	"stringloops/internal/engine"
 	"stringloops/internal/faultpoint"
 	"stringloops/internal/obs"
@@ -57,6 +59,11 @@ type clause struct {
 	lits   []Lit
 	learnt bool
 	act    float64
+	// lbd is the literal block distance (Glucose): the number of distinct
+	// decision levels among the clause's literals at learning time, lowered
+	// whenever conflict analysis re-touches the clause. Low LBD ("glue")
+	// clauses connect few decision levels and are kept forever by reduceDB.
+	lbd int32
 }
 
 type watcher struct {
@@ -105,6 +112,15 @@ type Solver struct {
 	order    *varHeap
 	phase    []bool // saved phase per variable
 
+	// Clause-DB reduction state. claInc is the clause activity increment
+	// (decayed geometrically per conflict, like varInc); lbdStamp/lbdGen are
+	// the scratch generation-stamp array used by computeLBD so no allocation
+	// happens per conflict; reduces counts reduceDB invocations.
+	claInc   float64
+	lbdStamp []int32
+	lbdGen   int32
+	reduces  int64
+
 	ok        bool // false once a top-level conflict is found
 	conflicts int64
 	decisions int64
@@ -132,7 +148,24 @@ type Solver struct {
 	// Both are query-granular, so the CDCL inner loop stays fault-free and
 	// full speed. Nil means no injection.
 	Faults *faultpoint.Registry
+	// ReduceBase is the learnt-clause count that triggers the first clause-DB
+	// reduction; each reduction raises the trigger by ReduceInc, so the DB
+	// grows slowly instead of unboundedly. Zero values take the defaults
+	// (DefaultReduceBase/DefaultReduceInc); a negative ReduceBase disables
+	// reduction entirely.
+	ReduceBase int
+	ReduceInc  int
 }
+
+// Default clause-DB reduction schedule: first reduce at 2000 learnt clauses,
+// then every reduction lets the DB grow by 300 more before the next one
+// (MiniSat's geometric schedule flattened to the arithmetic one Glucose
+// uses, which behaves better under the incremental SolveAssuming workload
+// the qcache layer generates).
+const (
+	DefaultReduceBase = 2000
+	DefaultReduceInc  = 300
+)
 
 // Injected-fault magnitudes: a forced give-up still burned real work in a
 // production solver, and a conflict storm models a pathological query, so
@@ -154,7 +187,7 @@ const budgetPollMask = 63
 
 // New returns an empty solver.
 func New() *Solver {
-	s := &Solver{ok: true, varInc: 1}
+	s := &Solver{ok: true, varInc: 1, claInc: 1}
 	s.order = &varHeap{act: &s.activity}
 	return s
 }
@@ -325,6 +358,16 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	idx := len(s.trail) - 1
 
 	for {
+		if confl.learnt {
+			// Clauses that participate in conflict analysis are the useful
+			// ones: bump their activity so reduceDB keeps them, and tighten
+			// their LBD if the current assignment shows a lower one
+			// (Glucose's dynamic LBD update).
+			s.bumpClause(confl)
+			if l := s.computeLBD(confl.lits); l < confl.lbd {
+				confl.lbd = l
+			}
+		}
 		for _, q := range confl.lits {
 			if p != -1 && q == p {
 				continue
@@ -368,6 +411,44 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 		btLevel = int(s.level[learnt[1].Var()])
 	}
 	return learnt, btLevel
+}
+
+// computeLBD returns the literal block distance of lits under the current
+// assignment: the number of distinct decision levels among the literals.
+// Unassigned literals are rare here (analyze only sees assigned ones) and
+// count as one extra block conservatively via level 0 aliasing being excluded
+// — they are simply skipped.
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	for len(s.lbdStamp) < len(s.trailLim)+1 {
+		s.lbdStamp = append(s.lbdStamp, 0)
+	}
+	s.lbdGen++
+	var n int32
+	for _, l := range lits {
+		v := l.Var()
+		if s.assign[v] == lUndef {
+			continue
+		}
+		lv := s.level[v]
+		if int(lv) < len(s.lbdStamp) && s.lbdStamp[lv] != s.lbdGen {
+			s.lbdStamp[lv] = s.lbdGen
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
 }
 
 func (s *Solver) bumpVar(v int) {
@@ -499,16 +580,22 @@ func (s *Solver) search(conflictBudget int64) Status {
 				return Unsat
 			}
 			learnt, bt := s.analyze(confl)
+			lbd := s.computeLBD(learnt)
 			s.cancelUntil(bt)
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], nil)
 			} else {
-				c := &clause{lits: learnt, learnt: true}
+				c := &clause{lits: learnt, learnt: true, lbd: lbd}
 				s.learnts = append(s.learnts, c)
 				s.attach(c)
+				s.bumpClause(c)
 				s.uncheckedEnqueue(learnt[0], c)
 			}
 			s.varInc *= 1.0 / 0.95
+			s.claInc *= 1.0 / 0.999
+			if max := s.reduceLimit(); max > 0 && len(s.learnts) >= max {
+				s.reduceDB()
+			}
 			continue
 		}
 		if budget >= conflictBudget {
@@ -553,6 +640,104 @@ func (s *Solver) search(conflictBudget int64) Status {
 		s.uncheckedEnqueue(next, nil)
 	}
 }
+
+// reduceLimit returns the learnt-clause count that triggers the next
+// reduction, or 0 when reduction is disabled (ReduceBase < 0).
+func (s *Solver) reduceLimit() int {
+	base, inc := s.ReduceBase, s.ReduceInc
+	if base < 0 {
+		return 0
+	}
+	if base == 0 {
+		base = DefaultReduceBase
+	}
+	if inc == 0 {
+		inc = DefaultReduceInc
+	}
+	return base + inc*int(s.reduces)
+}
+
+// reduceDB deletes the worse half of the learnt-clause database, ranked by
+// (LBD descending, activity ascending). Three classes are never deleted:
+// glue clauses (LBD <= 2), binary clauses (cheap to keep, expensive to
+// relearn), and locked clauses (currently the reason of an assigned
+// variable — deleting those would corrupt conflict analysis). Deleted
+// clauses are eagerly detached from the watch lists, which is valid at any
+// decision level because propagate maintains the watched literals at
+// lits[0] and lits[1].
+func (s *Solver) reduceDB() {
+	s.reduces++
+	keep := func(c *clause) bool {
+		return c.lbd <= 2 || len(c.lits) == 2 || s.locked(c)
+	}
+	cand := make([]*clause, 0, len(s.learnts))
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if keep(c) {
+			kept = append(kept, c)
+		} else {
+			cand = append(cand, c)
+		}
+	}
+	// Worse clauses first: higher LBD, then lower activity.
+	sortClausesWorseFirst(cand)
+	drop := len(cand) / 2
+	for i, c := range cand {
+		if i < drop {
+			s.detach(c)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	// Zero the tail so dropped clause pointers do not pin memory.
+	for i := len(kept); i < len(s.learnts); i++ {
+		s.learnts[i] = nil
+	}
+	s.learnts = kept
+}
+
+// locked reports whether c is the reason clause of an assigned variable.
+func (s *Solver) locked(c *clause) bool {
+	v := c.lits[0].Var()
+	return s.assign[v] != lUndef && s.reason[v] == c
+}
+
+// detach removes c's two watcher entries. propagate keeps the watched
+// literals normalised at lits[0]/lits[1], so only those two lists are
+// scanned.
+func (s *Solver) detach(c *clause) {
+	for _, l := range []Lit{c.lits[0], c.lits[1]} {
+		ws := s.watches[l.Neg()]
+		out := ws[:0]
+		for _, w := range ws {
+			if w.c != c {
+				out = append(out, w)
+			}
+		}
+		for i := len(out); i < len(ws); i++ {
+			ws[i] = watcher{}
+		}
+		s.watches[l.Neg()] = out
+	}
+}
+
+// sortClausesWorseFirst orders cand by LBD descending, then activity
+// ascending (a hand-rolled insertion-free sort via sort.Slice would pull in
+// no extra dependencies either; this keeps the comparator in one place).
+func sortClausesWorseFirst(cand []*clause) {
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].lbd != cand[j].lbd {
+			return cand[i].lbd > cand[j].lbd
+		}
+		return cand[i].act < cand[j].act
+	})
+}
+
+// NumLearnts returns the current learnt-clause count (after any reductions).
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
+// Reduces returns how many clause-DB reductions have run.
+func (s *Solver) Reduces() int64 { return s.reduces }
 
 // Model returns the value of variable v in the satisfying assignment found by
 // the last successful Solve. Unassigned variables (possible when the formula

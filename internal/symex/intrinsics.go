@@ -98,62 +98,59 @@ func setMatcher(bvin *bv.Interner, set []byte, complement bool) func(*bv.Term) *
 }
 
 // stringCall handles the string.h intrinsics that may appear in refactored
-// or idiom-rewritten code. It returns the updated worklist; searching
-// functions (strchr, strrchr, strpbrk, rawmemchr) fork the state (found vs
-// miss) and schedule the successors themselves.
-func (e *Engine) stringCall(s *state, f *cir.Func, in *cir.Instr, work []*state) (out []*state, handled bool, err error) {
+// or idiom-rewritten code. Searching functions (strchr, strrchr, strpbrk,
+// rawmemchr) fork the state (found vs miss) and schedule the successors
+// themselves through the run's scheduler.
+func (e *Engine) stringCall(s *state, f *cir.Func, in *cir.Instr) (handled bool, err error) {
 	bvin := e.In
 	argVal := func(i int) Value { return e.operand(s, f, in.Args[i]) }
 
 	// forkFound schedules the found (pointer result under cond) and miss
 	// (missVal or error under !cond) successors.
-	forkFound := func(found *bv.Bool, obj int, offTerm *bv.Term, missVal Value, missErr error) []*state {
+	forkFound := func(found *bv.Bool, obj int, offTerm *bv.Term, missVal Value, missErr error) {
 		e.nForks.Add(1)
 		e.Budget.AddForks(1)
 		miss := s.fork()
 		s.cond = bvin.BAnd2(s.cond, found)
 		if s.cond != bv.False && !(e.CheckFeasibility && !e.feasible(s.cond)) {
 			s.regs[in.Res] = PtrValue(obj, offTerm)
-			work = append(work, s)
+			e.sched.push(s)
 		}
 		miss.cond = bvin.BAnd2(miss.cond, bvin.BNot1(found))
 		if miss.cond != bv.False && !(e.CheckFeasibility && !e.feasible(miss.cond)) {
 			if missErr != nil {
-				e.nPaths.Add(1)
-				e.mPaths.Inc()
-				e.pending = append(e.pending, Path{Cond: miss.cond, Err: missErr})
+				e.emit(miss, Value{}, missErr)
 			} else {
 				miss.regs[in.Res] = missVal
-				work = append(work, miss)
+				e.sched.push(miss)
 			}
 		}
-		return work
 	}
 
 	switch in.Sub {
 	case "strspn", "strcspn":
 		if len(in.Args) != 2 {
-			return work, true, fmt.Errorf("%w: %s arity", ErrUnsupported, in.Sub)
+			return true, fmt.Errorf("%w: %s arity", ErrUnsupported, in.Sub)
 		}
 		set, err := e.constSetArg(argVal(1))
 		if err != nil {
-			return work, true, err
+			return true, err
 		}
 		span, err := e.spanTerm(s, argVal(0), setMatcher(bvin, set, in.Sub == "strcspn"))
 		if err != nil {
-			return work, true, err
+			return true, err
 		}
 		s.regs[in.Res] = IntValue(span)
-		return work, true, nil
+		return true, nil
 
 	case "strchr", "rawmemchr":
 		if len(in.Args) != 2 {
-			return work, true, fmt.Errorf("%w: %s arity", ErrUnsupported, in.Sub)
+			return true, fmt.Errorf("%w: %s arity", ErrUnsupported, in.Sub)
 		}
 		p := argVal(0)
 		cArg := argVal(1)
 		if cArg.IsPtr {
-			return work, true, fmt.Errorf("%w: %s character is a pointer", ErrUnsupported, in.Sub)
+			return true, fmt.Errorf("%w: %s character is a pointer", ErrUnsupported, in.Sub)
 		}
 		c := bvin.And(cArg.Term, bvin.Int32(0xff))
 		// Position of the first c: p + span over bytes != c. For strchr the
@@ -168,60 +165,64 @@ func (e *Engine) stringCall(s *state, f *cir.Func, in *cir.Instr, work []*state)
 			span, err = e.rawSpanTerm(s, p, matchC)
 		}
 		if err != nil {
-			return work, true, err
+			return true, err
 		}
 		stopOff := bvin.Add(p.Off, span)
 		var found *bv.Bool
 		if in.Sub == "strchr" {
 			stopByte, err := e.selectByte(s, e.Objects[p.Obj], stopOff)
 			if err != nil {
-				return work, true, err
+				return true, err
 			}
 			found = bvin.Eq(bvin.Zext(stopByte, 32), c)
-			return forkFound(found, p.Obj, stopOff, NullValue(), nil), true, nil
+			forkFound(found, p.Obj, stopOff, NullValue(), nil)
+			return true, nil
 		}
 		// rawmemchr: found iff the stop position is inside the buffer.
 		found = bvin.Ult(stopOff, bvin.Int32(int64(len(e.Objects[p.Obj]))))
-		return forkFound(found, p.Obj, stopOff, Value{}, ErrOOB), true, nil
+		forkFound(found, p.Obj, stopOff, Value{}, ErrOOB)
+		return true, nil
 
 	case "strpbrk":
 		if len(in.Args) != 2 {
-			return work, true, fmt.Errorf("%w: strpbrk arity", ErrUnsupported)
+			return true, fmt.Errorf("%w: strpbrk arity", ErrUnsupported)
 		}
 		p := argVal(0)
 		set, err := e.constSetArg(argVal(1))
 		if err != nil {
-			return work, true, err
+			return true, err
 		}
 		span, err := e.spanTerm(s, p, setMatcher(bvin, set, true))
 		if err != nil {
-			return work, true, err
+			return true, err
 		}
 		stopOff := bvin.Add(p.Off, span)
 		stopByte, err := e.selectByte(s, e.Objects[p.Obj], stopOff)
 		if err != nil {
-			return work, true, err
+			return true, err
 		}
 		found := setMatcher(bvin, set, false)(stopByte)
-		return forkFound(found, p.Obj, stopOff, NullValue(), nil), true, nil
+		forkFound(found, p.Obj, stopOff, NullValue(), nil)
+		return true, nil
 
 	case "strrchr":
 		if len(in.Args) != 2 {
-			return work, true, fmt.Errorf("%w: strrchr arity", ErrUnsupported)
+			return true, fmt.Errorf("%w: strrchr arity", ErrUnsupported)
 		}
 		p := argVal(0)
 		cArg := argVal(1)
 		if cArg.IsPtr {
-			return work, true, fmt.Errorf("%w: strrchr character is a pointer", ErrUnsupported)
+			return true, fmt.Errorf("%w: strrchr character is a pointer", ErrUnsupported)
 		}
 		c := bvin.And(cArg.Term, bvin.Int32(0xff))
 		last, found, err := e.lastOccurrence(s, p, c)
 		if err != nil {
-			return work, true, err
+			return true, err
 		}
-		return forkFound(found, p.Obj, last, NullValue(), nil), true, nil
+		forkFound(found, p.Obj, last, NullValue(), nil)
+		return true, nil
 	}
-	return work, false, nil
+	return false, nil
 }
 
 // rawSpanTerm is spanTerm without the NUL stop — the rawmemchr scan. A scan

@@ -1,0 +1,305 @@
+package symex
+
+import (
+	"sort"
+
+	"stringloops/internal/bv"
+	"stringloops/internal/cir"
+)
+
+// This file is the state-merging scheduler (§4.3's answer to path
+// explosion). The enumerating executor completes 2^n path suffixes for a
+// loop over n independent symbolic bytes; the merging executor instead parks
+// states where control flow reconverges (cir.JoinPoints: branch
+// post-dominators, loop headers, loop exits) and folds compatible states
+// into one, turning value differences into ite terms and path conditions
+// into disjunctions. A loop over n symbolic bytes then costs O(n) scheduled
+// states.
+//
+// Soundness rests on one invariant the forking executor already maintains:
+// any two live states descend from a common ancestor through complementary
+// branch conditions, so their path conditions are pairwise disjoint. Under
+// the merged condition condA ∨ condB, every model satisfies exactly one
+// side, so Ite(condA, a, b) denotes the right value on both.
+
+// scheduler is the work-list policy of a run. The enumerating executor uses
+// a plain LIFO (stackSched); -merge swaps in mergeSched.
+type scheduler interface {
+	push(*state)
+	pop() (*state, bool)
+}
+
+// stackSched is the classic depth-first work list — byte-identical
+// behaviour to the pre-scheduler executor.
+type stackSched struct{ work []*state }
+
+func (q *stackSched) push(s *state) { q.work = append(q.work, s) }
+
+func (q *stackSched) pop() (*state, bool) {
+	n := len(q.work)
+	if n == 0 {
+		return nil, false
+	}
+	s := q.work[n-1]
+	q.work = q.work[:n-1]
+	return s, true
+}
+
+// mergeSched parks block-entry states arriving at join points and releases
+// each join's bucket only when it is "ripe" — no other parked state can
+// still reach it — so every state that will ever arrive at the join is in
+// the bucket when it merges. Runnable (non-parked) states drain first, LIFO.
+type mergeSched struct {
+	e     *Engine
+	f     *cir.Func
+	run   []*state
+	parks map[*cir.Block][]*state
+	order []*cir.Block // non-empty buckets, first-arrival order
+	joins map[*cir.Block]cir.JoinKind
+	rpo   map[*cir.Block]int
+	reach map[*cir.Block]map[*cir.Block]bool // strict: a reach b via >= 1 edge
+}
+
+func newMergeSched(e *Engine, f *cir.Func) *mergeSched {
+	m := &mergeSched{
+		e:     e,
+		f:     f,
+		parks: map[*cir.Block][]*state{},
+		joins: cir.JoinPoints(f),
+		rpo:   map[*cir.Block]int{},
+		reach: map[*cir.Block]map[*cir.Block]bool{},
+	}
+	seen := map[*cir.Block]bool{}
+	var post []*cir.Block
+	var walk func(b *cir.Block)
+	walk = func(b *cir.Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				walk(s)
+			}
+		}
+		post = append(post, b)
+	}
+	walk(f.Entry())
+	for i := len(post) - 1; i >= 0; i-- {
+		m.rpo[post[i]] = len(post) - 1 - i
+	}
+	for _, b := range f.Blocks {
+		r := map[*cir.Block]bool{}
+		stack := append([]*cir.Block{}, b.Succs()...)
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if r[x] {
+				continue
+			}
+			r[x] = true
+			stack = append(stack, x.Succs()...)
+		}
+		m.reach[b] = r
+	}
+	return m
+}
+
+// push parks a block-entry state arriving at a join point, resolving its
+// phis immediately (while prev still names the incoming edge — after a
+// merge the edge is ambiguous); everything else is runnable.
+func (m *mergeSched) push(s *state) {
+	if s.idx == 0 && m.joins[s.block] != 0 {
+		if err := m.e.resolvePhis(s, m.f); err != nil {
+			m.e.emit(s, Value{}, err)
+			return
+		}
+		if len(m.parks[s.block]) == 0 {
+			m.order = append(m.order, s.block)
+		}
+		m.parks[s.block] = append(m.parks[s.block], s)
+		return
+	}
+	m.run = append(m.run, s)
+}
+
+func (m *mergeSched) pop() (*state, bool) {
+	for {
+		if n := len(m.run); n > 0 {
+			s := m.run[n-1]
+			m.run = m.run[:n-1]
+			return s, true
+		}
+		b := m.pickBucket()
+		if b == nil {
+			return nil, false
+		}
+		parked := m.parks[b]
+		delete(m.parks, b)
+		for i, o := range m.order {
+			if o == b {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+		// Merged groups go straight to the run list (not through push):
+		// they are leaving this join, not arriving at it.
+		m.run = append(m.run, m.e.mergeStates(parked)...)
+	}
+}
+
+// pickBucket chooses the bucket to flush: one no other parked bucket can
+// still feed (so it merges everything that will ever arrive), smallest
+// reverse-postorder position on ties. Mutually-reaching buckets (nested
+// loops) fall back to plain RPO order, which flushes the outermost header
+// first.
+func (m *mergeSched) pickBucket() *cir.Block {
+	var best *cir.Block
+	for _, b := range m.order {
+		ripe := true
+		for _, o := range m.order {
+			if o != b && m.reach[o][b] {
+				ripe = false
+				break
+			}
+		}
+		if ripe && (best == nil || m.rpo[b] < m.rpo[best]) {
+			best = b
+		}
+	}
+	if best == nil {
+		for _, b := range m.order {
+			if best == nil || m.rpo[b] < m.rpo[best] {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+// mergeStates greedily folds parked states in arrival order: each state
+// merges into the first compatible group, or opens a new one. Arrival order
+// is deterministic (the executor is single-threaded), so the grouping — and
+// every ite term it builds — is too.
+func (e *Engine) mergeStates(parked []*state) []*state {
+	var groups []*state
+outer:
+	for _, s := range parked {
+		for i, g := range groups {
+			if ns, ok := e.mergeTwo(g, s); ok {
+				groups[i] = ns
+				continue outer
+			}
+		}
+		groups = append(groups, s)
+	}
+	return groups
+}
+
+// mergeTwo folds b into a when every live location is mergeable, building
+// per-location ite terms guarded by a's path condition and disjoining the
+// conditions. It reports false — and builds nothing — on any structural
+// mismatch (pointer vs integer, different objects, different cell sets),
+// leaving the states to execute separately.
+func (e *Engine) mergeTwo(a, b *state) (*state, bool) {
+	if a.block != b.block || a.idx != b.idx {
+		return nil, false
+	}
+	if len(a.cells) != len(b.cells) {
+		return nil, false
+	}
+	for k := range a.cells {
+		if _, ok := b.cells[k]; !ok {
+			return nil, false
+		}
+	}
+	for i := range a.regs {
+		if !mergeable(a.regs[i], b.regs[i]) {
+			return nil, false
+		}
+	}
+	for k, av := range a.cells {
+		if !mergeable(av, b.cells[k]) {
+			return nil, false
+		}
+	}
+
+	steps := a.steps
+	if b.steps > steps {
+		steps = b.steps
+	}
+	ns := &state{
+		regs:  make([]Value, len(a.regs)),
+		cells: make(map[int]Value, len(a.cells)),
+		cond:  e.In.BOr2(a.cond, b.cond),
+		block: a.block,
+		idx:   a.idx,
+		steps: steps,
+	}
+	ites := 0
+	for i := range a.regs {
+		ns.regs[i] = e.mergeValue(a.cond, a.regs[i], b.regs[i], &ites)
+	}
+	// Cells in sorted id order: map iteration order must never influence
+	// term construction, or replays diverge.
+	keys := make([]int, 0, len(a.cells))
+	for k := range a.cells {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		ns.cells[k] = e.mergeValue(a.cond, a.cells[k], b.cells[k], &ites)
+	}
+	e.nMerges.Add(1)
+	e.Budget.AddMerges(1)
+	if ites > 0 {
+		e.nMergeItes.Add(int64(ites))
+		e.Budget.AddMergeItes(int64(ites))
+	}
+	return ns, true
+}
+
+// isZeroValue reports an unassigned register/cell slot; it merges with
+// anything by taking the other side (the slot is dead on the path that
+// never wrote it — well-formed IR reads it only through a phi, which was
+// resolved before parking).
+func isZeroValue(v Value) bool { return !v.IsPtr && v.Term == nil }
+
+// mergeable is the compatibility half of mergeTwo: can these two values
+// share one slot?
+func mergeable(a, b Value) bool {
+	if isZeroValue(a) || isZeroValue(b) {
+		return true
+	}
+	if a.IsPtr != b.IsPtr {
+		return false
+	}
+	if !a.IsPtr {
+		return true
+	}
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() && b.IsNull()
+	}
+	return a.Obj == b.Obj
+}
+
+// mergeValue is the construction half: equal values stay shared, differing
+// integers (or offsets of the same object) become Ite(condA, a, b).
+func (e *Engine) mergeValue(condA *bv.Bool, a, b Value, ites *int) Value {
+	switch {
+	case isZeroValue(a):
+		return b
+	case isZeroValue(b):
+		return a
+	case !a.IsPtr:
+		if a.Term == b.Term {
+			return a
+		}
+		*ites++
+		return IntValue(e.In.Ite(condA, a.Term, b.Term))
+	case a.IsNull():
+		return a
+	case a.Off == b.Off:
+		return a
+	default:
+		*ites++
+		return PtrValue(a.Obj, e.In.Ite(condA, a.Off, b.Off))
+	}
+}

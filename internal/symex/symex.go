@@ -85,6 +85,10 @@ type Stats struct {
 	SolverQueries int
 	SolverTime    time.Duration
 	Steps         int
+	// Merges counts state pairs folded at join points; MergeItes counts the
+	// ite terms those folds built. Both stay zero unless Engine.Merge is set.
+	Merges    int
+	MergeItes int
 	// Cache is a snapshot of the engine's query cache after the run (zero
 	// when the engine solves without a cache).
 	Cache qcache.Stats
@@ -104,6 +108,13 @@ type Engine struct {
 	// infeasible sides — KLEE's behaviour, and the cost centre of the
 	// vanilla configuration in §4.3.
 	CheckFeasibility bool
+	// Merge enables state merging: states arriving at join points
+	// (cir.JoinPoints — branch reconvergence, loop headers, loop exits) are
+	// parked and folded pairwise when compatible, so a loop over n symbolic
+	// bytes schedules O(n) states instead of 2^n path suffixes (merge.go).
+	// Merged loops whose cursors diverge symbolically rely on
+	// CheckFeasibility (or MaxSteps) to terminate.
+	Merge bool
 	// SolverBudget bounds each feasibility query (SAT conflicts; 0 = off).
 	SolverBudget int64
 	// In is the interner all terms of this run are built with. Run defaults
@@ -135,11 +146,13 @@ type Engine struct {
 	// incremented in place, which raced. Hot-path counts (steps) are
 	// accumulated state-locally and flushed here in batches, so the
 	// instruction loop carries no atomics.
-	nPaths   atomic.Int64
-	nForks   atomic.Int64
-	nQueries atomic.Int64
-	nSteps   atomic.Int64
-	nSolveNs atomic.Int64
+	nPaths     atomic.Int64
+	nForks     atomic.Int64
+	nQueries   atomic.Int64
+	nSteps     atomic.Int64
+	nSolveNs   atomic.Int64
+	nMerges    atomic.Int64
+	nMergeItes atomic.Int64
 
 	// Metric mirrors, lazily bound from the budget's registry at Run entry.
 	// Nil (no-op) while observability is off.
@@ -149,9 +162,13 @@ type Engine struct {
 	mQueries     *obs.Counter
 	mRuns        *obs.Counter
 
-	// pending collects terminal paths emitted by forking intrinsics
-	// (stringCall); Run drains it into the result set.
-	pending []Path
+	// Run-local plumbing, rebound at every Run entry: sched is the active
+	// work-list policy (stackSched, or mergeSched under Merge), emit appends
+	// a terminal path to the run's result set. Fields rather than parameters
+	// so branch and the intrinsics need not thread them; an Engine runs one
+	// Run at a time (injectedErr below already assumes this).
+	sched scheduler
+	emit  func(*state, Value, error)
 	// injectedErr latches a SymexForkFail firing inside branch (which has
 	// no error return); the work loop surfaces it on its next iteration.
 	injectedErr error
@@ -258,16 +275,22 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) (rpaths []Path, r
 	defer func() { e.Objects = e.Objects[:strBase] }()
 
 	var paths []Path
-	work := []*state{st}
 	nextCell := 1 << 20 // cell ids; disjoint from data-object ids
 
-	emit := func(s *state, ret Value, err error) {
+	e.emit = func(s *state, ret Value, err error) {
 		paths = append(paths, Path{Cond: s.cond, Ret: ret, Err: err})
 		e.nPaths.Add(1)
 		e.mPaths.Inc()
 	}
+	emit := e.emit
+	if e.Merge {
+		e.sched = newMergeSched(e, f)
+	} else {
+		e.sched = &stackSched{}
+	}
+	e.sched.push(st)
 
-	for len(work) > 0 {
+	for {
 		if e.injectedErr != nil {
 			return paths, e.injectedErr
 		}
@@ -277,43 +300,23 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) (rpaths []Path, r
 		if len(paths) > e.MaxPaths {
 			return paths, ErrPathLimit
 		}
-		s := work[len(work)-1]
-		work = work[:len(work)-1]
+		s, ok := e.sched.pop()
+		if !ok {
+			break
+		}
 		curState = s
 		// Steps accumulate on the state and the segment's delta is flushed
 		// after the instruction loop — one batched atomic add per scheduled
 		// segment keeps the per-instruction path free of shared writes.
 		stepsBase := s.steps
 
-		// Evaluate phis simultaneously on block entry.
+		// Evaluate phis simultaneously on block entry (already done at park
+		// time for states that went through a merge bucket — resolvePhis
+		// advances idx past the phi prefix, so this does not re-run).
 		if s.idx == 0 {
-			var phiRegs []int
-			var phiVals []Value
-			phiErr := false
-			for _, in := range s.block.Instrs {
-				if in.Op != cir.OpPhi {
-					break
-				}
-				found := false
-				for i, pb := range in.Blocks {
-					if pb == s.prev {
-						phiVals = append(phiVals, e.operand(s, f, in.Args[i]))
-						phiRegs = append(phiRegs, in.Res)
-						found = true
-						break
-					}
-				}
-				if !found {
-					emit(s, Value{}, fmt.Errorf("%w: phi without incoming edge", ErrUnsupported))
-					phiErr = true
-					break
-				}
-			}
-			if phiErr {
+			if err := e.resolvePhis(s, f); err != nil {
+				emit(s, Value{}, err)
 				continue
-			}
-			for i, r := range phiRegs {
-				s.regs[r] = phiVals[i]
 			}
 		}
 
@@ -376,11 +379,7 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) (rpaths []Path, r
 			case cir.OpCall:
 				switch in.Sub {
 				case "strspn", "strcspn", "strchr", "rawmemchr", "strpbrk", "strrchr":
-					var handled bool
-					var err error
-					work, handled, err = e.stringCall(s, f, in, work)
-					paths = append(paths, e.pending...)
-					e.pending = nil
+					handled, err := e.stringCall(s, f, in)
 					if err != nil {
 						emit(s, Value{}, err)
 						break instrLoop
@@ -402,7 +401,7 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) (rpaths []Path, r
 				s.regs[in.Res] = v
 			case cir.OpBr:
 				s.prev, s.block, s.idx = s.block, in.Blocks[0], 0
-				work = append(work, s)
+				e.sched.push(s)
 				break instrLoop
 			case cir.OpCondBr:
 				c := e.operand(s, f, in.Args[0])
@@ -412,7 +411,7 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) (rpaths []Path, r
 				} else {
 					condTrue = bvin.Ne(c.Term, bvin.Int32(0))
 				}
-				work = e.branch(s, condTrue, in.Blocks[0], in.Blocks[1], work)
+				e.branch(s, condTrue, in.Blocks[0], in.Blocks[1])
 				break instrLoop
 			case cir.OpRet:
 				var ret Value
@@ -444,26 +443,27 @@ func (e *Engine) Run(f *cir.Func, args []Value, init *bv.Bool) (rpaths []Path, r
 	return paths, nil
 }
 
-// branch forks s on cond, scheduling feasible sides, and returns the updated
-// worklist.
-func (e *Engine) branch(s *state, cond *bv.Bool, thenB, elseB *cir.Block, work []*state) []*state {
+// branch forks s on cond, scheduling feasible sides.
+func (e *Engine) branch(s *state, cond *bv.Bool, thenB, elseB *cir.Block) {
 	bvin := e.In
-	take := func(st *state, c *bv.Bool, b *cir.Block) []*state {
+	take := func(st *state, c *bv.Bool, b *cir.Block) {
 		st.cond = bvin.BAnd2(st.cond, c)
 		if st.cond == bv.False {
-			return work
+			return
 		}
 		if e.CheckFeasibility && !e.feasible(st.cond) {
-			return work
+			return
 		}
 		st.prev, st.block, st.idx = st.block, b, 0
-		return append(work, st)
+		e.sched.push(st)
 	}
 	switch cond {
 	case bv.True:
-		return take(s, bv.True, thenB)
+		take(s, bv.True, thenB)
+		return
 	case bv.False:
-		return take(s, bv.True, elseB)
+		take(s, bv.True, elseB)
+		return
 	}
 	e.nForks.Add(1)
 	e.Budget.AddForks(1)
@@ -472,12 +472,44 @@ func (e *Engine) branch(s *state, cond *bv.Bool, thenB, elseB *cir.Block, work [
 		// path sets must never masquerade as complete ones. The work loop
 		// surfaces the latched error on its next iteration.
 		e.injectedErr = fmt.Errorf("%w: injected fork failure (%w)", ErrTimeout, faultpoint.ErrInjected)
-		return work
+		return
 	}
 	other := s.fork()
-	work = take(s, cond, thenB)
-	work = take(other, bvin.BNot1(cond), elseB)
-	return work
+	take(s, cond, thenB)
+	take(other, bvin.BNot1(cond), elseB)
+}
+
+// resolvePhis evaluates the block's leading phi instructions simultaneously
+// against s.prev and advances s.idx past them. The merging scheduler calls
+// it at park time — before conditions merge and the incoming edge becomes
+// ambiguous; the work loop calls it for every other block entry.
+func (e *Engine) resolvePhis(s *state, f *cir.Func) error {
+	var phiRegs []int
+	var phiVals []Value
+	n := 0
+	for _, in := range s.block.Instrs {
+		if in.Op != cir.OpPhi {
+			break
+		}
+		n++
+		found := false
+		for i, pb := range in.Blocks {
+			if pb == s.prev {
+				phiVals = append(phiVals, e.operand(s, f, in.Args[i]))
+				phiRegs = append(phiRegs, in.Res)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: phi without incoming edge", ErrUnsupported)
+		}
+	}
+	for i, r := range phiRegs {
+		s.regs[r] = phiVals[i]
+	}
+	s.idx = n
+	return nil
 }
 
 // feasible asks the solver whether cond is satisfiable; on budget exhaustion
@@ -518,6 +550,8 @@ func (e *Engine) refreshStats() {
 	e.Stats.SolverQueries = int(e.nQueries.Load())
 	e.Stats.Steps = int(e.nSteps.Load())
 	e.Stats.SolverTime = time.Duration(e.nSolveNs.Load())
+	e.Stats.Merges = int(e.nMerges.Load())
+	e.Stats.MergeItes = int(e.nMergeItes.Load())
 	if e.Cache != nil {
 		e.Stats.Cache = e.Cache.Stats()
 	}
@@ -593,6 +627,15 @@ func (e *Engine) selectByte(s *state, buf []*bv.Term, off *bv.Term) (*bv.Term, e
 	newCond := bvin.BAnd2(s.cond, inBounds)
 	if newCond == bv.False || (e.CheckFeasibility && !e.feasible(newCond)) {
 		return nil, ErrOOB
+	}
+	// The out-of-bounds complement is its own (errored) path, not a slice of
+	// the input space to narrow away: merged states reach here with ite
+	// cursors whose feasible range straddles the buffer end, and dropping
+	// the overflowing models would leave concrete inputs no path claims.
+	if oob := bvin.BAnd2(s.cond, bvin.BNot1(inBounds)); oob != bv.False &&
+		(!e.CheckFeasibility || e.feasible(oob)) {
+		e.nForks.Add(1)
+		e.emit(&state{cond: oob}, Value{}, ErrOOB)
 	}
 	s.cond = newCond
 	val := buf[len(buf)-1]

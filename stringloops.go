@@ -53,6 +53,10 @@ type Options struct {
 	// proves the loop memoryless, upgrading the bounded equivalence to all
 	// string lengths.
 	RequireMemoryless bool
+	// Merge enables state-merging symbolic execution throughout the
+	// pipeline: paths that reconverge at control-flow join points fold into
+	// one state with ite-merged values instead of being enumerated.
+	Merge bool
 }
 
 // Summary is a synthesised loop summary.
@@ -82,6 +86,7 @@ func (o Options) toCore() core.Options {
 		MaxExampleLength:  o.MaxExampleLength,
 		Timeout:           o.Timeout,
 		RequireMemoryless: o.RequireMemoryless,
+		Merge:             o.Merge,
 	}
 }
 
