@@ -15,12 +15,21 @@
 // length 2n, gating that the merged double-length run stays under the
 // enumerated wall time — the n=8 -> n=16 push.
 //
+// With -persist it runs the cross-process persistent-cache lane and writes
+// BENCH_7.json: the memorylessness corpus sweep is executed twice in child
+// processes sharing one -cache-dir — cold (empty directory) then warm (the
+// cold run's persisted tier) — gating that the verdicts are bit-identical
+// and, with -check, that the warm process is strictly faster. BENCH_3's
+// in-process counterexample-cache hit rate is the ceiling this lane chases
+// across a process boundary.
+//
 // Usage:
 //
 //	bench                      # full run, writes BENCH_3.json
 //	bench -short -check        # CI smoke: small length, assert cache wins
 //	bench -obs                 # overhead lane, writes BENCH_5.json
 //	bench -merge -check        # merging lane, writes BENCH_6.json
+//	bench -persist -check      # warm-vs-cold lane, writes BENCH_7.json
 package main
 
 import (
@@ -28,13 +37,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"stringloops/internal/cc"
 	"stringloops/internal/cir"
+	"stringloops/internal/cliflags"
+	"stringloops/internal/diskcache"
 	"stringloops/internal/engine"
 	"stringloops/internal/kleebench"
+	"stringloops/internal/loopdb"
+	"stringloops/internal/memoryless"
 	"stringloops/internal/obs"
 	"stringloops/internal/vocab"
 )
@@ -88,8 +104,17 @@ func main() {
 		reps  = flag.Int("reps", 3, "repetitions per configuration")
 		obsL  = flag.Bool("obs", false, "run the observability-overhead lane and write BENCH_5.json instead")
 		mrg   = flag.Bool("merge", false, "run the state-merging lane and write BENCH_6.json instead")
+
+		persist = flag.Bool("persist", false, "run the cross-process persistent-cache lane and write BENCH_7.json instead")
+		sample  = flag.Int("sample", 0, "with -persist: only the first N corpus loops (0 = all 115)")
+		child   = flag.Bool("persist-child", false, "internal: run one corpus sweep over -cache-dir and print verdicts (the -persist lane's worker phase)")
 	)
+	cacheDir := cliflags.CacheDir(nil)
 	flag.Parse()
+	if *child {
+		persistChildRun(*cacheDir, *sample)
+		return
+	}
 	if *short {
 		*reps = 1
 		// The merge lane keeps n=8: its gate compares enumeration at n to
@@ -111,6 +136,13 @@ func main() {
 			*out = "BENCH_6.json"
 		}
 		mergeLane(*n, *reps, *check, *out)
+		return
+	}
+	if *persist {
+		if *out == "BENCH_3.json" {
+			*out = "BENCH_7.json"
+		}
+		persistLane(*sample, *short, *check, *out, *cacheDir)
 		return
 	}
 
@@ -214,6 +246,225 @@ func mergeLane(n, reps int, check bool, out string) {
 		}
 		fmt.Printf("merge check ok: merged n=%d at %.2fx under enumerated n=%d; same-length path ratio %.1fx\n",
 			2*n, rep.NsRatioEnumOverMerged, n, rep.PathRatio)
+	}
+}
+
+// persistChildMaxLen is the bounded-check string length of the persist
+// lane's workload: one above the paper's §3.3 minimum of 3, so the check is
+// strictly stronger (verdicts are unchanged — the small-model theorems make
+// length 3 sufficient) while the cold sweep does enough solver work for the
+// cross-process speedup to be about the cache rather than process startup.
+const persistChildMaxLen = 4
+
+// persistChildRun is the -persist lane's hidden worker phase: one process,
+// one sequential memorylessness sweep over the corpus through the persistent
+// tier at -cache-dir, verdicts and counters printed to stdout in the line
+// format persistChildExec parses. The parent runs it twice over the same
+// directory; whether this process is the cold or the warm one is entirely a
+// property of what the directory holds.
+func persistChildRun(dir string, sample int) {
+	if dir == "" {
+		fatal("persist child: -cache-dir is required")
+	}
+	tier, err := diskcache.Open(dir, nil)
+	if err != nil {
+		fatal("persist child: %v", err)
+	}
+	loops := loopdb.Corpus()
+	if sample > 0 && sample < len(loops) {
+		loops = loops[:sample]
+	}
+	budget := engine.NewBudget(nil, engine.Limits{})
+	start := time.Now()
+	for _, l := range loops {
+		f, err := l.Lower()
+		if err != nil {
+			fatal("persist child: lower %s: %v", l.Name, err)
+		}
+		r := memoryless.VerifyWith(f, memoryless.VerifyOptions{
+			MaxLen: persistChildMaxLen, Budget: budget,
+			Disk: tier.QueryStore(), Memo: tier.MemoStore(),
+		})
+		if r.Memoryless {
+			fmt.Printf("verdict\t%s\tmemoryless\t%s\t%d\n", l.Name, r.Spec.Dir, r.Spec.Miss)
+		} else {
+			fmt.Printf("verdict\t%s\trejected\t%s\n", l.Name, r.Reason)
+		}
+	}
+	elapsed := time.Since(start)
+	if err := tier.Close(); err != nil {
+		fatal("persist child: cache persist: %v", err)
+	}
+	fmt.Printf("done\t%d\t%d\t%d\t%d\n", elapsed.Nanoseconds(),
+		budget.DiskHits(), budget.DiskMisses(), budget.DiskEvictions())
+}
+
+// childStats is one worker process's parsed output.
+type childStats struct {
+	verdicts            []string
+	ns                  int64 // sweep time as measured inside the child
+	wallNs              int64 // full process wall time, spawn included
+	hits, misses, evics int64
+}
+
+// persistChildExec re-executes this binary as a -persist-child worker over
+// dir and parses its stdout.
+func persistChildExec(dir string, sample int) childStats {
+	exe, err := os.Executable()
+	if err != nil {
+		fatal("persist: %v", err)
+	}
+	cmd := exec.Command(exe, "-persist-child", "-cache-dir", dir, "-sample", strconv.Itoa(sample))
+	cmd.Stderr = os.Stderr
+	wallStart := time.Now()
+	raw, err := cmd.Output()
+	wall := time.Since(wallStart)
+	if err != nil {
+		fatal("persist: child failed: %v", err)
+	}
+	st := childStats{wallNs: int64(wall)}
+	for _, line := range strings.Split(string(raw), "\n") {
+		switch {
+		case strings.HasPrefix(line, "verdict\t"):
+			st.verdicts = append(st.verdicts, line)
+		case strings.HasPrefix(line, "done\t"):
+			fields := strings.Split(line, "\t")
+			if len(fields) != 5 {
+				fatal("persist: malformed child trailer %q", line)
+			}
+			nums := make([]int64, 4)
+			for i, f := range fields[1:] {
+				v, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					fatal("persist: malformed child trailer %q: %v", line, err)
+				}
+				nums[i] = v
+			}
+			st.ns, st.hits, st.misses, st.evics = nums[0], nums[1], nums[2], nums[3]
+		}
+	}
+	if st.ns == 0 || len(st.verdicts) == 0 {
+		fatal("persist: child produced no measurements")
+	}
+	return st
+}
+
+// persistReport is the BENCH_7.json schema: one corpus sweep by a cold
+// process (empty cache directory) and one by a warm process (the cold run's
+// persisted tier), with verdict identity and the cross-process speedup.
+type persistReport struct {
+	Benchmark string `json:"benchmark"`
+	Corpus    string `json:"corpus"`
+	GoVersion string `json:"go_version"`
+	Loops     int    `json:"loops"`
+	MaxLen    int    `json:"max_len"`
+	// ColdNs/WarmNs are sweep times measured inside each child;
+	// the *WallNs pair includes process spawn and exit.
+	ColdNs         int64 `json:"cold_ns"`
+	WarmNs         int64 `json:"warm_ns"`
+	ColdWallNs     int64 `json:"cold_wall_ns"`
+	WarmWallNs     int64 `json:"warm_wall_ns"`
+	ColdDiskHits   int64 `json:"cold_disk_hits"`
+	ColdDiskMisses int64 `json:"cold_disk_misses"`
+	WarmDiskHits   int64 `json:"warm_disk_hits"`
+	WarmDiskMisses int64 `json:"warm_disk_misses"`
+	DiskEvictions  int64 `json:"disk_evictions"`
+	Memoryless     int   `json:"memoryless"`
+	// VerdictsIdentical is the correctness half of the lane: the warm
+	// process must reproduce the cold verdicts byte for byte. A mismatch is
+	// fatal even without -check.
+	VerdictsIdentical   bool    `json:"verdicts_identical"`
+	NsRatioColdOverWarm float64 `json:"ns_ratio_cold_over_warm"`
+}
+
+// persistLane measures the persistent tier across a process boundary: two
+// child sweeps over one fresh cache directory, cold then warm. Verdict
+// mismatch always fails; -check additionally requires the warm process to be
+// strictly faster.
+func persistLane(sample int, short, check bool, out, cacheBase string) {
+	if short && sample == 0 {
+		sample = 30
+	}
+	// A fresh directory (under -cache-dir when given, the system temp dir
+	// otherwise) guarantees the first child really is cold.
+	dir, err := os.MkdirTemp(cacheBase, "bench-persist-*")
+	if err != nil {
+		fatal("persist: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	cold := persistChildExec(dir, sample)
+	warm := persistChildExec(dir, sample)
+
+	identical := len(cold.verdicts) == len(warm.verdicts)
+	if identical {
+		for i := range cold.verdicts {
+			if cold.verdicts[i] != warm.verdicts[i] {
+				identical = false
+				break
+			}
+		}
+	}
+	memless := 0
+	for _, v := range cold.verdicts {
+		if strings.Contains(v, "\tmemoryless\t") {
+			memless++
+		}
+	}
+
+	rep := persistReport{
+		Benchmark:           "BenchmarkPersistentCache",
+		Corpus:              "loopdb/curated",
+		GoVersion:           runtime.Version(),
+		Loops:               len(cold.verdicts),
+		MaxLen:              persistChildMaxLen,
+		ColdNs:              cold.ns,
+		WarmNs:              warm.ns,
+		ColdWallNs:          cold.wallNs,
+		WarmWallNs:          warm.wallNs,
+		ColdDiskHits:        cold.hits,
+		ColdDiskMisses:      cold.misses,
+		WarmDiskHits:        warm.hits,
+		WarmDiskMisses:      warm.misses,
+		DiskEvictions:       cold.evics + warm.evics,
+		Memoryless:          memless,
+		VerdictsIdentical:   identical,
+		NsRatioColdOverWarm: ratio(cold.ns, warm.ns),
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	enc = append(enc, '\n')
+	fmt.Print(string(enc))
+	if out != "" {
+		if err := os.WriteFile(out, enc, 0o644); err != nil {
+			fatal("write %s: %v", out, err)
+		}
+	}
+
+	if !identical {
+		for i := range cold.verdicts {
+			if i < len(warm.verdicts) && cold.verdicts[i] != warm.verdicts[i] {
+				fmt.Fprintf(os.Stderr, "persist: first divergence:\n  cold: %s\n  warm: %s\n",
+					cold.verdicts[i], warm.verdicts[i])
+				break
+			}
+		}
+		fatal("persist check failed: warm verdicts differ from cold (%d vs %d loops)",
+			len(cold.verdicts), len(warm.verdicts))
+	}
+	if check {
+		if warm.ns >= cold.ns {
+			fatal("persist check failed: warm sweep (%v) not faster than cold (%v)",
+				time.Duration(warm.ns), time.Duration(cold.ns))
+		}
+		if warm.hits == 0 {
+			fatal("persist check failed: warm process recorded zero disk hits")
+		}
+		fmt.Printf("persist check ok: cold/warm = %.2fx over %d loops, warm disk hits %d\n",
+			rep.NsRatioColdOverWarm, rep.Loops, warm.hits)
 	}
 }
 

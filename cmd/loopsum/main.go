@@ -25,6 +25,7 @@ import (
 	"stringloops"
 	"stringloops/internal/cliflags"
 	"stringloops/internal/core"
+	"stringloops/internal/diskcache"
 	"stringloops/internal/engine"
 	"stringloops/internal/loopdb"
 	"stringloops/internal/obs"
@@ -43,11 +44,12 @@ func main() {
 	sample := flag.Int("sample", 0, "with -corpus: only the first N loops (0 = all)")
 	jobs := cliflags.Jobs(nil, 1)
 	merge := cliflags.Merge(nil, false)
+	cacheDir := cliflags.CacheDir(nil)
 	obsFlags := cliflags.Obs(nil)
 	flag.Parse()
 
 	if *corpus {
-		os.Exit(runCorpus(*sample, *jobs, *timeout, *maxSize, *merge, obsFlags))
+		os.Exit(runCorpus(*sample, *jobs, *timeout, *maxSize, *merge, *cacheDir, obsFlags))
 	}
 
 	if flag.NArg() != 1 {
@@ -98,6 +100,7 @@ func main() {
 		Timeout:           *timeout,
 		RequireMemoryless: *requireMem,
 		Merge:             *merge,
+		CacheDir:          *cacheDir,
 	}
 
 	if *resilient {
@@ -125,8 +128,13 @@ func main() {
 // session's observability handles, then reconciles the report's counter
 // totals against the summed budget spend: both sides count through the same
 // engine.Budget mirrors, so any drift means an instrumentation bug.
-func runCorpus(sample, jobs int, timeout time.Duration, maxSize int, merge bool, obsFlags *obs.Flags) int {
+func runCorpus(sample, jobs int, timeout time.Duration, maxSize int, merge bool, cacheDir string, obsFlags *obs.Flags) int {
 	sess, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loopsum: %v\n", err)
+		return 2
+	}
+	tier, err := diskcache.Open(cacheDir, nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loopsum: %v\n", err)
 		return 2
@@ -148,6 +156,7 @@ func runCorpus(sample, jobs int, timeout time.Duration, maxSize int, merge bool,
 			Timeout:        timeout,
 			Budget:         budget,
 			Merge:          merge,
+			Cache:          tier,
 		})
 		switch {
 		case err == nil:
@@ -167,6 +176,9 @@ func runCorpus(sample, jobs int, timeout time.Duration, maxSize int, merge bool,
 		}
 	}
 	fmt.Printf("corpus: %d/%d loops summarised\n", found, len(loops))
+	if err := tier.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "loopsum: cache persist: %v\n", err)
+	}
 	if err := sess.Finish(os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "loopsum: %v\n", err)
 		return 1
@@ -185,6 +197,7 @@ func runCorpus(sample, jobs int, timeout time.Duration, maxSize int, merge bool,
 // per-loop budget spend, counter by counter.
 func reconcile(sess *obs.Session, budgets []*engine.Budget) error {
 	var conflicts, propagations, forks, nodes, hits, misses int64
+	var dhits, dmisses, devics int64
 	for _, b := range budgets {
 		conflicts += b.Conflicts()
 		propagations += b.Propagations()
@@ -192,6 +205,9 @@ func reconcile(sess *obs.Session, budgets []*engine.Budget) error {
 		nodes += b.Nodes()
 		hits += b.CacheHits()
 		misses += b.CacheMisses()
+		dhits += b.DiskHits()
+		dmisses += b.DiskMisses()
+		devics += b.DiskEvictions()
 	}
 	_, totals := sess.Report.Totals()
 	for _, c := range []struct {
@@ -204,6 +220,9 @@ func reconcile(sess *obs.Session, budgets []*engine.Budget) error {
 		{obs.MBVNodes, nodes},
 		{obs.MQCacheHits, hits},
 		{obs.MQCacheMisses, misses},
+		{obs.MDiskHits, dhits},
+		{obs.MDiskMisses, dmisses},
+		{obs.MDiskEvictions, devics},
 	} {
 		if got := totals[c.name]; got != c.want {
 			return fmt.Errorf("%s: report total %d != budget spend %d", c.name, got, c.want)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"stringloops/internal/cliflags"
+	"stringloops/internal/diskcache"
 	"stringloops/internal/engine"
 	"stringloops/internal/loopdb"
 	"stringloops/internal/memoryless"
@@ -21,9 +22,15 @@ func main() {
 	verbose := flag.Bool("v", false, "per-loop results")
 	jobs := cliflags.Jobs(nil, 1)
 	merge := cliflags.Merge(nil, false)
+	cacheDir := cliflags.CacheDir(nil)
 	obsFlags := cliflags.Obs(nil)
 	flag.Parse()
 	sess, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memverify: %v\n", err)
+		os.Exit(2)
+	}
+	tier, err := diskcache.Open(*cacheDir, nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "memverify: %v\n", err)
 		os.Exit(2)
@@ -47,6 +54,7 @@ func main() {
 			SetObs(item.Tracer(), item.Metrics())
 		reports[i] = memoryless.VerifyWith(f, memoryless.VerifyOptions{
 			MaxLen: *maxLen, Budget: budget, Merge: *merge,
+			Disk: tier.QueryStore(), Memo: tier.MemoStore(),
 		})
 		outcome := "rejected"
 		if reports[i].Memoryless {
@@ -89,6 +97,9 @@ func main() {
 	}
 	fmt.Printf("verified %d of %d loops; average %.3fs per loop (paper: 85/115, <3s)\n",
 		verified, total, elapsed.Seconds()/float64(total))
+	if err := tier.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "memverify: cache persist: %v\n", err)
+	}
 	if err := sess.Finish(os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "memverify: %v\n", err)
 		os.Exit(1)

@@ -17,6 +17,7 @@ import (
 	"stringloops/internal/cegis"
 	"stringloops/internal/cliflags"
 	"stringloops/internal/core"
+	"stringloops/internal/diskcache"
 	"stringloops/internal/engine"
 	"stringloops/internal/harness"
 	"stringloops/internal/loopdb"
@@ -33,6 +34,7 @@ func main() {
 	jobs := cliflags.Jobs(nil, 1)
 	resilient := cliflags.Resilient(nil)
 	merge := cliflags.Merge(nil, false)
+	cacheDir := cliflags.CacheDir(nil)
 	obsFlags := cliflags.Obs(nil)
 	flag.Parse()
 	sess, err := obsFlags.Start()
@@ -40,8 +42,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "synth-eval: %v\n", err)
 		os.Exit(2)
 	}
+	tier, err := diskcache.Open(*cacheDir, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "synth-eval: %v\n", err)
+		os.Exit(2)
+	}
 	if *resilient {
-		code := resilientSweep(*timeout, *maxSize, *maxSet, *jobs, *merge, sess)
+		code := resilientSweep(*timeout, *maxSize, *maxSet, *jobs, *merge, tier, sess)
+		if err := tier.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "synth-eval: cache persist: %v\n", err)
+		}
 		if err := sess.Finish(os.Stdout, os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "synth-eval: %v\n", err)
 			code = 1
@@ -52,7 +62,8 @@ func main() {
 		*table3, *figure2 = true, true
 	}
 
-	opts := cegis.Options{Timeout: *timeout, MaxProgSize: *maxSize, MaxSetLen: *maxSet, Merge: *merge}
+	opts := cegis.Options{Timeout: *timeout, MaxProgSize: *maxSize, MaxSetLen: *maxSet, Merge: *merge,
+		Disk: tier.QueryStore()}
 	progress := (os.Stdout)
 	if !*verbose {
 		progress = nil
@@ -63,6 +74,9 @@ func main() {
 	records := harness.SynthesizeCorpusObs(loopdb.Corpus(), opts, progress, *jobs, sess)
 	fmt.Printf("sweep finished in %v\n\n", time.Since(start).Round(time.Second))
 	defer func() {
+		if err := tier.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "synth-eval: cache persist: %v\n", err)
+		}
 		if err := sess.Finish(os.Stdout, os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "synth-eval: %v\n", err)
 			os.Exit(1)
@@ -152,7 +166,7 @@ func main() {
 // ladder descended, the reason. Degraded loops are expected output, not
 // failures: the exit code is non-zero only when a loop fails outright
 // (infrastructure failure — even the concrete floor produced nothing).
-func resilientSweep(timeout time.Duration, maxSize, maxSet, jobs int, merge bool, sess *obs.Session) int {
+func resilientSweep(timeout time.Duration, maxSize, maxSet, jobs int, merge bool, tier *diskcache.Tier, sess *obs.Session) int {
 	corpus := loopdb.Corpus()
 	fmt.Printf("resilient sweep over %d loops (timeout %v, %d workers)...\n", len(corpus), timeout, jobs)
 	start := time.Now()
@@ -161,7 +175,7 @@ func resilientSweep(timeout time.Duration, maxSize, maxSet, jobs int, merge bool
 		l := corpus[i]
 		item := sess.Item(l.Name, l.Program, worker)
 		outcomes[i] = core.SummarizeResilient(l.Source, l.FuncName, core.ResilientOptions{
-			Options: core.Options{Timeout: timeout, MaxProgramSize: maxSize, MaxSetSize: maxSet, Merge: merge},
+			Options: core.Options{Timeout: timeout, MaxProgramSize: maxSize, MaxSetSize: maxSet, Merge: merge, Cache: tier},
 			Tracer:  item.Tracer(),
 			Metrics: item.Metrics(),
 		})

@@ -24,6 +24,7 @@ import (
 	"stringloops/internal/bv"
 	"stringloops/internal/cir"
 	"stringloops/internal/cstr"
+	"stringloops/internal/diskcache"
 	"stringloops/internal/engine"
 	"stringloops/internal/faultpoint"
 	"stringloops/internal/obs"
@@ -81,6 +82,11 @@ type Options struct {
 	// and the sat/bv/qcache/symex sites in the layers below, all under one
 	// seeded schedule. Nil (the default) disables injection at zero cost.
 	Faults *faultpoint.Registry
+	// Disk, when non-nil, backs the per-synthesizer query cache with a
+	// shared counterexample store keyed by canonical (interner-independent)
+	// query hashes, so verdicts persist across synthesizer instances and
+	// across processes. Ignored under DisableQCache.
+	Disk *diskcache.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -163,7 +169,7 @@ func New(loop *cir.Func, opts Options) (*Synthesizer, error) {
 	s := &Synthesizer{opts: opts, loop: loop, bvin: bv.NewInterner(), budget: opts.Budget}
 	s.bvin.SetFaults(opts.Faults)
 	if !opts.DisableQCache {
-		s.cache = qcache.New(s.bvin).SetFaults(opts.Faults)
+		s.cache = qcache.New(s.bvin).SetFaults(opts.Faults).SetDisk(opts.Disk)
 	}
 	if len(loop.Params) != 1 || loop.Params[0].Ty != cir.TyPtr {
 		return nil, fmt.Errorf("cegis: %s does not have the loopFunction signature", loop.Name)

@@ -1,0 +1,150 @@
+package cir
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CanonicalHash returns a content address for the function's executable
+// structure: two functions that differ only in function name, register
+// numbering, block naming/numbering, or phi-argument order hash equal; any
+// difference in control flow, instruction selection, operand values, or
+// string-literal contents hashes apart. This is the memo-DB key that lets a
+// re-submitted loop — reparsed into fresh registers and blocks — reuse a
+// previous run's verdict and summary.
+//
+// Canonicalization: blocks are numbered in reverse postorder from the entry
+// (unreachable blocks are excluded — they cannot affect execution), registers
+// are numbered by first definition/use in that order (parameters first), and
+// each phi's (block, operand) pairs are sorted by canonical block number so
+// predecessor order is immaterial. String literals are serialized by content
+// at each use, so StrLits index permutations don't split the key.
+func CanonicalHash(f *Func) string {
+	// Reverse postorder over successors, rooted at the entry.
+	blockNum := map[*Block]int{}
+	var order []*Block
+	var walk func(b *Block)
+	seen := map[*Block]bool{}
+	var post []*Block
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs() {
+			walk(s)
+		}
+		post = append(post, b)
+	}
+	if len(f.Blocks) == 0 {
+		return hashString("func:empty")
+	}
+	walk(f.Entry())
+	for i := len(post) - 1; i >= 0; i-- {
+		blockNum[post[i]] = len(order)
+		order = append(order, post[i])
+	}
+
+	// Registers numbered by first appearance in canonical order; parameters
+	// claim the leading numbers so the signature is part of the shape.
+	regNum := map[int]int{}
+	reg := func(r int) int {
+		n, ok := regNum[r]
+		if !ok {
+			n = len(regNum)
+			regNum[r] = n
+		}
+		return n
+	}
+	var sb strings.Builder
+	sb.WriteString("params:")
+	for _, p := range f.Params {
+		sb.WriteString(strconv.Itoa(int(p.Ty)))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.Itoa(reg(p.Reg)))
+		sb.WriteByte(',')
+	}
+	sb.WriteString(";ssa:")
+	if f.SSA {
+		sb.WriteByte('1')
+	} else {
+		sb.WriteByte('0')
+	}
+	sb.WriteByte('\n')
+
+	operand := func(o Operand) string {
+		switch o.Kind {
+		case KReg:
+			return "r" + strconv.Itoa(reg(o.Reg)) + ":" + strconv.Itoa(int(o.Ty))
+		case KConst:
+			return "c" + strconv.FormatInt(o.Imm, 10)
+		case KNull:
+			return "null"
+		case KStr:
+			// Content, not index: quoted so literals can't collide with the
+			// surrounding syntax.
+			return "s" + strconv.Quote(f.StrLits[o.Str])
+		}
+		return "?"
+	}
+
+	for _, b := range order {
+		sb.WriteString("block ")
+		sb.WriteString(strconv.Itoa(blockNum[b]))
+		sb.WriteByte('\n')
+		for _, in := range b.Instrs {
+			sb.WriteString(strconv.Itoa(int(in.Op)))
+			sb.WriteByte('|')
+			sb.WriteString(in.Sub)
+			sb.WriteByte('|')
+			sb.WriteString(strconv.Itoa(int(in.Ty)))
+			sb.WriteByte('|')
+			sb.WriteString(strconv.Itoa(in.Scale))
+			sb.WriteByte('|')
+			if in.Res >= 0 {
+				sb.WriteString("r")
+				sb.WriteString(strconv.Itoa(reg(in.Res)))
+			}
+			sb.WriteByte('|')
+			if in.Op == OpPhi {
+				// Sort (pred, arg) pairs by canonical predecessor number so
+				// the hash ignores incoming-edge order.
+				type inc struct {
+					pred int
+					arg  string
+				}
+				incs := make([]inc, len(in.Blocks))
+				for i := range in.Blocks {
+					incs[i] = inc{blockNum[in.Blocks[i]], operand(in.Args[i])}
+				}
+				sort.Slice(incs, func(i, j int) bool { return incs[i].pred < incs[j].pred })
+				for _, ic := range incs {
+					sb.WriteString(strconv.Itoa(ic.pred))
+					sb.WriteByte('<')
+					sb.WriteString(ic.arg)
+					sb.WriteByte(' ')
+				}
+			} else {
+				for _, a := range in.Args {
+					sb.WriteString(operand(a))
+					sb.WriteByte(' ')
+				}
+				for _, t := range in.Blocks {
+					sb.WriteByte('>')
+					sb.WriteString(strconv.Itoa(blockNum[t]))
+					sb.WriteByte(' ')
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return hashString(sb.String())
+}
+
+func hashString(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}

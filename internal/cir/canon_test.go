@@ -1,0 +1,59 @@
+package cir
+
+import "testing"
+
+func TestCanonicalHashAlphaInvariance(t *testing.T) {
+	// The same loop under different function and variable names, statement
+	// spellings that lower identically, and a different position in the
+	// translation unit (shifting every internal ID).
+	a := lowerOne(t, `char *skip(char *s) { while (*s == '.') s++; return s; }`, "")
+	b := lowerOne(t, `
+char *unrelated(char *q) { while (*q == 'x') q++; return q; }
+char *advance(char *p) { while (*p == '.') p = p + 1; return p; }`, "advance")
+	ha, hb := CanonicalHash(a), CanonicalHash(b)
+	if ha != hb {
+		t.Fatalf("alpha-variant loops must hash equal:\n%s\n%s", ha, hb)
+	}
+}
+
+func TestCanonicalHashSSAInvariance(t *testing.T) {
+	src := `char *skip(char *s) { while (*s == '.') s++; return s; }`
+	raw := lowerOne(t, src, "")
+	ssa := lowerOne(t, src, "")
+	Mem2Reg(ssa)
+	if CanonicalHash(raw) == CanonicalHash(ssa) {
+		t.Fatal("pre- and post-mem2reg forms are different programs and must hash apart")
+	}
+	ssa2 := lowerOne(t, src, "")
+	Mem2Reg(ssa2)
+	if CanonicalHash(ssa) != CanonicalHash(ssa2) {
+		t.Fatal("mem2reg is deterministic; repeated lowerings must hash equal")
+	}
+}
+
+func TestCanonicalHashDistinguishes(t *testing.T) {
+	base := lowerOne(t, `char *f(char *s) { while (*s == '.') s++; return s; }`, "")
+	variants := map[string]string{
+		"different constant":   `char *f(char *s) { while (*s == ',') s++; return s; }`,
+		"different comparison": `char *f(char *s) { while (*s != '.') s++; return s; }`,
+		"different step":       `char *f(char *s) { while (*s == '.') s += 2; return s; }`,
+		"different return":     `char *f(char *s) { while (*s == '.') s++; return 0; }`,
+		"extra statement":      `char *f(char *s) { int n = 0; while (*s == '.') { s++; n++; } return s; }`,
+	}
+	hb := CanonicalHash(base)
+	for name, src := range variants {
+		if CanonicalHash(lowerOne(t, src, "")) == hb {
+			t.Errorf("%s must change the hash", name)
+		}
+	}
+}
+
+func TestCanonicalHashStrLitContent(t *testing.T) {
+	// Same literal index, different content — must hash apart; permuted
+	// literal table with same use sites — must hash equal.
+	a := lowerOne(t, `int f(char *s) { return strcmp(s, "ab"); }`, "")
+	b := lowerOne(t, `int f(char *s) { return strcmp(s, "cd"); }`, "")
+	if CanonicalHash(a) == CanonicalHash(b) {
+		t.Fatal("string-literal content must be part of the hash")
+	}
+}

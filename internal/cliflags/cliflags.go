@@ -48,6 +48,17 @@ func Merge(fs *flag.FlagSet, def bool) *bool {
 		"merge symbolic-execution states at control-flow join points (ite values, disjoined path conditions) instead of enumerating every path suffix")
 }
 
+// CacheDir declares the canonical -cache-dir flag: the directory backing the
+// persistent cross-process cache tier (canonical-key counterexample store +
+// summary memo DB). Empty (the default) disables persistence.
+func CacheDir(fs *flag.FlagSet) *string {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return fs.String("cache-dir", "",
+		"directory for the persistent cache tier (solver counterexamples and whole-loop summary memos, shared across runs and processes); empty = off")
+}
+
 // Obs declares the shared observability flags and returns their destination;
 // call (*obs.Flags).Start after flag.Parse to open the session.
 func Obs(fs *flag.FlagSet) *obs.Flags {

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
+	"path/filepath"
 	"testing"
 
+	"stringloops/internal/diskcache"
 	"stringloops/internal/engine"
 	"stringloops/internal/faultpoint"
 	"stringloops/internal/loopdb"
@@ -49,6 +52,7 @@ func chaosRegistry(seed uint64, item int) *faultpoint.Registry {
 			faultpoint.SymexForkFail:    0.05,
 			faultpoint.SymexPanic:       0.03,
 			faultpoint.CegisReject:      0.10,
+			faultpoint.DiskCacheIO:      0.25,
 		},
 	})
 }
@@ -62,15 +66,33 @@ func faultpointItemSalt(item int) uint64 {
 	return x ^ (x >> 31)
 }
 
-func chaosItems(seed uint64, loops []loopdb.Loop) []ResilientItem {
+// chaosItems builds the per-seed resilient batch. With a non-empty cacheDir
+// every item additionally runs against its own persistent tier under it,
+// opened with the item's fault registry so the DiskCacheIO site is armed on
+// the tier's warm-start loads and on the close()-time saves. Per-item
+// directories keep cache state a pure function of the item's own schedule
+// (faultpoint streams are per-site counters, so arming the tier shifts no
+// other site's draws), preserving replay determinism across worker counts.
+func chaosItems(t *testing.T, seed uint64, loops []loopdb.Loop, cacheDir string) ([]ResilientItem, func()) {
+	t.Helper()
 	items := make([]ResilientItem, len(loops))
+	var tiers []*diskcache.Tier
 	for i, l := range loops {
+		// Odd seeds run the state-merging executor, even seeds the
+		// enumerating one: both schedules must satisfy the same replay
+		// and typed-outcome contracts, with merging exercised under the
+		// full fault storm.
+		opts := Options{Faults: chaosRegistry(seed, i), Merge: seed%2 == 1}
+		if cacheDir != "" {
+			tier, err := diskcache.Open(filepath.Join(cacheDir, fmt.Sprintf("item%02d", i)), opts.Faults)
+			if err != nil {
+				t.Fatalf("open chaos tier: %v", err)
+			}
+			opts.Cache = tier
+			tiers = append(tiers, tier)
+		}
 		items[i] = ResilientItem{Source: l.Source, Func: l.FuncName, Opts: ResilientOptions{
-			// Odd seeds run the state-merging executor, even seeds the
-			// enumerating one: both schedules must satisfy the same replay
-			// and typed-outcome contracts, with merging exercised under the
-			// full fault storm.
-			Options: Options{Faults: chaosRegistry(seed, i), Merge: seed%2 == 1},
+			Options: opts,
 			// Pure resource limits: no wall clock anywhere, so a schedule's
 			// outcome is a function of the seed alone, not machine speed.
 			Limits:      engine.Limits{Conflicts: 5000, Forks: 20000, Nodes: 500000},
@@ -79,7 +101,15 @@ func chaosItems(seed uint64, loops []loopdb.Loop) []ResilientItem {
 			Seed:        seed,
 		}}
 	}
-	return items
+	return items, func() {
+		for _, tier := range tiers {
+			// A DiskCacheIO firing silently skips the save — exactly the
+			// degradation under test — so Close errors are real I/O trouble.
+			if err := tier.Close(); err != nil {
+				t.Errorf("chaos tier close: %v", err)
+			}
+		}
+	}
 }
 
 // TestChaosSoak drives the resilient batch path over one loop per corpus
@@ -99,10 +129,20 @@ func TestChaosSoak(t *testing.T) {
 	}
 	schedules := 0
 	rungCount := map[Rung]int{}
+	var diskFired uint64
 	for s := 0; s < seeds; s++ {
 		seed := uint64(s)*0x9e3779b9 + 1
-		parallel := SummarizeAllResilient(chaosItems(seed, loops), 4)
-		serial := SummarizeAllResilient(chaosItems(seed, loops), 1)
+		// Separate fresh cache roots per sweep: both start cold, so the
+		// parallel and serial runs see identical tier state end to end.
+		pItems, pClose := chaosItems(t, seed, loops, t.TempDir())
+		qItems, qClose := chaosItems(t, seed, loops, t.TempDir())
+		parallel := SummarizeAllResilient(pItems, 4)
+		serial := SummarizeAllResilient(qItems, 1)
+		pClose()
+		qClose()
+		for i := range pItems {
+			diskFired += pItems[i].Opts.Faults.Fired(faultpoint.DiskCacheIO)
+		}
 		for i := range parallel {
 			schedules++
 			p, q := parallel[i], serial[i]
@@ -178,18 +218,24 @@ func TestChaosSoak(t *testing.T) {
 	if rungCount[RungFull] == schedules {
 		t.Error("no schedule degraded below the full rung — fault rates too low to test anything")
 	}
+	// Every item draws the DiskCacheIO site at least four times (two
+	// warm-start loads, two close-time saves), so at rate 0.25 a soak where
+	// it never fired means the tier was not actually armed.
+	if diskFired == 0 {
+		t.Error("DiskCacheIO never fired — the persistent tier is not in the fault storm")
+	}
 }
 
 // chaosTracedItems is chaosItems with a fresh deterministic tracer per item,
 // so each item's event stream is a pure function of its fault schedule.
-func chaosTracedItems(seed uint64, loops []loopdb.Loop) ([]ResilientItem, []*obs.Tracer) {
-	items := chaosItems(seed, loops)
+func chaosTracedItems(t *testing.T, seed uint64, loops []loopdb.Loop) ([]ResilientItem, []*obs.Tracer, func()) {
+	items, closeTiers := chaosItems(t, seed, loops, t.TempDir())
 	tracers := make([]*obs.Tracer, len(items))
 	for i := range items {
 		tracers[i] = obs.NewDeterministic()
 		items[i].Opts.Tracer = tracers[i]
 	}
-	return items, tracers
+	return items, tracers, closeTiers
 }
 
 // TestChaosTraceReplay extends the soak to the observability layer: under
@@ -204,10 +250,12 @@ func TestChaosTraceReplay(t *testing.T) {
 	}
 	for s := 0; s < seeds; s++ {
 		seed := uint64(s)*0x9e3779b9 + 1
-		pItems, pTracers := chaosTracedItems(seed, loops)
-		qItems, qTracers := chaosTracedItems(seed, loops)
+		pItems, pTracers, pClose := chaosTracedItems(t, seed, loops)
+		qItems, qTracers, qClose := chaosTracedItems(t, seed, loops)
 		SummarizeAllResilient(pItems, 4)
 		SummarizeAllResilient(qItems, 1)
+		pClose()
+		qClose()
 		for i := range loops {
 			pj, err := json.Marshal(pTracers[i].Events())
 			if err != nil {

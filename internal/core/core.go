@@ -6,9 +6,11 @@
 package core
 
 import (
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"stringloops/internal/bv"
@@ -16,6 +18,7 @@ import (
 	"stringloops/internal/cegis"
 	"stringloops/internal/cir"
 	"stringloops/internal/cstr"
+	"stringloops/internal/diskcache"
 	"stringloops/internal/engine"
 	"stringloops/internal/faultpoint"
 	"stringloops/internal/idiom"
@@ -58,6 +61,12 @@ type Options struct {
 	// pipeline (memorylessness check and synthesis) under one seeded
 	// schedule. Nil (the default) disables injection at zero cost.
 	Faults *faultpoint.Registry
+	// Cache, when non-nil, attaches the persistent cross-process cache tier:
+	// the query store backs every solver-chain cache in the pipeline, and the
+	// memo store memoizes whole results (memorylessness verdicts, synthesised
+	// summaries) by the loop's canonical structural hash. Nil disables the
+	// tier at zero cost.
+	Cache *diskcache.Tier
 }
 
 // Summary is a synthesised loop summary.
@@ -134,9 +143,106 @@ func Summarize(source, funcName string, opts Options) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
+	memo := opts.Cache.MemoStore()
+	if memo == nil {
+		return summarizeLoop(f, opts)
+	}
 
+	// Whole-result memo: the loop's canonical hash plus every option that
+	// shapes the outcome keys the finished summary, so a structurally known
+	// loop — resubmitted in this process or a previous one — returns in O(1).
+	// Only deterministic outcomes are stored (a found summary, a clean
+	// exhaustive not-found); budget-classified failures always recompute.
+	// Concurrent -j drivers summarising the same loop collapse to one run
+	// through the store's singleflight.
+	key := fmt.Sprintf("sum1:%s:%s:%d:%d:%d:%t:%t", cir.CanonicalHash(f),
+		opts.Vocabulary, opts.MaxProgramSize, opts.MaxSetSize, opts.MaxExampleLength,
+		opts.RequireMemoryless, opts.Merge)
+	var (
+		computed bool
+		s        *Summary
+		serr     error
+	)
+	raw, cached := memo.Do(opts.Budget, key, func() ([]byte, bool) {
+		computed = true
+		s, serr = summarizeLoop(f, opts)
+		switch {
+		case serr == nil:
+			return encodeSummary(s), true
+		case errors.Is(serr, ErrNotFound) && !errors.Is(serr, engine.ErrBudget):
+			return []byte("N"), true
+		default:
+			return nil, false
+		}
+	})
+	if computed {
+		return s, serr
+	}
+	if cached {
+		if s, serr, ok := decodeSummary(raw, f.Name); ok {
+			return s, serr
+		}
+	}
+	// Failed shared flight or undecodable entry: compute live.
+	return summarizeLoop(f, opts)
+}
+
+// encodeSummary renders a found summary for the memo store: the encoded
+// program (hex, since the Table 1 encoding uses arbitrary bytes), the
+// memorylessness verdict and the traversal direction. Everything else on
+// Summary is recomputed from these at decode time.
+func encodeSummary(s *Summary) []byte {
+	m := "0"
+	if s.Memoryless {
+		m = "1"
+	}
+	return []byte("F " + hex.EncodeToString([]byte(s.Encoded)) + " " + m + " " + s.Direction)
+}
+
+// decodeSummary rebuilds a Summary from a memo entry, re-deriving the
+// readable form and the C replacement (which carries the current function's
+// name, not the name the entry was stored under). Corrupt entries report
+// ok=false and fall back to a live run.
+func decodeSummary(raw []byte, funcName string) (*Summary, error, bool) {
+	s := string(raw)
+	if s == "N" {
+		return nil, ErrNotFound, true
+	}
+	rest, found := strings.CutPrefix(s, "F ")
+	if !found {
+		return nil, nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, nil, false
+	}
+	encBytes, err := hex.DecodeString(fields[0])
+	if err != nil {
+		return nil, nil, false
+	}
+	prog, err := vocab.Decode(string(encBytes))
+	if err != nil {
+		return nil, nil, false
+	}
+	out := &Summary{
+		Encoded:    string(encBytes),
+		Readable:   prog.String(),
+		C:          vocab.CompileToC(prog, funcName+"_summary"),
+		Memoryless: fields[1] == "1",
+		prog:       prog,
+	}
+	if len(fields) >= 3 {
+		out.Direction = fields[2]
+	}
+	return out, nil, true
+}
+
+// summarizeLoop is the uncached pipeline: memorylessness check, CEGIS
+// synthesis, summary assembly.
+func summarizeLoop(f *cir.Func, opts Options) (*Summary, error) {
 	report := memoryless.VerifyWith(f, memoryless.VerifyOptions{
 		MaxLen: max(3, opts.MaxExampleLength), Budget: opts.Budget, Faults: opts.Faults, Merge: opts.Merge,
+		Disk: opts.Cache.QueryStore(), Memo: opts.Cache.MemoStore(),
 	})
 	if opts.RequireMemoryless && !report.Memoryless {
 		if report.Err != nil {
@@ -156,6 +262,7 @@ func Summarize(source, funcName string, opts Options) (*Summary, error) {
 		Budget:      opts.Budget,
 		Faults:      opts.Faults,
 		Merge:       opts.Merge,
+		Disk:        opts.Cache.QueryStore(),
 	}
 	if opts.Vocabulary != "" {
 		v, err := vocab.VocabularyOf(opts.Vocabulary)

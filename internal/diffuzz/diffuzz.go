@@ -3,6 +3,7 @@ package diffuzz
 import (
 	"time"
 
+	"stringloops/internal/diskcache"
 	"stringloops/internal/engine"
 )
 
@@ -53,6 +54,12 @@ type Options struct {
 	// FaultSeed decorrelates fault schedules from generator seeds (default
 	// 0: the schedule for generator seed s is keyed on s alone).
 	FaultSeed uint64
+	// Cache, when non-nil, backs every per-seed query cache with the
+	// persistent tier's query store. The fuzzer is also the tier's own
+	// differential test: cache-on and cache-off runs over the same seeds
+	// must produce identical findings, since a cache can change speed but
+	// never verdicts.
+	Cache *diskcache.Tier
 	// Merge adds the state-merging symbolic executor as a third oracle
 	// (alongside path enumeration and the summary): every input is
 	// cross-checked merged vs enumerated vs concrete, so a merge bug that

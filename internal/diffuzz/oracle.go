@@ -167,11 +167,11 @@ func PrepareTarget(seed uint64, p *Prog, opts *Options) (*Target, *Finding) {
 		t.in.SetFaults(t.faults)
 	}
 	if opts.QCache {
-		t.cache = qcache.New(t.in).SetFaults(t.faults)
+		t.cache = qcache.New(t.in).SetFaults(t.faults).SetDisk(opts.Cache.QueryStore())
 	}
 	if opts.Merge {
 		t.mpaths = map[int]pathSet{}
-		t.mcache = qcache.New(t.in).SetFaults(t.faults)
+		t.mcache = qcache.New(t.in).SetFaults(t.faults).SetDisk(opts.Cache.QueryStore())
 	}
 
 	if f := guard(seed, "frontend", src, nil, false, func() *Finding {

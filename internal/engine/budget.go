@@ -116,6 +116,14 @@ type Budget struct {
 	merges    atomic.Int64
 	mergeItes atomic.Int64
 
+	// diskHits/diskMisses/diskEvictions account for the persistent
+	// cross-process cache tier (internal/diskcache). Accounting only, like
+	// the in-memory cache counters above, so warm and cold runs reconcile
+	// against one budget.
+	diskHits      atomic.Int64
+	diskMisses    atomic.Int64
+	diskEvictions atomic.Int64
+
 	// done caches the first observed exhaustion so later polls are cheap
 	// and the reported cause is stable.
 	done atomic.Pointer[error]
@@ -137,6 +145,9 @@ type Budget struct {
 	mCacheMisses  *obs.Counter
 	mMerges       *obs.Counter
 	mMergeItes    *obs.Counter
+	mDiskHits     *obs.Counter
+	mDiskMisses   *obs.Counter
+	mDiskEvicts   *obs.Counter
 }
 
 // NewBudget builds a budget from a context and limits. A nil context means
@@ -181,6 +192,9 @@ func (b *Budget) SetObs(t *obs.Tracer, m *obs.Metrics) *Budget {
 	b.mCacheMisses = m.Counter(obs.MQCacheMisses)
 	b.mMerges = m.Counter(obs.MSymexMerges)
 	b.mMergeItes = m.Counter(obs.MSymexMergeItes)
+	b.mDiskHits = m.Counter(obs.MDiskHits)
+	b.mDiskMisses = m.Counter(obs.MDiskMisses)
+	b.mDiskEvicts = m.Counter(obs.MDiskEvictions)
 	return b
 }
 
@@ -324,6 +338,54 @@ func (b *Budget) AddMergeItes(n int64) {
 		b.mergeItes.Add(n)
 		b.mMergeItes.Add(n)
 	}
+}
+
+// AddDiskHits charges n persistent-cache hits (accounting only).
+func (b *Budget) AddDiskHits(n int64) {
+	if b != nil {
+		b.diskHits.Add(n)
+		b.mDiskHits.Add(n)
+	}
+}
+
+// AddDiskMisses charges n persistent-cache misses (accounting only).
+func (b *Budget) AddDiskMisses(n int64) {
+	if b != nil {
+		b.diskMisses.Add(n)
+		b.mDiskMisses.Add(n)
+	}
+}
+
+// AddDiskEvictions charges n persistent-cache evictions (accounting only).
+func (b *Budget) AddDiskEvictions(n int64) {
+	if b != nil {
+		b.diskEvictions.Add(n)
+		b.mDiskEvicts.Add(n)
+	}
+}
+
+// DiskHits returns the persistent-cache hits charged so far.
+func (b *Budget) DiskHits() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.diskHits.Load()
+}
+
+// DiskMisses returns the persistent-cache misses charged so far.
+func (b *Budget) DiskMisses() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.diskMisses.Load()
+}
+
+// DiskEvictions returns the persistent-cache evictions charged so far.
+func (b *Budget) DiskEvictions() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.diskEvictions.Load()
 }
 
 // Merges returns the symbolic-state merges charged so far.

@@ -55,6 +55,11 @@ const (
 	// CegisReject rejects a candidate skeleton outright, simulating a
 	// burst of spurious verifier rejections.
 	CegisReject
+	// DiskCacheIO fails a persistent-cache file operation (load or save),
+	// simulating a torn disk, a full filesystem, or a corrupted cache file.
+	// A firing degrades to a cold start or an unsaved cache — never a wrong
+	// answer — so the site is skip-safe.
+	DiskCacheIO
 
 	numSites
 )
@@ -67,6 +72,7 @@ var siteNames = [numSites]string{
 	SymexForkFail:    "symex.fork-fail",
 	SymexPanic:       "symex.panic",
 	CegisReject:      "cegis.reject",
+	DiskCacheIO:      "diskcache.io",
 }
 
 // Sites lists every defined site, in declaration order.

@@ -17,12 +17,15 @@
 package memoryless
 
 import (
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"stringloops/internal/bv"
 	"stringloops/internal/cir"
+	"stringloops/internal/diskcache"
 	"stringloops/internal/engine"
 	"stringloops/internal/faultpoint"
 	"stringloops/internal/obs"
@@ -134,6 +137,14 @@ type VerifyOptions struct {
 	// Merge enables state merging in the bounded-equivalence symbolic
 	// execution (symex.Engine.Merge).
 	Merge bool
+	// Disk attaches the persistent query store to the bounded check's query
+	// cache (write-through canonical verdicts; nil = off).
+	Disk *diskcache.Store
+	// Memo attaches the whole-verdict memo store: the bounded equivalence
+	// check's outcome is keyed by the loop's canonical hash, so re-verifying
+	// a structurally known loop skips symbolic execution and solving
+	// entirely. Budget-classified failures are never memoized (nil = off).
+	Memo *diskcache.Store
 }
 
 // VerifyWith is the fully-optioned verification entry point; the stacked
@@ -170,7 +181,7 @@ func VerifyWith(loop *cir.Func, opts VerifyOptions) Report {
 		return done(false, nil, "inference: "+reason)
 	}
 
-	ok, cex, err := checkEquivalence(loop, spec, maxLen, opts)
+	ok, cex, err := checkEquivalenceMemo(loop, spec, maxLen, opts)
 	if err != nil {
 		r := done(false, spec, err.Error())
 		if errors.Is(err, ErrTimeout) {
@@ -392,12 +403,83 @@ func (spec *Spec) missResult(k int) vocab.Result {
 	}
 }
 
+// checkEquivalenceMemo wraps checkEquivalence with the whole-verdict memo
+// DB. The key is the loop's canonical structural hash plus the parameters
+// that shape the verdict (bound, merging); the value records exactly what a
+// live check would have produced — the verified direction and miss behaviour
+// (checkEquivalence refines them on success) or the counterexample bytes.
+// Only deterministic outcomes are stored: an error (budget exhaustion, an
+// unsupported construct) computes live every time, so a transiently starved
+// run can never freeze a wrong verdict into the cache. Concurrent drivers
+// verifying the same loop collapse to one computation via the store's
+// singleflight.
+func checkEquivalenceMemo(loop *cir.Func, spec *Spec, maxLen int, opts VerifyOptions) (bool, []byte, error) {
+	if opts.Memo == nil {
+		return checkEquivalence(loop, spec, maxLen, opts)
+	}
+	key := fmt.Sprintf("mv1:%s:%d:%t", cir.CanonicalHash(loop), maxLen, opts.Merge)
+	var (
+		computed bool
+		ok       bool
+		cex      []byte
+		err      error
+	)
+	raw, cached := opts.Memo.Do(opts.Budget, key, func() ([]byte, bool) {
+		computed = true
+		ok, cex, err = checkEquivalence(loop, spec, maxLen, opts)
+		if err != nil {
+			return nil, false
+		}
+		if ok {
+			return []byte(fmt.Sprintf("eq %d %d", spec.Dir, spec.Miss)), true
+		}
+		return []byte("ne " + hex.EncodeToString(cex)), true
+	})
+	if computed {
+		return ok, cex, err
+	}
+	if cached {
+		if ok, cex, decoded := decodeVerdict(raw, spec); decoded {
+			return ok, cex, nil
+		}
+	}
+	// A failed shared flight or an undecodable entry: compute live.
+	return checkEquivalence(loop, spec, maxLen, opts)
+}
+
+// decodeVerdict parses a memoized verdict, applying the verified direction
+// and miss behaviour to spec exactly as a live check would. Corrupt entries
+// report decoded=false and are ignored.
+func decodeVerdict(raw []byte, spec *Spec) (ok bool, cex []byte, decoded bool) {
+	s := string(raw)
+	if rest, found := strings.CutPrefix(s, "eq "); found {
+		var dir, miss int
+		if _, err := fmt.Sscanf(rest, "%d %d", &dir, &miss); err != nil {
+			return false, nil, false
+		}
+		if dir < int(Forward) || dir > int(Backward) || miss < int(MissEnd) || miss > int(MissStart) {
+			return false, nil, false
+		}
+		spec.Dir = Direction(dir)
+		spec.Miss = Miss(miss)
+		return true, nil, true
+	}
+	if rest, found := strings.CutPrefix(s, "ne "); found {
+		cex, err := hex.DecodeString(rest)
+		if err != nil {
+			return false, nil, false
+		}
+		return false, cex, true
+	}
+	return false, nil, false
+}
+
 // checkEquivalence discharges the bounded check: loop ≡ spec on all strings
 // of length <= maxLen, trying forward then backward traversal.
 func checkEquivalence(loop *cir.Func, spec *Spec, maxLen int, opts VerifyOptions) (bool, []byte, error) {
 	budget, faults := opts.Budget, opts.Faults
 	bvin := bv.NewInterner().SetBudget(budget).SetFaults(faults)
-	cache := qcache.New(bvin).SetFaults(faults)
+	cache := qcache.New(bvin).SetFaults(faults).SetDisk(opts.Disk)
 	buf := symex.SymbolicString(bvin, "s", maxLen)
 	eng := &symex.Engine{Objects: [][]*bv.Term{buf}, CheckFeasibility: true, Merge: opts.Merge, In: bvin, Budget: budget, Cache: cache, Faults: faults}
 	paths, err := eng.Run(loop, []symex.Value{symex.PtrValue(0, bvin.Int32(0))}, bv.True)

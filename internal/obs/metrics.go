@@ -58,10 +58,13 @@ const (
 	MSupAttempts     = "supervise.attempts"
 	MSupRetries      = "supervise.retries"
 	MSupPanics       = "supervise.panics"
+	MDiskHits        = "diskcache.hits"
+	MDiskMisses      = "diskcache.misses"
+	MDiskEvictions   = "diskcache.evictions"
 	// Per-rung and per-site counters append their name:
 	// supervise.rung.<rung>, faultpoint.fired.<site>.
-	MSupRungPrefix   = "supervise.rung."
-	MFaultPrefix     = "faultpoint.fired."
+	MSupRungPrefix = "supervise.rung."
+	MFaultPrefix   = "faultpoint.fired."
 )
 
 // Counter is a monotone atomic counter. The nil Counter discards adds and

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"stringloops/internal/bv"
+	"stringloops/internal/diskcache"
 	"stringloops/internal/engine"
 	"stringloops/internal/faultpoint"
 	"stringloops/internal/obs"
@@ -98,9 +99,22 @@ func (s *Stats) Add(other Stats) {
 	s.Conflicts += other.Conflicts
 }
 
+// exactEntry is a cached group verdict in canonical form: vals holds the
+// model's values in the group key's canonical variable order (nil on unsat).
+// Storing canonically — rather than under the original variable names —
+// means the entry answers every group with the same structure, whatever
+// names its interner happened to mint, and is exactly the payload the disk
+// tier persists.
 type exactEntry struct {
 	status sat.Status
-	model  *bv.Assignment // restricted to the group's variables; nil on unsat
+	vals   []uint64
+	// spread marks that the entry's model has been fed into the model-reuse
+	// list. Canonical keys let structurally repeated groups hit the exact map
+	// where they used to miss and solve — and those solves used to seed the
+	// reuse list. Releasing the model on the first hit (once, so hot entries
+	// don't flood the bounded list with duplicates) keeps the reuse list as
+	// diverse as it was under ordinal keys.
+	spread bool
 }
 
 // Cache is a per-pipeline solver chain: slicer, reuse cache and incremental
@@ -109,14 +123,26 @@ type Cache struct {
 	in *bv.Interner
 
 	mu sync.Mutex
-	// ids interns each distinct conjunct (by pointer) to a small integer;
-	// sorted ID sets are the normalized query keys.
-	ids    map[*bv.Bool]int
-	nextID int
+	// ids interns each distinct conjunct to a small integer. The pointer map
+	// is the fast path; canonIDs keys the same IDs by canonical serialization,
+	// so a conjunct's ID is a function of its structure, not of interning
+	// order. Sorted ID sets normalize groups for the subset-unsat rule.
+	ids      map[*bv.Bool]int
+	canonIDs map[string]int
+	nextID   int
+	// conjCanon memoizes each conjunct's canonical serialization (original
+	// variable names kept — see canon.go).
+	conjCanon map[*bv.Bool]string
+	// groupKeys memoizes the canonical group key per sorted ID set.
+	groupKeys map[string]groupKey
 	// conjVars memoizes the deduped, sorted, sort-tagged variable names of
 	// each conjunct.
 	conjVars map[*bv.Bool][]string
-	exact    map[string]exactEntry
+	// exact maps canonical group keys to verdicts. The canonical key is
+	// interner-independent, so with a disk store attached the map doubles as
+	// the write-through front of the persistent tier.
+	exact map[string]exactEntry
+	disk  *diskcache.Store
 	// unsatCores holds sorted conjunct-ID sets proven unsat; any superset
 	// is unsat too.
 	unsatCores [][]int
@@ -144,12 +170,27 @@ type Cache struct {
 // later passed to CheckSat/IsValid must be built by that interner.
 func New(in *bv.Interner) *Cache {
 	return &Cache{
-		in:       in,
-		ids:      map[*bv.Bool]int{},
-		conjVars: map[*bv.Bool][]string{},
-		exact:    map[string]exactEntry{},
-		solver:   bv.NewSolver(),
+		in:        in,
+		ids:       map[*bv.Bool]int{},
+		canonIDs:  map[string]int{},
+		conjCanon: map[*bv.Bool]string{},
+		groupKeys: map[string]groupKey{},
+		conjVars:  map[*bv.Bool][]string{},
+		exact:     map[string]exactEntry{},
+		solver:    bv.NewSolver(),
 	}
+}
+
+// SetDisk attaches the persistent query store: verdicts are written through
+// on every remember and consulted (after the in-memory exact map, before the
+// scan rules) on every miss, so a warm -cache-dir answers structurally
+// repeated queries without solving — across pipelines and across processes.
+// Returns the cache for chaining; a nil store leaves the tier disabled.
+func (c *Cache) SetDisk(d *diskcache.Store) *Cache {
+	c.mu.Lock()
+	c.disk = d
+	c.mu.Unlock()
+	return c
 }
 
 // SetFaults arms the QCacheMiss injection site: a firing makes one group
@@ -275,19 +316,30 @@ func (c *Cache) IsValid(b *engine.Budget, maxConflicts int64, f *bv.Bool) (valid
 // checkGroup decides one independent slice, consulting the reuse rules
 // before the solver. Caller holds c.mu.
 func (c *Cache) checkGroup(b *engine.Budget, maxConflicts int64, g group) (sat.Status, *bv.Assignment) {
-	key := idKey(g.ids)
+	gk := c.groupKeyOf(g)
 
 	if c.faults.Fire(faultpoint.QCacheMiss) {
 		// Injected miss storm: bypass every reuse rule and pay the solver.
 		c.stats.Misses++
 		b.AddCacheMisses(1)
-		return c.solveGroup(b, maxConflicts, key, g)
+		return c.solveGroup(b, maxConflicts, gk, g)
 	}
 
-	if e, ok := c.exact[key]; ok {
-		c.stats.ExactHits++
-		b.AddCacheHits(1)
-		return e.status, e.model
+	if e, ok := c.exact[gk.key]; ok {
+		return c.exactHit(b, gk, e)
+	}
+
+	// Persistent tier: a verdict stored by another pipeline — or another
+	// process — under the same canonical key. Decoded entries are promoted
+	// into the exact map; an undecodable entry is ignored (cold miss).
+	if c.disk != nil {
+		if raw, ok := c.disk.Get(b, gk.key); ok {
+			if st, vals, ok := decodeEntry(raw, len(gk.vars)); ok {
+				e := exactEntry{status: st, vals: vals}
+				c.storeExact(gk.key, e)
+				return c.exactHit(b, gk, e)
+			}
+		}
 	}
 
 	// Counterexample reuse: a cached model under which every conjunct of
@@ -306,7 +358,7 @@ func (c *Cache) checkGroup(b *engine.Budget, maxConflicts int64, g group) (sat.S
 			c.stats.ModelHits++
 			b.AddCacheHits(1)
 			restricted := restrictModel(m, g.vars)
-			c.remember(key, sat.Sat, restricted)
+			c.remember(b, gk, sat.Sat, restricted)
 			return sat.Sat, restricted
 		}
 	}
@@ -318,19 +370,42 @@ func (c *Cache) checkGroup(b *engine.Budget, maxConflicts int64, g group) (sat.S
 		if subsetOf(core, g.ids) {
 			c.stats.SubsetHits++
 			b.AddCacheHits(1)
-			c.remember(key, sat.Unsat, nil)
+			c.remember(b, gk, sat.Unsat, nil)
 			return sat.Unsat, nil
 		}
 	}
 
 	c.stats.Misses++
 	b.AddCacheMisses(1)
-	return c.solveGroup(b, maxConflicts, key, g)
+	return c.solveGroup(b, maxConflicts, gk, g)
+}
+
+// exactHit answers a group from an exact entry, translating the canonical
+// values into the group's own variable names. The first hit of a Sat entry
+// also releases the model into the model-reuse list: under ordinal keys this
+// group would have missed and its solve would have seeded the list, so the
+// release keeps the reuse rule's coverage intact. Caller holds c.mu.
+func (c *Cache) exactHit(b *engine.Budget, gk groupKey, e exactEntry) (sat.Status, *bv.Assignment) {
+	c.stats.ExactHits++
+	b.AddCacheHits(1)
+	if e.status != sat.Sat {
+		return e.status, nil
+	}
+	m := gk.modelFor(e.vals)
+	if !e.spread {
+		e.spread = true
+		c.exact[gk.key] = e
+		if len(c.models) >= maxModels {
+			c.models = c.models[1:]
+		}
+		c.models = append(c.models, m)
+	}
+	return sat.Sat, m
 }
 
 // solveGroup sends one slice to the incremental solver under assumption
 // literals and caches the verdict. Caller holds c.mu.
-func (c *Cache) solveGroup(b *engine.Budget, maxConflicts int64, key string, g group) (sat.Status, *bv.Assignment) {
+func (c *Cache) solveGroup(b *engine.Budget, maxConflicts int64, gk groupKey, g group) (sat.Status, *bv.Assignment) {
 	if c.solver.NumSATVars() > maxSolverVars {
 		c.solver = bv.NewSolver()
 		c.solver.Faults = c.faults
@@ -367,14 +442,14 @@ func (c *Cache) solveGroup(b *engine.Budget, maxConflicts int64, key string, g g
 		// restrict to this group's variables before caching or merging —
 		// stale assignments to other queries' variables must not leak.
 		restricted := restrictModel(c.solver.ModelAssignment(), g.vars)
-		c.remember(key, sat.Sat, restricted)
+		c.remember(b, gk, sat.Sat, restricted)
 		if len(c.models) >= maxModels {
 			c.models = c.models[1:]
 		}
 		c.models = append(c.models, restricted)
 		return sat.Sat, restricted
 	case sat.Unsat:
-		c.remember(key, sat.Unsat, nil)
+		c.remember(b, gk, sat.Unsat, nil)
 		if len(c.unsatCores) >= maxUnsatCores {
 			c.unsatCores = c.unsatCores[1:]
 		}
@@ -386,13 +461,28 @@ func (c *Cache) solveGroup(b *engine.Budget, maxConflicts int64, key string, g g
 	}
 }
 
-// remember stores an exact entry, resetting the map wholesale at the cap
+// remember stores a verdict under its canonical key — in the exact map and,
+// write-through, in the persistent store when one is attached. The model (a
+// restricted, original-named assignment; nil on unsat) is projected into
+// canonical variable order first.
+func (c *Cache) remember(b *engine.Budget, gk groupKey, st sat.Status, model *bv.Assignment) {
+	var vals []uint64
+	if st == sat.Sat {
+		vals = gk.canonVals(model)
+	}
+	c.storeExact(gk.key, exactEntry{status: st, vals: vals})
+	if c.disk != nil {
+		c.disk.Put(b, gk.key, encodeEntry(st, vals))
+	}
+}
+
+// storeExact inserts into the exact map, resetting it wholesale at the cap
 // (simple and O(1) amortized; precision rebuilds quickly).
-func (c *Cache) remember(key string, st sat.Status, model *bv.Assignment) {
+func (c *Cache) storeExact(key string, e exactEntry) {
 	if len(c.exact) >= maxExact {
 		c.exact = map[string]exactEntry{}
 	}
-	c.exact[key] = exactEntry{status: st, model: model}
+	c.exact[key] = e
 }
 
 // restrictModel projects a full assignment onto the given tagged variable
@@ -440,13 +530,22 @@ func subsetOf(a, b []int) bool {
 	return true
 }
 
-// id interns a conjunct pointer to its small-integer ID. Caller holds c.mu.
+// id interns a conjunct to its small-integer ID by canonical content: two
+// conjuncts with the same structure get the same ID regardless of how (or in
+// what order) they were interned. Within one interner hash-consing makes
+// structural and pointer identity coincide, so the pointer map is a pure
+// fast path over the canonical map. Caller holds c.mu.
 func (c *Cache) id(cj *bv.Bool) int {
 	if id, ok := c.ids[cj]; ok {
 		return id
 	}
-	id := c.nextID
-	c.nextID++
+	key := c.conjKey(cj)
+	id, ok := c.canonIDs[key]
+	if !ok {
+		id = c.nextID
+		c.nextID++
+		c.canonIDs[key] = id
+	}
 	c.ids[cj] = id
 	return id
 }

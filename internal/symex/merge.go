@@ -56,6 +56,7 @@ type mergeSched struct {
 	parks map[*cir.Block][]*state
 	order []*cir.Block // non-empty buckets, first-arrival order
 	joins map[*cir.Block]cir.JoinKind
+	live  map[*cir.Block][]bool // park-point register liveness (liveness.go)
 	rpo   map[*cir.Block]int
 	reach map[*cir.Block]map[*cir.Block]bool // strict: a reach b via >= 1 edge
 }
@@ -66,6 +67,7 @@ func newMergeSched(e *Engine, f *cir.Func) *mergeSched {
 		f:     f,
 		parks: map[*cir.Block][]*state{},
 		joins: cir.JoinPoints(f),
+		live:  parkLiveSets(f),
 		rpo:   map[*cir.Block]int{},
 		reach: map[*cir.Block]map[*cir.Block]bool{},
 	}
@@ -104,13 +106,16 @@ func newMergeSched(e *Engine, f *cir.Func) *mergeSched {
 
 // push parks a block-entry state arriving at a join point, resolving its
 // phis immediately (while prev still names the incoming edge — after a
-// merge the edge is ambiguous); everything else is runnable.
+// merge the edge is ambiguous) and pruning it to its live locations (so
+// per-iteration temporaries can't block folding — see liveness.go);
+// everything else is runnable.
 func (m *mergeSched) push(s *state) {
 	if s.idx == 0 && m.joins[s.block] != 0 {
 		if err := m.e.resolvePhis(s, m.f); err != nil {
 			m.e.emit(s, Value{}, err)
 			return
 		}
+		pruneDead(s, m.live[s.block])
 		if len(m.parks[s.block]) == 0 {
 			m.order = append(m.order, s.block)
 		}
@@ -175,9 +180,13 @@ func (m *mergeSched) pickBucket() *cir.Block {
 }
 
 // mergeStates greedily folds parked states in arrival order: each state
-// merges into the first compatible group, or opens a new one. Arrival order
-// is deterministic (the executor is single-threaded), so the grouping — and
-// every ite term it builds — is too.
+// merges into the first compatible group, or opens a new one. A subsumption
+// fixpoint then re-folds the surviving groups pairwise: merging can create
+// new compatibility (an unassigned zero-value slot adopts the other side's
+// kind), so one greedy pass over arrival order is not maximal. Arrival
+// order and the index-ordered fixpoint are both deterministic (the executor
+// is single-threaded), so the grouping — and every ite term it builds — is
+// too.
 func (e *Engine) mergeStates(parked []*state) []*state {
 	var groups []*state
 outer:
@@ -189,6 +198,20 @@ outer:
 			}
 		}
 		groups = append(groups, s)
+	}
+	for changed := true; changed && len(groups) > 1; {
+		changed = false
+	pairs:
+		for i := 0; i < len(groups); i++ {
+			for j := i + 1; j < len(groups); j++ {
+				if ns, ok := e.mergeTwo(groups[i], groups[j]); ok {
+					groups[i] = ns
+					groups = append(groups[:j], groups[j+1:]...)
+					changed = true
+					break pairs
+				}
+			}
+		}
 	}
 	return groups
 }

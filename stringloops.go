@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"stringloops/internal/core"
+	"stringloops/internal/diskcache"
 )
 
 // Options configures Summarize. The zero value matches the paper's main
@@ -57,6 +58,14 @@ type Options struct {
 	// pipeline: paths that reconverge at control-flow join points fold into
 	// one state with ite-merged values instead of being enumerated.
 	Merge bool
+	// CacheDir, when non-empty, backs the run with the persistent cache
+	// tier: solver counterexamples (keyed by canonical, interner-independent
+	// query hashes) and whole-loop summary memos (keyed by the loop's
+	// canonical structural hash) are warm-started from the directory before
+	// the run and written back after it, so repeated runs — in this process
+	// or another — skip work they have already done. A corrupt or missing
+	// cache file degrades to a cold start, never a wrong answer.
+	CacheDir string
 }
 
 // Summary is a synthesised loop summary.
@@ -93,12 +102,22 @@ func (o Options) toCore() core.Options {
 // Summarize synthesises a summary for the first char *f(char *) function in
 // the C source.
 func Summarize(source string, opts Options) (*Summary, error) {
-	return core.Summarize(source, "", opts.toCore())
+	return SummarizeFunc(source, "", opts)
 }
 
 // SummarizeFunc synthesises a summary for the named function.
 func SummarizeFunc(source, funcName string, opts Options) (*Summary, error) {
-	return core.Summarize(source, funcName, opts.toCore())
+	copts := opts.toCore()
+	tier, err := diskcache.Open(opts.CacheDir, nil)
+	if err != nil {
+		return nil, err
+	}
+	copts.Cache = tier
+	s, serr := core.Summarize(source, funcName, copts)
+	// Persistence is best-effort: a failed snapshot costs the next run a
+	// cold start, never this run's result.
+	_ = tier.Close()
+	return s, serr
 }
 
 // VerifyMemoryless runs the §3 bounded memorylessness verification on the
@@ -152,7 +171,15 @@ type PanicError = core.PanicError
 // instead of failing outright. With default options it attempts each rung up
 // to three times under the same Timeout as Summarize.
 func SummarizeResilient(source, funcName string, opts Options) Outcome {
-	return core.SummarizeResilient(source, funcName, core.ResilientOptions{Options: opts.toCore()})
+	copts := opts.toCore()
+	tier, err := diskcache.Open(opts.CacheDir, nil)
+	if err != nil {
+		return Outcome{Rung: RungFailed, Err: err}
+	}
+	copts.Cache = tier
+	out := core.SummarizeResilient(source, funcName, core.ResilientOptions{Options: copts})
+	_ = tier.Close()
+	return out
 }
 
 // IdiomRewrite is the outcome of RewriteIdiom.
