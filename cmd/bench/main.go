@@ -83,6 +83,9 @@ type run struct {
 	Tests         int     `json:"tests"`           // generated test inputs (last rep)
 	Paths         int     `json:"paths,omitempty"` // terminal paths (last rep)
 	Merge         bool    `json:"merge,omitempty"` // state-merging executor
+	VN            bool    `json:"vn"`              // value-numbering rewrite layer
+	VNHits        int64   `json:"vn_hits_per_op,omitempty"`
+	IteFusions    int64   `json:"ite_fusions_per_op,omitempty"`
 }
 
 // report is the BENCH_3.json schema.
@@ -104,6 +107,7 @@ func main() {
 		reps  = flag.Int("reps", 3, "repetitions per configuration")
 		obsL  = flag.Bool("obs", false, "run the observability-overhead lane and write BENCH_5.json instead")
 		mrg   = flag.Bool("merge", false, "run the state-merging lane and write BENCH_6.json instead")
+		vnL   = flag.Bool("vn", false, "run the value-numbering lane and write BENCH_8.json instead")
 
 		persist = flag.Bool("persist", false, "run the cross-process persistent-cache lane and write BENCH_7.json instead")
 		sample  = flag.Int("sample", 0, "with -persist: only the first N corpus loops (0 = all 115)")
@@ -117,10 +121,10 @@ func main() {
 	}
 	if *short {
 		*reps = 1
-		// The merge lane keeps n=8: its gate compares enumeration at n to
-		// merging at 2n, and below the n=8 crossover enumeration is too
+		// The merge and vn lanes keep n=8: their gates run the merging
+		// executor at 2n, and below the n=8 crossover enumeration is too
 		// cheap for the comparison to mean anything.
-		if !*mrg {
+		if !*mrg && !*vnL {
 			*n = 6
 		}
 	}
@@ -136,6 +140,13 @@ func main() {
 			*out = "BENCH_6.json"
 		}
 		mergeLane(*n, *reps, *check, *out)
+		return
+	}
+	if *vnL {
+		if *out == "BENCH_3.json" {
+			*out = "BENCH_8.json"
+		}
+		vnLane(*n, *reps, *check, *out)
 		return
 	}
 	if *persist {
@@ -246,6 +257,64 @@ func mergeLane(n, reps int, check bool, out string) {
 		}
 		fmt.Printf("merge check ok: merged n=%d at %.2fx under enumerated n=%d; same-length path ratio %.1fx\n",
 			2*n, rep.NsRatioEnumOverMerged, n, rep.PathRatio)
+	}
+}
+
+// vnReport is the BENCH_8.json schema: the merged double-length run (the
+// BENCH_6 configuration) with the value-numbering rewrite layer off against
+// the same run with it on.
+type vnReport struct {
+	Benchmark string `json:"benchmark"`
+	Loop      string `json:"loop"`
+	GoVersion string `json:"go_version"`
+	Runs      []run  `json:"runs"`
+	// NsRatioOffOverOn and QueryRatioOffOverOn compare the vn-off run to the
+	// vn-on run at merged length 2n; the gate passes when either the wall
+	// time drops >= 1.5x or the solver queries drop >= 2x.
+	NsRatioOffOverOn    float64 `json:"ns_ratio_off_over_on"`
+	QueryRatioOffOverOn float64 `json:"query_ratio_off_over_on"`
+}
+
+// vnLane measures the value-numbering and ite-rewrite layer on the merging
+// executor at double length — the exact configuration whose merged guards
+// and ite-valued cursors the rewrites target. With check, vn-on must either
+// cut wall time >= 1.5x or solver queries >= 2x against vn-off, and must
+// actually have exercised the memo table (non-zero hits).
+func vnLane(n, reps int, check bool, out string) {
+	f := lower()
+	off := vanillaRun("MergeTwoNVnOff", f, 2*n, reps, kleebench.Config{QCache: true, Merge: true, NoVN: true})
+	on := vanillaRun("MergeTwoNVn", f, 2*n, reps, kleebench.Config{QCache: true, Merge: true})
+
+	rep := vnReport{
+		Benchmark:           "BenchmarkValueNumbering",
+		Loop:                "figure1/skip_whitespace",
+		GoVersion:           runtime.Version(),
+		Runs:                []run{off, on},
+		NsRatioOffOverOn:    ratio(off.NsPerOp, on.NsPerOp),
+		QueryRatioOffOverOn: ratio(off.SolverQueries, on.SolverQueries),
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	enc = append(enc, '\n')
+	fmt.Print(string(enc))
+	if out != "" {
+		if err := os.WriteFile(out, enc, 0o644); err != nil {
+			fatal("write %s: %v", out, err)
+		}
+	}
+	if check {
+		if on.VNHits == 0 {
+			fatal("vn check failed: value-numbering memo recorded zero hits")
+		}
+		if rep.NsRatioOffOverOn < 1.5 && rep.QueryRatioOffOverOn < 2.0 {
+			fatal("vn check failed: ns off/on = %.2f (< 1.5) and queries off/on = %.2f (< 2.0) at merged n=%d",
+				rep.NsRatioOffOverOn, rep.QueryRatioOffOverOn, 2*n)
+		}
+		fmt.Printf("vn check ok: ns off/on = %.2f, queries off/on = %.2f, vn hits %d, ite rewrites %d at merged n=%d\n",
+			rep.NsRatioOffOverOn, rep.QueryRatioOffOverOn, on.VNHits, on.IteFusions, 2*n)
 	}
 }
 
@@ -627,8 +696,8 @@ func lower() *cir.Func {
 // feasibility checks, averaging over reps. The loop is re-lowered per rep so
 // each rep gets a fresh interner (matching the per-pipeline cache scope).
 func vanillaRun(name string, f *cir.Func, n, reps int, cfg kleebench.Config) run {
-	r := run{Name: name, Mode: "vanilla", QCache: cfg.QCache, Length: n, Reps: reps, Merge: cfg.Merge}
-	var ns, queries, conflicts, hits, groups int64
+	r := run{Name: name, Mode: "vanilla", QCache: cfg.QCache, Length: n, Reps: reps, Merge: cfg.Merge, VN: !cfg.NoVN}
+	var ns, queries, conflicts, hits, groups, vnhits, fusions int64
 	for i := 0; i < reps; i++ {
 		f = lower()
 		m := kleebench.VanillaWith(f, n, 10*time.Minute, cfg)
@@ -640,12 +709,16 @@ func vanillaRun(name string, f *cir.Func, n, reps int, cfg kleebench.Config) run
 		conflicts += m.Conflicts
 		hits += m.Cache.Hits()
 		groups += m.Cache.Hits() + m.Cache.Misses
+		vnhits += m.VNHits
+		fusions += m.IteFusions
 		r.Tests = m.Tests
 		r.Paths = m.Paths
 	}
 	r.NsPerOp = ns / int64(reps)
 	r.SolverQueries = queries / int64(reps)
 	r.Conflicts = conflicts / int64(reps)
+	r.VNHits = vnhits / int64(reps)
+	r.IteFusions = fusions / int64(reps)
 	if groups > 0 {
 		r.CacheHitRate = float64(hits) / float64(groups)
 	}

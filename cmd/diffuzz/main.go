@@ -35,7 +35,9 @@ func main() {
 		nomin    = flag.Bool("nomin", false, "skip finding minimization")
 		qcache   = cliflags.QCache(nil, false)
 		merge    = cliflags.Merge(nil, false)
+		vn       = cliflags.VN(nil, true)
 		cacheDir = cliflags.CacheDir(nil)
+		cacheMax = cliflags.CacheMaxBytes(nil)
 		faults   = flag.Float64("faults", 0, "fault-injection intensity in [0,1]: seeded skip-safe fault storms over the pipeline under test (0 disables)")
 		fseed    = flag.Uint64("faultseed", 0, "decorrelate fault schedules from generator seeds")
 		verbose  = flag.Bool("v", false, "print per-finding sources even when clean")
@@ -47,7 +49,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "diffuzz: %v\n", err)
 		os.Exit(2)
 	}
-	tier, err := diskcache.Open(*cacheDir, nil)
+	tier, err := diskcache.OpenSized(*cacheDir, *cacheMax, nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "diffuzz: %v\n", err)
 		os.Exit(2)
@@ -64,6 +66,7 @@ func main() {
 		NoMinimize:   *nomin,
 		QCache:       *qcache,
 		Merge:        *merge,
+		NoVN:         !*vn,
 		Cache:        tier,
 		FaultRate:    *faults,
 		FaultSeed:    *fseed,

@@ -44,12 +44,14 @@ func main() {
 	sample := flag.Int("sample", 0, "with -corpus: only the first N loops (0 = all)")
 	jobs := cliflags.Jobs(nil, 1)
 	merge := cliflags.Merge(nil, false)
+	vn := cliflags.VN(nil, true)
 	cacheDir := cliflags.CacheDir(nil)
+	cacheMaxBytes := cliflags.CacheMaxBytes(nil)
 	obsFlags := cliflags.Obs(nil)
 	flag.Parse()
 
 	if *corpus {
-		os.Exit(runCorpus(*sample, *jobs, *timeout, *maxSize, *merge, *cacheDir, obsFlags))
+		os.Exit(runCorpus(*sample, *jobs, *timeout, *maxSize, *merge, *vn, *cacheDir, *cacheMaxBytes, obsFlags))
 	}
 
 	if flag.NArg() != 1 {
@@ -100,7 +102,9 @@ func main() {
 		Timeout:           *timeout,
 		RequireMemoryless: *requireMem,
 		Merge:             *merge,
+		NoVN:              !*vn,
 		CacheDir:          *cacheDir,
+		CacheMaxBytes:     *cacheMaxBytes,
 	}
 
 	if *resilient {
@@ -128,13 +132,13 @@ func main() {
 // session's observability handles, then reconciles the report's counter
 // totals against the summed budget spend: both sides count through the same
 // engine.Budget mirrors, so any drift means an instrumentation bug.
-func runCorpus(sample, jobs int, timeout time.Duration, maxSize int, merge bool, cacheDir string, obsFlags *obs.Flags) int {
+func runCorpus(sample, jobs int, timeout time.Duration, maxSize int, merge, vn bool, cacheDir string, cacheMaxBytes int64, obsFlags *obs.Flags) int {
 	sess, err := obsFlags.Start()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loopsum: %v\n", err)
 		return 2
 	}
-	tier, err := diskcache.Open(cacheDir, nil)
+	tier, err := diskcache.OpenSized(cacheDir, cacheMaxBytes, nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loopsum: %v\n", err)
 		return 2
@@ -156,6 +160,7 @@ func runCorpus(sample, jobs int, timeout time.Duration, maxSize int, merge bool,
 			Timeout:        timeout,
 			Budget:         budget,
 			Merge:          merge,
+			NoVN:           !vn,
 			Cache:          tier,
 		})
 		switch {
@@ -198,6 +203,7 @@ func runCorpus(sample, jobs int, timeout time.Duration, maxSize int, merge bool,
 func reconcile(sess *obs.Session, budgets []*engine.Budget) error {
 	var conflicts, propagations, forks, nodes, hits, misses int64
 	var dhits, dmisses, devics int64
+	var vnhits, fusions, bhits, scalls, snin, snout int64
 	for _, b := range budgets {
 		conflicts += b.Conflicts()
 		propagations += b.Propagations()
@@ -208,6 +214,12 @@ func reconcile(sess *obs.Session, budgets []*engine.Budget) error {
 		dhits += b.DiskHits()
 		dmisses += b.DiskMisses()
 		devics += b.DiskEvictions()
+		vnhits += b.VNHits()
+		fusions += b.IteFusions()
+		bhits += b.BlastHits()
+		scalls += b.SimplifyCalls()
+		snin += b.SimplifyNodesIn()
+		snout += b.SimplifyNodesOut()
 	}
 	_, totals := sess.Report.Totals()
 	for _, c := range []struct {
@@ -223,6 +235,12 @@ func reconcile(sess *obs.Session, budgets []*engine.Budget) error {
 		{obs.MDiskHits, dhits},
 		{obs.MDiskMisses, dmisses},
 		{obs.MDiskEvictions, devics},
+		{obs.MBVVNHits, vnhits},
+		{obs.MBVIteFusions, fusions},
+		{obs.MBVBlastHits, bhits},
+		{obs.MBVSimplifyCalls, scalls},
+		{obs.MBVSimplifyNodesIn, snin},
+		{obs.MBVSimplifyNodesOut, snout},
 	} {
 		if got := totals[c.name]; got != c.want {
 			return fmt.Errorf("%s: report total %d != budget spend %d", c.name, got, c.want)

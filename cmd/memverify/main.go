@@ -22,7 +22,9 @@ func main() {
 	verbose := flag.Bool("v", false, "per-loop results")
 	jobs := cliflags.Jobs(nil, 1)
 	merge := cliflags.Merge(nil, false)
+	vn := cliflags.VN(nil, true)
 	cacheDir := cliflags.CacheDir(nil)
+	cacheMaxBytes := cliflags.CacheMaxBytes(nil)
 	obsFlags := cliflags.Obs(nil)
 	flag.Parse()
 	sess, err := obsFlags.Start()
@@ -30,7 +32,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "memverify: %v\n", err)
 		os.Exit(2)
 	}
-	tier, err := diskcache.Open(*cacheDir, nil)
+	tier, err := diskcache.OpenSized(*cacheDir, *cacheMaxBytes, nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "memverify: %v\n", err)
 		os.Exit(2)
@@ -53,7 +55,7 @@ func main() {
 		budget := engine.NewBudget(nil, engine.Limits{}).
 			SetObs(item.Tracer(), item.Metrics())
 		reports[i] = memoryless.VerifyWith(f, memoryless.VerifyOptions{
-			MaxLen: *maxLen, Budget: budget, Merge: *merge,
+			MaxLen: *maxLen, Budget: budget, Merge: *merge, NoVN: !*vn,
 			Disk: tier.QueryStore(), Memo: tier.MemoStore(),
 		})
 		outcome := "rejected"

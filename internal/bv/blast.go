@@ -31,6 +31,11 @@ type Solver struct {
 	// Faults, when non-nil, is handed to the SAT layer per query so the
 	// sat.* injection sites fire under this solver's schedule.
 	Faults *faultpoint.Registry
+	// blastHits counts termBits/boolLits memo hits: sub-formulas whose
+	// Tseitin encoding was reused instead of re-emitted. The structural CNF
+	// cache is keyed on hash-consed node identity, so a hit is O(1) and the
+	// count measures how much encoding work incremental callers save.
+	blastHits int64
 }
 
 // NewSolver returns an empty bit-vector solver.
@@ -115,6 +120,7 @@ func (s *Solver) muxLit(c, a, b sat.Lit) sat.Lit {
 // bits returns the SAT literals representing each bit of t (LSB first).
 func (s *Solver) bits(t *Term) []sat.Lit {
 	if bs, ok := s.termBits[t]; ok {
+		s.blastHits++
 		return bs
 	}
 	var out []sat.Lit
@@ -250,6 +256,7 @@ func (s *Solver) eqLit(a, b []sat.Lit) sat.Lit {
 // lit returns the SAT literal representing the truth of b.
 func (s *Solver) lit(b *Bool) sat.Lit {
 	if l, ok := s.boolLits[b]; ok {
+		s.blastHits++
 		return l
 	}
 	var out sat.Lit
@@ -342,6 +349,10 @@ func (s *Solver) NumSATVars() int { return s.sat.NumVars() }
 // across all queries.
 func (s *Solver) Conflicts() int64 { return s.sat.Conflicts() }
 
+// BlastHits returns the cumulative CNF-encoding memo hits of this solver.
+// Callers flush deltas of this monotone count into engine.Budget.
+func (s *Solver) BlastHits() int64 { return s.blastHits }
+
 // Value returns the concrete value of t under the model found by Check. It
 // must only be called after Check returned Sat. Terms are evaluated
 // recursively against the model's variable assignment, so any term over
@@ -408,6 +419,7 @@ func CheckSatFaults(b *engine.Budget, maxConflicts int64, faults *faultpoint.Reg
 	for _, f := range formulas {
 		s.Assert(f)
 	}
+	b.AddBlastHits(s.BlastHits())
 	st := s.Check()
 	if st != sat.Sat {
 		return st, nil

@@ -26,54 +26,91 @@ package bv
 // already uses.
 
 // SimplifyStats reports the cumulative effect of the pass on one interner.
+// Node accounting piggybacks on the memoized traversal: NodesIn counts each
+// distinct input node the first time the simplifier visits it, NodesOut each
+// distinct result node the first time the simplifier produces it. Counting a
+// node only once per interner keeps repeated calls over a growing path
+// condition O(new suffix) instead of O(whole DAG) per call — the cost a
+// separate counting pass would reintroduce.
 type SimplifyStats struct {
 	Calls    int64 // top-level SimplifyBool/SimplifyTerm invocations
-	NodesIn  int64 // DAG nodes across all inputs
-	NodesOut int64 // DAG nodes across the corresponding outputs
+	NodesIn  int64 // distinct DAG nodes visited across all inputs
+	NodesOut int64 // distinct DAG nodes across the produced results
+	VNHits   int64 // simplification memo-table hits (value numbering)
+	Fusions  int64 // ite-aware rewrites: fusions, pull-ups, guard prunes
 }
 
 // SimplifyStats returns the interner's cumulative simplification counters.
 func (in *Interner) SimplifyStats() SimplifyStats {
 	in.simpMu.Lock()
 	defer in.simpMu.Unlock()
-	return SimplifyStats{Calls: in.simpCalls, NodesIn: in.simpNodesIn, NodesOut: in.simpNodesOut}
+	return SimplifyStats{Calls: in.simpCalls, NodesIn: in.simpNodesIn, NodesOut: in.simpNodesOut,
+		VNHits: in.vnHits, Fusions: in.iteFusions}
 }
 
-// SimplifyBool returns a formula equivalent to b, rewritten bottom-up.
-func (in *Interner) SimplifyBool(b *Bool) *Bool {
-	in.simpMu.Lock()
-	defer in.simpMu.Unlock()
+// vn reports whether the value-numbering rewrites are armed. Callers hold
+// simpMu; the flag itself is atomic so the constructors (which do not hold
+// simpMu) read it too.
+func (in *Interner) vn() bool { return !in.vnOff.Load() }
+
+// simpEnter readies the memo tables and snapshots the vn counters; caller
+// holds simpMu. simpExit charges the call's deltas to the interner budget
+// after simpMu is released (budget adds are atomic, and taking the charge
+// outside simpMu keeps the lock order simpMu → mu one-way).
+func (in *Interner) simpEnter() (hits0, fus0 int64) {
 	if in.simpBoolTab == nil {
 		in.simpBoolTab = map[*Bool]*Bool{}
 		in.simpTermTab = map[*Term]*Term{}
+		in.simpOutBools = map[*Bool]struct{}{}
+		in.simpOutTerms = map[*Term]struct{}{}
 	}
+	return in.vnHits, in.iteFusions
+}
+
+func (in *Interner) simpExit(hits0, fus0, nodesIn, nodesOut int64) {
+	dh, df := in.vnHits-hits0, in.iteFusions-fus0
+	in.simpMu.Unlock()
+	b := in.budgetNow()
+	b.AddSimplify(1, nodesIn, nodesOut)
+	b.AddVNHits(dh)
+	b.AddIteFusions(df)
+}
+
+// SimplifyBool returns a formula equivalent to b, rewritten bottom-up.
+// A memoized call — including one whose children are all memoized — costs
+// O(new nodes), not O(DAG): the fast path callers like symex feasibility
+// checks rely on re-simplifying a grown path condition paying only for the
+// new suffix.
+func (in *Interner) SimplifyBool(b *Bool) *Bool {
+	in.simpMu.Lock()
+	h0, f0 := in.simpEnter()
+	ni0, no0 := in.simpNodesIn, in.simpNodesOut
 	r := in.simpBool(b)
 	in.simpCalls++
-	in.simpNodesIn += countBoolNodes(b)
-	in.simpNodesOut += countBoolNodes(r)
+	in.simpExit(h0, f0, in.simpNodesIn-ni0, in.simpNodesOut-no0)
 	return r
 }
 
 // SimplifyTerm returns a term equivalent to t, rewritten bottom-up.
 func (in *Interner) SimplifyTerm(t *Term) *Term {
 	in.simpMu.Lock()
-	defer in.simpMu.Unlock()
-	if in.simpBoolTab == nil {
-		in.simpBoolTab = map[*Bool]*Bool{}
-		in.simpTermTab = map[*Term]*Term{}
-	}
+	h0, f0 := in.simpEnter()
+	ni0, no0 := in.simpNodesIn, in.simpNodesOut
 	r := in.simpTerm(t)
 	in.simpCalls++
-	in.simpNodesIn += countTermNodes(t)
-	in.simpNodesOut += countTermNodes(r)
+	in.simpExit(h0, f0, in.simpNodesIn-ni0, in.simpNodesOut-no0)
 	return r
 }
 
 // simpBool is the memoized recursive worker. Caller holds simpMu.
 func (in *Interner) simpBool(b *Bool) *Bool {
 	if r, ok := in.simpBoolTab[b]; ok {
+		if in.vn() {
+			in.vnHits++
+		}
 		return r
 	}
+	in.simpNodesIn++
 	var r *Bool
 	switch b.Kind {
 	case BConst, BVar:
@@ -104,6 +141,10 @@ func (in *Interner) simpBool(b *Bool) *Bool {
 		r = b
 	}
 	in.simpBoolTab[b] = r
+	if _, seen := in.simpOutBools[r]; !seen {
+		in.simpOutBools[r] = struct{}{}
+		in.simpNodesOut++
+	}
 	return r
 }
 
@@ -116,6 +157,9 @@ func complementary(a, b *Bool) bool {
 // are already simplified; every recursive call strictly shrinks one side, so
 // the rewrite terminates.
 func (in *Interner) simpEq(x, y *Term) *Bool {
+	if r, ok := in.fuseAtomIte(in.simpEq, x, y); ok {
+		return r
+	}
 	// Normalise the constant (if any) to the right.
 	if _, ok := x.IsConst(); ok {
 		x, y = y, x
@@ -139,6 +183,9 @@ func (in *Interner) simpEq(x, y *Term) *Bool {
 }
 
 func (in *Interner) simpUlt(x, y *Term) *Bool {
+	if r, ok := in.fuseAtomIte(in.simpUlt, x, y); ok {
+		return r
+	}
 	if _, ok := y.IsConst(); ok {
 		if r, ok := in.pushAtomIntoIte(in.simpUlt, x, y); ok {
 			return r
@@ -153,6 +200,9 @@ func (in *Interner) simpUlt(x, y *Term) *Bool {
 }
 
 func (in *Interner) simpUle(x, y *Term) *Bool {
+	if r, ok := in.fuseAtomIte(in.simpUle, x, y); ok {
+		return r
+	}
 	if _, ok := y.IsConst(); ok {
 		if r, ok := in.pushAtomIntoIte(in.simpUle, x, y); ok {
 			return r
@@ -164,6 +214,19 @@ func (in *Interner) simpUle(x, y *Term) *Bool {
 		}
 	}
 	return in.Ule(x, y)
+}
+
+// fuseAtomIte is the comparison-level shared-guard pull-up:
+// atom(ite(c,a1,b1), ite(c,a2,b2)) ⇒ c ? atom(a1,a2) : atom(b1,b2). Both
+// recursive calls strictly shrink both sides, so the rewrite terminates, and
+// comparisons between two values merged under the same path split collapse
+// to a per-branch comparison — typically constant-folding at least one arm.
+func (in *Interner) fuseAtomIte(atom func(a, b *Term) *Bool, x, y *Term) (*Bool, bool) {
+	if !in.vn() || x.Kind != KIte || y.Kind != KIte || x.Cond != y.Cond {
+		return nil, false
+	}
+	in.iteFusions++
+	return in.condBool(x.Cond, atom(x.A, y.A), atom(x.B, y.B)), true
 }
 
 // pushAtomIntoIte rewrites atom(ite(c,a,b), k) into a guard-level formula
@@ -214,8 +277,12 @@ func (in *Interner) condBool(c, t, e *Bool) *Bool {
 // simpTerm is the memoized recursive term worker. Caller holds simpMu.
 func (in *Interner) simpTerm(t *Term) *Term {
 	if r, ok := in.simpTermTab[t]; ok {
+		if in.vn() {
+			in.vnHits++
+		}
 		return r
 	}
+	in.simpNodesIn++
 	var r *Term
 	switch t.Kind {
 	case KConst, KVar:
@@ -223,15 +290,15 @@ func (in *Interner) simpTerm(t *Term) *Term {
 	case KNot:
 		r = in.Not(in.simpTerm(t.A))
 	case KAnd:
-		r = in.And(in.simpTerm(t.A), in.simpTerm(t.B))
+		r = in.fuseBinop(in.And, in.simpTerm(t.A), in.simpTerm(t.B))
 	case KOr:
-		r = in.Or(in.simpTerm(t.A), in.simpTerm(t.B))
+		r = in.fuseBinop(in.Or, in.simpTerm(t.A), in.simpTerm(t.B))
 	case KXor:
-		r = in.Xor(in.simpTerm(t.A), in.simpTerm(t.B))
+		r = in.fuseBinop(in.Xor, in.simpTerm(t.A), in.simpTerm(t.B))
 	case KAdd:
-		r = in.Add(in.simpTerm(t.A), in.simpTerm(t.B))
+		r = in.fuseBinop(in.Add, in.simpTerm(t.A), in.simpTerm(t.B))
 	case KSub:
-		r = in.Sub(in.simpTerm(t.A), in.simpTerm(t.B))
+		r = in.fuseBinop(in.Sub, in.simpTerm(t.A), in.simpTerm(t.B))
 	case KZext:
 		r = in.Zext(in.simpTerm(t.A), t.Width)
 	case KShlC:
@@ -256,7 +323,48 @@ func (in *Interner) simpTerm(t *Term) *Term {
 		r = t
 	}
 	in.simpTermTab[t] = r
+	if _, seen := in.simpOutTerms[r]; !seen {
+		in.simpOutTerms[r] = struct{}{}
+		in.simpNodesOut++
+	}
 	return r
+}
+
+// fuseBinop is the shared-guard fusion rule for binary term operators:
+// op(ite(c,a1,b1), ite(c,a2,b2)) ⇒ ite(c, op(a1,a2), op(b1,b2)). The result
+// has the same DAG size order but a single guard, so downstream comparisons
+// see one ite instead of an opaque op over two — and when the arms are
+// constants the op folds away entirely. Also distributes op over a single
+// ite when the other operand is constant and at least one arm is constant
+// (so one side of the distribution folds). Caller holds simpMu; operands
+// are already simplified.
+func (in *Interner) fuseBinop(op func(a, b *Term) *Term, x, y *Term) *Term {
+	if in.vn() {
+		if x.Kind == KIte && y.Kind == KIte && x.Cond == y.Cond {
+			in.iteFusions++
+			return in.Ite(x.Cond, op(x.A, y.A), op(x.B, y.B))
+		}
+		if _, ok := y.IsConst(); ok && x.Kind == KIte {
+			if constArm(x) {
+				in.iteFusions++
+				return in.Ite(x.Cond, op(x.A, y), op(x.B, y))
+			}
+		}
+		if _, ok := x.IsConst(); ok && y.Kind == KIte {
+			if constArm(y) {
+				in.iteFusions++
+				return in.Ite(y.Cond, op(x, y.A), op(x, y.B))
+			}
+		}
+	}
+	return op(x, y)
+}
+
+// constArm reports whether either arm of the ite t is constant.
+func constArm(t *Term) bool {
+	_, aok := t.A.IsConst()
+	_, bok := t.B.IsConst()
+	return aok || bok
 }
 
 // ---- DAG node counting (term-count stats) ----
@@ -309,6 +417,3 @@ func CountTermNodes(t *Term) int64 {
 	c.termNode(t)
 	return int64(len(c.bools) + len(c.terms))
 }
-
-func countBoolNodes(f *Bool) int64 { return CountBoolNodes(f) }
-func countTermNodes(t *Term) int64 { return CountTermNodes(t) }

@@ -77,6 +77,10 @@ type Options struct {
 	// (internal/qcache) and solves every query with a fresh solver — the
 	// baseline configuration for the cache-on/off benchmarks.
 	DisableQCache bool
+	// NoVN disables the value-numbering rewrite layer on the synthesizer's
+	// interner (bv.Interner.SetVN); inverted so the zero Options keeps it
+	// on. Candidate-check formulas then reach the solver unrewritten.
+	NoVN bool
 	// Faults, when non-nil, arms the fault-injection sites of this
 	// synthesis pipeline: the CegisReject candidate-rejection burst here,
 	// and the sat/bv/qcache/symex sites in the layers below, all under one
@@ -167,7 +171,7 @@ type Synthesizer struct {
 func New(loop *cir.Func, opts Options) (*Synthesizer, error) {
 	opts = opts.withDefaults()
 	s := &Synthesizer{opts: opts, loop: loop, bvin: bv.NewInterner(), budget: opts.Budget}
-	s.bvin.SetFaults(opts.Faults)
+	s.bvin.SetFaults(opts.Faults).SetVN(!opts.NoVN)
 	if !opts.DisableQCache {
 		s.cache = qcache.New(s.bvin).SetFaults(opts.Faults).SetDisk(opts.Disk)
 	}
@@ -625,6 +629,16 @@ func (s *Synthesizer) solveArgs(symProg vocab.SymProgram, argVars []*bv.Term) ([
 func (s *Synthesizer) checkSat(constraints ...*bv.Bool) (sat.Status, *bv.Assignment) {
 	if s.cache != nil {
 		return s.cache.CheckSat(s.budget, s.opts.SolverBudget, constraints...)
+	}
+	if s.bvin.VNEnabled() {
+		// The cache path simplifies inside CheckSat; the cache-less baseline
+		// still routes candidate-check formulas through the memoized
+		// simplifier so repeated candidate shapes value-number once.
+		simplified := make([]*bv.Bool, len(constraints))
+		for i, f := range constraints {
+			simplified[i] = s.bvin.SimplifyBool(f)
+		}
+		constraints = simplified
 	}
 	return bv.CheckSatFaults(s.budget, s.opts.SolverBudget, s.opts.Faults, constraints...)
 }

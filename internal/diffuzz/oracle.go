@@ -158,7 +158,7 @@ func PrepareTarget(seed uint64, p *Prog, opts *Options) (*Target, *Finding) {
 	t := &Target{
 		Seed: seed, Prog: p, Source: src,
 		MaxExSize: opts.maxExSize(),
-		in:        bv.NewInterner(),
+		in:        bv.NewInterner().SetVN(!opts.NoVN),
 		paths:     map[int]pathSet{},
 		budget:    opts.Budget,
 	}
@@ -199,6 +199,7 @@ func PrepareTarget(seed uint64, p *Prog, opts *Options) (*Target, *Finding) {
 				MaxExSize: t.MaxExSize,
 				Budget:    b,
 				Faults:    t.faults,
+				NoVN:      opts.NoVN,
 			})
 			// Failure to synthesize is not a finding: many generated loops
 			// have no gadget equivalent, and the budget is deliberately tiny.
@@ -215,7 +216,9 @@ func PrepareTarget(seed uint64, p *Prog, opts *Options) (*Target, *Finding) {
 				// Bounded like synthesis: a timeout is a safe "don't know"
 				// (the summary is then only compared on small buffers).
 				b := engine.NewBudget(opts.Budget.Context(), engine.Limits{Timeout: opts.SynthTimeout})
-				rep := memoryless.VerifyFaults(t.F, t.MaxExSize, b, t.faults)
+				rep := memoryless.VerifyWith(t.F, memoryless.VerifyOptions{
+					MaxLen: t.MaxExSize, Budget: b, Faults: t.faults, NoVN: opts.NoVN,
+				})
 				t.Memoryless = rep.Memoryless && rep.Err == nil
 				return nil
 			}); f != nil {

@@ -25,9 +25,13 @@
 //     start — never a wrong answer and never an error surfaced to the
 //     solver path.
 //   - Eviction is bounded and LRU-ish: each shard holds at most
-//     maxEntries/shards records; inserting past the bound evicts the
-//     least-recently-accessed record in that shard (a global access clock
-//     orders recency across shards without cross-shard coordination).
+//     maxEntries/shards records and — when a byte budget is set — at most
+//     maxBytes/shards of key+value payload; inserting past either bound
+//     evicts least-recently-accessed records in that shard until both hold
+//     (a global access clock orders recency across shards without
+//     cross-shard coordination). A single record larger than a whole
+//     shard's byte budget is not cached at all: evicting everything else
+//     to make room for it would still not fit.
 //
 // Hits, misses and evictions are charged to the *engine.Budget passed at
 // each call and mirrored into internal/obs, so run reports reconcile disk
@@ -70,14 +74,16 @@ type entry struct {
 }
 
 type shard struct {
-	mu sync.Mutex
-	m  map[string]*entry
+	mu    sync.Mutex
+	m     map[string]*entry
+	bytes int64 // key+value payload bytes of the live records
 }
 
 // Store is one bounded, sharded, persistent key/value cache.
 type Store struct {
 	path       string
 	maxEntries int
+	maxBytes   int64 // byte budget across shards; 0 = entry-count cap only
 	faults     *faultpoint.Registry
 	clock      atomic.Int64
 	sh         [shards]shard
@@ -96,10 +102,20 @@ type flight struct {
 // memory-only: Save is a no-op and Load loads nothing). maxEntries <= 0
 // means DefaultMaxEntries. The store starts cold; call Load to warm it.
 func NewStore(path string, maxEntries int, faults *faultpoint.Registry) *Store {
+	return NewStoreSized(path, maxEntries, 0, faults)
+}
+
+// NewStoreSized is NewStore with a byte budget next to the entry-count cap:
+// when maxBytes > 0, each shard evicts down to maxBytes/shards of key+value
+// payload on every insert. maxBytes <= 0 keeps the entry-count cap only.
+func NewStoreSized(path string, maxEntries int, maxBytes int64, faults *faultpoint.Registry) *Store {
 	if maxEntries <= 0 {
 		maxEntries = DefaultMaxEntries
 	}
-	s := &Store{path: path, maxEntries: maxEntries, faults: faults, flight: map[string]*flight{}}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	s := &Store{path: path, maxEntries: maxEntries, maxBytes: maxBytes, faults: faults, flight: map[string]*flight{}}
 	for i := range s.sh {
 		s.sh[i].m = map[string]*entry{}
 	}
@@ -138,8 +154,10 @@ func (s *Store) Get(b *engine.Budget, key string) ([]byte, bool) {
 	return e.val, true
 }
 
-// Put inserts or overwrites the key, evicting the least-recently-accessed
-// record of the shard when the per-shard bound is exceeded (charged to b).
+// Put inserts or overwrites the key, evicting least-recently-accessed
+// records of the shard while the per-shard entry bound or byte budget is
+// exceeded (each eviction charged to b). A record alone bigger than the
+// shard's whole byte budget is discarded instead of cached.
 func (s *Store) Put(b *engine.Budget, key string, val []byte) {
 	if s == nil {
 		return
@@ -149,19 +167,41 @@ func (s *Store) Put(b *engine.Budget, key string, val []byte) {
 	if bound < 1 {
 		bound = 1
 	}
+	var byteBound int64
+	if s.maxBytes > 0 {
+		byteBound = s.maxBytes / shards
+		if byteBound < 1 {
+			byteBound = 1
+		}
+	}
+	sz := int64(len(key) + len(val))
+	if byteBound > 0 && sz > byteBound {
+		return
+	}
 	sh.mu.Lock()
-	if _, exists := sh.m[key]; !exists && len(sh.m) >= bound {
+	if old, exists := sh.m[key]; exists {
+		sh.bytes -= int64(len(key) + len(old.val))
+	}
+	sh.m[key] = &entry{val: val, at: s.clock.Add(1)}
+	sh.bytes += sz
+	for len(sh.m) > bound || (byteBound > 0 && sh.bytes > byteBound) {
 		var victim string
 		var oldest int64
 		for k, e := range sh.m {
+			if k == key {
+				continue // never evict the record being inserted
+			}
 			if victim == "" || e.at < oldest {
 				victim, oldest = k, e.at
 			}
 		}
+		if victim == "" {
+			break
+		}
+		sh.bytes -= int64(len(victim) + len(sh.m[victim].val))
 		delete(sh.m, victim)
 		b.AddDiskEvictions(1)
 	}
-	sh.m[key] = &entry{val: val, at: s.clock.Add(1)}
 	sh.mu.Unlock()
 }
 
@@ -219,6 +259,20 @@ func (s *Store) Len() int {
 	for i := range s.sh {
 		s.sh[i].mu.Lock()
 		n += len(s.sh[i].m)
+		s.sh[i].mu.Unlock()
+	}
+	return n
+}
+
+// Bytes returns the key+value payload bytes of the live records.
+func (s *Store) Bytes() int64 {
+	if s == nil {
+		return 0
+	}
+	var n int64
+	for i := range s.sh {
+		s.sh[i].mu.Lock()
+		n += s.sh[i].bytes
 		s.sh[i].mu.Unlock()
 	}
 	return n
@@ -344,6 +398,13 @@ type Tier struct {
 // from it. An unreadable or corrupt file degrades to a cold store, but an
 // unusable directory is a configuration error and is reported.
 func Open(dir string, faults *faultpoint.Registry) (*Tier, error) {
+	return OpenSized(dir, 0, faults)
+}
+
+// OpenSized is Open with a per-store byte budget (-cache-max-bytes): each
+// of the two stores evicts past maxBytes of key+value payload, on top of
+// the entry-count cap. maxBytes <= 0 keeps the entry-count cap only.
+func OpenSized(dir string, maxBytes int64, faults *faultpoint.Registry) (*Tier, error) {
 	if dir == "" {
 		return nil, nil
 	}
@@ -352,8 +413,8 @@ func Open(dir string, faults *faultpoint.Registry) (*Tier, error) {
 	}
 	t := &Tier{
 		Dir:     dir,
-		Queries: NewStore(filepath.Join(dir, "queries.cache"), DefaultMaxEntries, faults),
-		Memo:    NewStore(filepath.Join(dir, "memo.cache"), DefaultMaxEntries, faults),
+		Queries: NewStoreSized(filepath.Join(dir, "queries.cache"), DefaultMaxEntries, maxBytes, faults),
+		Memo:    NewStoreSized(filepath.Join(dir, "memo.cache"), DefaultMaxEntries, maxBytes, faults),
 	}
 	t.Queries.Load()
 	t.Memo.Load()

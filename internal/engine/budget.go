@@ -124,6 +124,18 @@ type Budget struct {
 	diskMisses    atomic.Int64
 	diskEvictions atomic.Int64
 
+	// Value-numbering / rewrite-layer counters (internal/bv): simplification
+	// memo hits, ite-aware rewrites (fusions, pull-ups, guard prunes), CNF
+	// blast-cache hits, and the simplifier's call/node traffic. Accounting
+	// only — the rewrite layer reduces work — but charged here so vn-on and
+	// vn-off runs reconcile against one budget.
+	vnHits       atomic.Int64
+	iteFusions   atomic.Int64
+	blastHits    atomic.Int64
+	simpCalls    atomic.Int64
+	simpNodesIn  atomic.Int64
+	simpNodesOut atomic.Int64
+
 	// done caches the first observed exhaustion so later polls are cheap
 	// and the reported cause is stable.
 	done atomic.Pointer[error]
@@ -148,6 +160,12 @@ type Budget struct {
 	mDiskHits     *obs.Counter
 	mDiskMisses   *obs.Counter
 	mDiskEvicts   *obs.Counter
+	mVNHits       *obs.Counter
+	mIteFusions   *obs.Counter
+	mBlastHits    *obs.Counter
+	mSimpCalls    *obs.Counter
+	mSimpNodesIn  *obs.Counter
+	mSimpNodesOut *obs.Counter
 }
 
 // NewBudget builds a budget from a context and limits. A nil context means
@@ -195,6 +213,12 @@ func (b *Budget) SetObs(t *obs.Tracer, m *obs.Metrics) *Budget {
 	b.mDiskHits = m.Counter(obs.MDiskHits)
 	b.mDiskMisses = m.Counter(obs.MDiskMisses)
 	b.mDiskEvicts = m.Counter(obs.MDiskEvictions)
+	b.mVNHits = m.Counter(obs.MBVVNHits)
+	b.mIteFusions = m.Counter(obs.MBVIteFusions)
+	b.mBlastHits = m.Counter(obs.MBVBlastHits)
+	b.mSimpCalls = m.Counter(obs.MBVSimplifyCalls)
+	b.mSimpNodesIn = m.Counter(obs.MBVSimplifyNodesIn)
+	b.mSimpNodesOut = m.Counter(obs.MBVSimplifyNodesOut)
 	return b
 }
 
@@ -362,6 +386,100 @@ func (b *Budget) AddDiskEvictions(n int64) {
 		b.diskEvictions.Add(n)
 		b.mDiskEvicts.Add(n)
 	}
+}
+
+// AddVNHits charges n value-numbering memo hits (accounting only).
+func (b *Budget) AddVNHits(n int64) {
+	if b != nil && n != 0 {
+		b.vnHits.Add(n)
+		b.mVNHits.Add(n)
+	}
+}
+
+// AddIteFusions charges n ite-aware rewrites — shared-guard fusions,
+// comparison pull-ups and guard-implication prunes (accounting only).
+func (b *Budget) AddIteFusions(n int64) {
+	if b != nil && n != 0 {
+		b.iteFusions.Add(n)
+		b.mIteFusions.Add(n)
+	}
+}
+
+// AddBlastHits charges n CNF blast-cache hits (accounting only).
+func (b *Budget) AddBlastHits(n int64) {
+	if b != nil && n != 0 {
+		b.blastHits.Add(n)
+		b.mBlastHits.Add(n)
+	}
+}
+
+// AddSimplify charges one batch of simplifier traffic: calls top-level
+// SimplifyBool/SimplifyTerm invocations, nodesIn/nodesOut the DAG sizes of
+// memo-missing inputs and their rewritten outputs (accounting only).
+func (b *Budget) AddSimplify(calls, nodesIn, nodesOut int64) {
+	if b == nil {
+		return
+	}
+	if calls != 0 {
+		b.simpCalls.Add(calls)
+		b.mSimpCalls.Add(calls)
+	}
+	if nodesIn != 0 {
+		b.simpNodesIn.Add(nodesIn)
+		b.mSimpNodesIn.Add(nodesIn)
+	}
+	if nodesOut != 0 {
+		b.simpNodesOut.Add(nodesOut)
+		b.mSimpNodesOut.Add(nodesOut)
+	}
+}
+
+// VNHits returns the value-numbering memo hits charged so far.
+func (b *Budget) VNHits() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.vnHits.Load()
+}
+
+// IteFusions returns the ite-aware rewrites charged so far.
+func (b *Budget) IteFusions() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.iteFusions.Load()
+}
+
+// BlastHits returns the CNF blast-cache hits charged so far.
+func (b *Budget) BlastHits() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.blastHits.Load()
+}
+
+// SimplifyCalls returns the top-level simplifier calls charged so far.
+func (b *Budget) SimplifyCalls() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.simpCalls.Load()
+}
+
+// SimplifyNodesIn returns the simplifier input nodes charged so far.
+func (b *Budget) SimplifyNodesIn() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.simpNodesIn.Load()
+}
+
+// SimplifyNodesOut returns the simplifier output nodes charged so far.
+func (b *Budget) SimplifyNodesOut() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.simpNodesOut.Load()
 }
 
 // DiskHits returns the persistent-cache hits charged so far.

@@ -137,6 +137,9 @@ type VerifyOptions struct {
 	// Merge enables state merging in the bounded-equivalence symbolic
 	// execution (symex.Engine.Merge).
 	Merge bool
+	// NoVN disables the value-numbering rewrite layer on the check's
+	// interner (bv.Interner.SetVN); inverted so the zero value keeps it on.
+	NoVN bool
 	// Disk attaches the persistent query store to the bounded check's query
 	// cache (write-through canonical verdicts; nil = off).
 	Disk *diskcache.Store
@@ -478,7 +481,7 @@ func decodeVerdict(raw []byte, spec *Spec) (ok bool, cex []byte, decoded bool) {
 // of length <= maxLen, trying forward then backward traversal.
 func checkEquivalence(loop *cir.Func, spec *Spec, maxLen int, opts VerifyOptions) (bool, []byte, error) {
 	budget, faults := opts.Budget, opts.Faults
-	bvin := bv.NewInterner().SetBudget(budget).SetFaults(faults)
+	bvin := bv.NewInterner().SetBudget(budget).SetFaults(faults).SetVN(!opts.NoVN)
 	cache := qcache.New(bvin).SetFaults(faults).SetDisk(opts.Disk)
 	buf := symex.SymbolicString(bvin, "s", maxLen)
 	eng := &symex.Engine{Objects: [][]*bv.Term{buf}, CheckFeasibility: true, Merge: opts.Merge, In: bvin, Budget: budget, Cache: cache, Faults: faults}

@@ -61,6 +61,15 @@ const (
 	MDiskHits        = "diskcache.hits"
 	MDiskMisses      = "diskcache.misses"
 	MDiskEvictions   = "diskcache.evictions"
+	// Value-numbering / rewrite-layer counters (see internal/bv simplify.go,
+	// vn.go, blast.go): simplification memo hits, ite-aware rewrites, CNF
+	// blast-cache hits, and the simplifier's call/node traffic.
+	MBVVNHits           = "bv.vn_hits"
+	MBVIteFusions       = "bv.ite_fusions"
+	MBVBlastHits        = "bv.blast_hits"
+	MBVSimplifyCalls    = "bv.simplify_calls"
+	MBVSimplifyNodesIn  = "bv.simplify_nodes_in"
+	MBVSimplifyNodesOut = "bv.simplify_nodes_out"
 	// Per-rung and per-site counters append their name:
 	// supervise.rung.<rung>, faultpoint.fired.<site>.
 	MSupRungPrefix = "supervise.rung."

@@ -41,10 +41,11 @@ import (
 // Tuning caps. Scans are linear, so the model and core lists stay small;
 // the exact map is cheap per entry and gets a larger allowance.
 const (
-	maxModels     = 64      // cached satisfying assignments scanned per miss
-	maxUnsatCores = 256     // cached unsat ID-sets scanned per miss
-	maxExact      = 1 << 14 // exact-entry map size before wholesale reset
-	maxSolverVars = 1 << 18 // SAT vars before the incremental solver rebuilds
+	maxModels         = 64      // cached satisfying assignments scanned per miss
+	maxUnsatCores     = 256     // cached unsat ID-sets scanned per miss
+	maxExact          = 1 << 14 // exact-entry map size before wholesale reset
+	maxSolverVars     = 1 << 18 // SAT vars before the incremental solver rebuilds
+	maxPruneConjuncts = 64      // conjunct count past which guard pruning is skipped
 )
 
 // Stats is a snapshot of cache effectiveness and solver-time accounting.
@@ -147,8 +148,12 @@ type Cache struct {
 	// is unsat too.
 	unsatCores [][]int
 	// models holds restricted satisfying assignments; any group they
-	// evaluate true is sat.
-	models []*bv.Assignment
+	// evaluate true is sat. Each carries a persistent evaluator: the
+	// assignment is immutable once stored and a hash-consed node's meaning
+	// never changes, so the node-keyed evaluation memo is invalidation-free
+	// and probing a model against query N+1 pays only for the DAG nodes
+	// query N did not already visit.
+	models []cachedModel
 
 	solver *bv.Solver
 	faults *faultpoint.Registry
@@ -249,24 +254,55 @@ func (c *Cache) CheckSat(b *engine.Budget, maxConflicts int64, formulas ...*bv.B
 		return sat.Unknown, nil
 	}
 
-	// Normalize: flatten BAnd trees, drop True, dedupe by pointer identity.
+	// Normalize: simplify each formula through the value-numbering layer
+	// (memoized on the interner, so the shared prefix of an incremental
+	// query stream pays once), flatten BAnd trees, drop True, dedupe by
+	// pointer identity. Simplification is equivalence-preserving over the
+	// whole conjunction, so the cache keys and models below — which are
+	// built from the simplified conjuncts — answer the original query: a
+	// variable simplified away is a don't-care, and the evaluator's
+	// zero-fill convention extends any returned model to it.
+	vn := c.in.VNEnabled()
 	var conj []*bv.Bool
 	for _, f := range formulas {
+		if vn {
+			f = c.in.SimplifyBool(f)
+		}
 		conj = bv.Conjuncts(conj, f)
 	}
-	seen := make(map[*bv.Bool]bool, len(conj))
-	kept := conj[:0]
-	for _, cj := range conj {
-		if cj == bv.True || seen[cj] {
-			continue
+	conj, unsat := dedupe(conj)
+	if unsat {
+		return sat.Unsat, nil
+	}
+	if vn && len(conj) > 1 && len(conj) <= maxPruneConjuncts {
+		// Guard-implication pruning: rewrite each conjunct under the
+		// assumption that the current versions of the others hold, so ite
+		// guards decided by the enclosing path condition collapse. The
+		// passes are sequential — each is equivalence-preserving for the
+		// whole conjunction, so the composition is too. Pruning can mint
+		// constants and fresh conjunctions, so re-flatten and re-dedupe.
+		for i := range conj {
+			truth := make(map[*bv.Bool]bool, 2*(len(conj)-1))
+			for j, cj := range conj {
+				if j == i {
+					continue
+				}
+				truth[cj] = true
+				if cj.Kind == bv.BNot {
+					truth[cj.A] = false
+				}
+			}
+			conj[i] = c.in.PruneUnder(conj[i], truth)
 		}
-		if cj == bv.False {
+		flat := make([]*bv.Bool, 0, len(conj))
+		for _, cj := range conj {
+			flat = bv.Conjuncts(flat, cj)
+		}
+		conj, unsat = dedupe(flat)
+		if unsat {
 			return sat.Unsat, nil
 		}
-		seen[cj] = true
-		kept = append(kept, cj)
 	}
-	conj = kept
 	if len(conj) == 0 {
 		return sat.Sat, &bv.Assignment{Terms: map[string]uint64{}, Bools: map[string]bool{}}
 	}
@@ -297,6 +333,24 @@ func (c *Cache) CheckSat(b *engine.Budget, maxConflicts int64, formulas ...*bv.B
 		}
 	}
 	return sat.Sat, merged
+}
+
+// dedupe drops True and pointer-duplicate conjuncts in place, reporting
+// unsat=true when a False conjunct makes the whole query trivially unsat.
+func dedupe(conj []*bv.Bool) (out []*bv.Bool, unsat bool) {
+	seen := make(map[*bv.Bool]bool, len(conj))
+	kept := conj[:0]
+	for _, cj := range conj {
+		if cj == bv.True || seen[cj] {
+			continue
+		}
+		if cj == bv.False {
+			return nil, true
+		}
+		seen[cj] = true
+		kept = append(kept, cj)
+	}
+	return kept, false
 }
 
 // IsValid reports whether f holds under all assignments, by refuting its
@@ -344,9 +398,17 @@ func (c *Cache) checkGroup(b *engine.Budget, maxConflicts int64, g group) (sat.S
 
 	// Counterexample reuse: a cached model under which every conjunct of
 	// this group evaluates true is a witness — unbound variables evaluate
-	// to zero, so (model ∪ zeros) genuinely satisfies the group.
-	for _, m := range c.models {
-		ev := bv.NewEvaluator(m)
+	// to zero, so (model ∪ zeros) genuinely satisfies the group. With value
+	// numbering on, the probe reuses each model's persistent evaluator;
+	// with it off, a fresh evaluator per probe reproduces the pre-vn cost
+	// model (verdicts are identical either way — evaluation under a fixed
+	// assignment is deterministic).
+	vnOn := c.in.VNEnabled()
+	for _, cm := range c.models {
+		ev := cm.ev
+		if !vnOn {
+			ev = bv.NewEvaluator(cm.asn)
+		}
 		ok := true
 		for _, cj := range g.conj {
 			if !ev.Bool(cj) {
@@ -357,7 +419,7 @@ func (c *Cache) checkGroup(b *engine.Budget, maxConflicts int64, g group) (sat.S
 		if ok {
 			c.stats.ModelHits++
 			b.AddCacheHits(1)
-			restricted := restrictModel(m, g.vars)
+			restricted := restrictModel(cm.asn, g.vars)
 			c.remember(b, gk, sat.Sat, restricted)
 			return sat.Sat, restricted
 		}
@@ -395,12 +457,24 @@ func (c *Cache) exactHit(b *engine.Budget, gk groupKey, e exactEntry) (sat.Statu
 	if !e.spread {
 		e.spread = true
 		c.exact[gk.key] = e
-		if len(c.models) >= maxModels {
-			c.models = c.models[1:]
-		}
-		c.models = append(c.models, m)
+		c.addModel(m)
 	}
 	return sat.Sat, m
+}
+
+// cachedModel pairs a stored satisfying assignment with its persistent
+// evaluator (see the models field).
+type cachedModel struct {
+	asn *bv.Assignment
+	ev  *bv.Evaluator
+}
+
+// addModel appends to the bounded model-reuse list. Caller holds c.mu.
+func (c *Cache) addModel(m *bv.Assignment) {
+	if len(c.models) >= maxModels {
+		c.models = c.models[1:]
+	}
+	c.models = append(c.models, cachedModel{asn: m, ev: bv.NewEvaluator(m)})
 }
 
 // solveGroup sends one slice to the incremental solver under assumption
@@ -416,16 +490,20 @@ func (c *Cache) solveGroup(b *engine.Budget, maxConflicts int64, gk groupKey, g 
 	c.solver.Budget = b
 
 	blastStart := time.Now()
+	blast0 := c.solver.BlastHits()
 	lits := make([]sat.Lit, len(g.conj))
 	for i, cj := range g.conj {
 		// Rewrite-before-blast: the simplifier folds the ite-heavy shapes
 		// state merging produces (and is memoized on the interner, so the
-		// shared prefix of an incremental query stream simplifies once).
-		// Every cache key and stat above stays on the original conjunct
-		// pointers — simplification only shrinks what reaches the Tseitin
-		// encoder, it never changes verdicts or cache identity.
+		// shared prefix of an incremental query stream simplifies once; with
+		// value numbering on, CheckSat already simplified the conjuncts and
+		// this is a pure memo hit). Every cache key and stat above stays on
+		// the conjunct pointers that reached this group — simplification
+		// only shrinks what reaches the Tseitin encoder, it never changes
+		// verdicts or cache identity.
 		lits[i] = c.solver.Lit(c.in.SimplifyBool(cj))
 	}
+	b.AddBlastHits(c.solver.BlastHits() - blast0)
 	c.stats.BlastTime += time.Since(blastStart)
 
 	searchStart := time.Now()
@@ -443,10 +521,7 @@ func (c *Cache) solveGroup(b *engine.Budget, maxConflicts int64, gk groupKey, g 
 		// stale assignments to other queries' variables must not leak.
 		restricted := restrictModel(c.solver.ModelAssignment(), g.vars)
 		c.remember(b, gk, sat.Sat, restricted)
-		if len(c.models) >= maxModels {
-			c.models = c.models[1:]
-		}
-		c.models = append(c.models, restricted)
+		c.addModel(restricted)
 		return sat.Sat, restricted
 	case sat.Unsat:
 		c.remember(b, gk, sat.Unsat, nil)

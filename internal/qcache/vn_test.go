@@ -1,0 +1,156 @@
+package qcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"stringloops/internal/bv"
+	"stringloops/internal/sat"
+)
+
+// TestVNPruningSoundThroughCheckSat exercises the guard-implication pruning
+// path end-to-end: one conjunct fixes an ite guard that another conjunct
+// embeds, so PruneUnder collapses the mux before the solver sees it. The
+// verdict and model must still describe the ORIGINAL conjunction.
+func TestVNPruningSoundThroughCheckSat(t *testing.T) {
+	in := bv.NewInterner()
+	c := New(in)
+	x, y := in.Var("x", 8), in.Var("y", 8)
+	g := in.Ult(x, in.Byte(10))
+
+	// Sat case: under g, ite(g, y, 0) == 5 forces y == 5.
+	st, m := c.CheckSat(nil, 0, g, in.Eq(in.Ite(g, y, in.Byte(0)), in.Byte(5)))
+	if st != sat.Sat {
+		t.Fatalf("pruned sat query = %v", st)
+	}
+	if m.Terms["x"] >= 10 || m.Terms["y"] != 5 {
+		t.Fatalf("model x=%d y=%d violates the original conjunction", m.Terms["x"], m.Terms["y"])
+	}
+
+	// Unsat case: under g the mux picks the constant 1, and 1 == 2 is
+	// false — pruning must collapse this to a refutation, not erase it.
+	st, _ = c.CheckSat(nil, 0, g, in.Eq(in.Ite(g, in.Byte(1), y), in.Byte(2)))
+	if st != sat.Unsat {
+		t.Fatalf("pruned unsat query = %v", st)
+	}
+}
+
+// buildQueries deterministically generates the same query stream on any
+// interner: merged-ite shapes (shared guards, constant arms) layered over
+// random atoms, the mix the vn rewrites target. Two interners fed the same
+// seed see structurally identical formulas, which is what lets the vn-on and
+// vn-off runs below be compared query by query.
+func buildQueries(in *bv.Interner, seed int64, n int) [][]*bv.Bool {
+	rng := rand.New(rand.NewSource(seed))
+	vars := []*bv.Term{in.Var("a", 8), in.Var("b", 8), in.Var("c", 8)}
+	randTerm := func() *bv.Term {
+		t := vars[rng.Intn(len(vars))]
+		switch rng.Intn(3) {
+		case 0:
+			return in.Add(t, in.Byte(byte(rng.Intn(256))))
+		case 1:
+			return in.Byte(byte(rng.Intn(256)))
+		default:
+			return t
+		}
+	}
+	randAtom := func() *bv.Bool {
+		a, b := randTerm(), randTerm()
+		if rng.Intn(2) == 0 {
+			return in.Eq(a, b)
+		}
+		return in.Ult(a, b)
+	}
+	var queries [][]*bv.Bool
+	for q := 0; q < n; q++ {
+		guard := randAtom()
+		k := 1 + rng.Intn(4)
+		fs := make([]*bv.Bool, k)
+		for i := range fs {
+			switch rng.Intn(3) {
+			case 0:
+				// Merged-value comparison: both sides muxed on one guard.
+				l := in.Ite(guard, randTerm(), in.Byte(byte(rng.Intn(256))))
+				r := in.Ite(guard, in.Byte(byte(rng.Intn(256))), randTerm())
+				fs[i] = in.Eq(l, r)
+			case 1:
+				// The guard itself as a conjunct, arming PruneUnder against
+				// the muxes the other conjuncts carry.
+				fs[i] = guard
+			default:
+				fs[i] = randAtom()
+			}
+		}
+		queries = append(queries, fs)
+	}
+	return queries
+}
+
+// TestVNOffOnIdenticalVerdicts is the replay contract at the qcache level:
+// the same query stream through a vn-on chain, a vn-off chain, and the
+// direct solver must produce identical verdicts, and every Sat model must
+// satisfy its original (unrewritten) conjuncts. This walks all three vn
+// surfaces inside CheckSat — per-formula simplification, sequential
+// pruning, and the persistent-evaluator model-reuse scan.
+func TestVNOffOnIdenticalVerdicts(t *testing.T) {
+	const seed, n = 23, 150
+	inOn := bv.NewInterner()
+	inOff := bv.NewInterner().SetVN(false)
+	cOn, cOff := New(inOn), New(inOff)
+	qsOn := buildQueries(inOn, seed, n)
+	qsOff := buildQueries(inOff, seed, n)
+
+	for i := range qsOn {
+		stOn, mOn := cOn.CheckSat(nil, 0, qsOn[i]...)
+		stOff, mOff := cOff.CheckSat(nil, 0, qsOff[i]...)
+		if stOn != stOff {
+			t.Fatalf("query %d: vn-on says %v, vn-off says %v", i, stOn, stOff)
+		}
+		wantSt, _ := bv.CheckSat(nil, 0, qsOff[i]...)
+		if stOn != wantSt {
+			t.Fatalf("query %d: cached chains say %v, direct solver says %v", i, stOn, wantSt)
+		}
+		if stOn == sat.Sat {
+			evOn, evOff := bv.NewEvaluator(mOn), bv.NewEvaluator(mOff)
+			for j := range qsOn[i] {
+				if !evOn.Bool(qsOn[i][j]) {
+					t.Fatalf("query %d: vn-on model violates conjunct %d", i, j)
+				}
+				if !evOff.Bool(qsOff[i][j]) {
+					t.Fatalf("query %d: vn-off model violates conjunct %d", i, j)
+				}
+			}
+		}
+	}
+	if inOff.SimplifyStats().Fusions != 0 {
+		t.Fatal("vn-off interner recorded ite fusions")
+	}
+	if hits := cOn.Stats().ModelHits; hits == 0 {
+		t.Logf("note: no model-reuse hits over %d queries (stream too adversarial?)", n)
+	}
+}
+
+// TestVNModelReusePersistentEvaluator pins the persistent-evaluator reuse
+// path: repeated weaker queries against one cached model must keep hitting
+// (the per-model evaluator memo survives across CheckSat calls) and keep
+// returning models that satisfy the new constraint.
+func TestVNModelReusePersistentEvaluator(t *testing.T) {
+	in := bv.NewInterner()
+	c := New(in)
+	x := in.Var("x", 8)
+	if st, _ := c.CheckSat(nil, 0, in.Eq(x, in.Byte(3))); st != sat.Sat {
+		t.Fatal("seed query not sat")
+	}
+	for i, bound := range []byte{10, 20, 30, 40} {
+		st, m := c.CheckSat(nil, 0, in.Ult(x, in.Byte(bound)))
+		if st != sat.Sat {
+			t.Fatalf("weaker query %d = %v", i, st)
+		}
+		if m.Terms["x"] >= uint64(bound) {
+			t.Fatalf("weaker query %d: reused model x=%d violates x < %d", i, m.Terms["x"], bound)
+		}
+	}
+	if hits := c.Stats().ModelHits; hits < 4 {
+		t.Fatalf("model hits = %d, want all 4 weaker queries served by model reuse", hits)
+	}
+}

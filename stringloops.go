@@ -58,6 +58,9 @@ type Options struct {
 	// pipeline: paths that reconverge at control-flow join points fold into
 	// one state with ite-merged values instead of being enumerated.
 	Merge bool
+	// NoVN disables the value-numbering rewrite layer in every solver chain
+	// of the pipeline; inverted so the zero Options keeps it on.
+	NoVN bool
 	// CacheDir, when non-empty, backs the run with the persistent cache
 	// tier: solver counterexamples (keyed by canonical, interner-independent
 	// query hashes) and whole-loop summary memos (keyed by the loop's
@@ -66,6 +69,11 @@ type Options struct {
 	// or another — skip work they have already done. A corrupt or missing
 	// cache file degrades to a cold start, never a wrong answer.
 	CacheDir string
+	// CacheMaxBytes, when positive, bounds the persistent cache tier by
+	// total resident bytes (keys plus values) in addition to the built-in
+	// entry-count cap; least-recently-used records are evicted first. Zero
+	// means no byte bound.
+	CacheMaxBytes int64
 }
 
 // Summary is a synthesised loop summary.
@@ -96,6 +104,7 @@ func (o Options) toCore() core.Options {
 		Timeout:           o.Timeout,
 		RequireMemoryless: o.RequireMemoryless,
 		Merge:             o.Merge,
+		NoVN:              o.NoVN,
 	}
 }
 
@@ -108,7 +117,7 @@ func Summarize(source string, opts Options) (*Summary, error) {
 // SummarizeFunc synthesises a summary for the named function.
 func SummarizeFunc(source, funcName string, opts Options) (*Summary, error) {
 	copts := opts.toCore()
-	tier, err := diskcache.Open(opts.CacheDir, nil)
+	tier, err := diskcache.OpenSized(opts.CacheDir, opts.CacheMaxBytes, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +181,7 @@ type PanicError = core.PanicError
 // to three times under the same Timeout as Summarize.
 func SummarizeResilient(source, funcName string, opts Options) Outcome {
 	copts := opts.toCore()
-	tier, err := diskcache.Open(opts.CacheDir, nil)
+	tier, err := diskcache.OpenSized(opts.CacheDir, opts.CacheMaxBytes, nil)
 	if err != nil {
 		return Outcome{Rung: RungFailed, Err: err}
 	}
