@@ -109,6 +109,7 @@ func main() {
 		mrg   = flag.Bool("merge", false, "run the state-merging lane and write BENCH_6.json instead")
 		vnL   = flag.Bool("vn", false, "run the value-numbering lane and write BENCH_8.json instead")
 
+		serve   = flag.Bool("serve", false, "run the daemon load lane and write BENCH_9.json instead")
 		persist = flag.Bool("persist", false, "run the cross-process persistent-cache lane and write BENCH_7.json instead")
 		sample  = flag.Int("sample", 0, "with -persist: only the first N corpus loops (0 = all 115)")
 		child   = flag.Bool("persist-child", false, "internal: run one corpus sweep over -cache-dir and print verdicts (the -persist lane's worker phase)")
@@ -154,6 +155,13 @@ func main() {
 			*out = "BENCH_7.json"
 		}
 		persistLane(*sample, *short, *check, *out, *cacheDir)
+		return
+	}
+	if *serve {
+		if *out == "BENCH_3.json" {
+			*out = "BENCH_9.json"
+		}
+		serveLane(*short, *check, *out)
 		return
 	}
 

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"stringloops/internal/engine"
 	"stringloops/internal/loopdb"
 	"stringloops/internal/obs"
+	"stringloops/internal/service"
 )
 
 func main() {
@@ -47,6 +49,7 @@ func main() {
 	vn := cliflags.VN(nil, true)
 	cacheDir := cliflags.CacheDir(nil)
 	cacheMaxBytes := cliflags.CacheMaxBytes(nil)
+	server := cliflags.Server(nil)
 	obsFlags := cliflags.Obs(nil)
 	flag.Parse()
 
@@ -94,6 +97,10 @@ func main() {
 			fmt.Printf("%-32s %s\n", c.Function, c.Stage)
 		}
 		return
+	}
+
+	if *server != "" {
+		os.Exit(runRemote(*server, string(src), *funcName, *vocabLetters, *maxSize, *requireMem))
 	}
 
 	opts := stringloops.Options{
@@ -290,4 +297,49 @@ func runResilient(src, funcName string, opts stringloops.Options) {
 	if out.Rung != stringloops.RungFull && out.Err != nil {
 		fmt.Printf("degraded:  %v\n", out.Err)
 	}
+}
+
+// runRemote posts the source to a running loopsumd daemon (-server mode)
+// and renders the daemon's verdict in the resilient-run format. The
+// client retries 429/5xx with capped exponential backoff, honoring the
+// daemon's Retry-After hints.
+func runRemote(base, src, funcName, vocab string, maxSize int, requireMem bool) int {
+	client := &service.Client{Base: base, ClientID: "loopsum-cli"}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	resp, err := client.Summarize(ctx, service.Request{
+		Source:            src,
+		Func:              funcName,
+		Vocabulary:        vocab,
+		MaxProgramSize:    maxSize,
+		RequireMemoryless: requireMem,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loopsum: %v\n", err)
+		return 1
+	}
+	fmt.Printf("rung:      %s (started at %s, %d attempts, %v server time)\n",
+		resp.Rung, resp.StartRung, resp.Attempts, time.Duration(resp.ElapsedNs).Round(time.Millisecond))
+	switch {
+	case resp.Summary != nil:
+		fmt.Printf("summary:   %s\n", resp.Summary.Readable)
+		fmt.Printf("encoded:   %q\n\n", resp.Summary.Encoded)
+		fmt.Println(resp.Summary.C)
+	case resp.Memoryless != nil:
+		fmt.Printf("verdict:   memoryless=%v (%s)\n", resp.Memoryless.Memoryless, resp.Memoryless.Reason)
+	case resp.Covering != nil:
+		fmt.Printf("covering:  %d path-covering inputs\n", len(resp.Covering))
+		for _, ti := range resp.Covering {
+			fmt.Printf("  %q -> offset %d null=%v\n", ti.Input, ti.Offset, ti.Null)
+		}
+	case resp.Smoke != nil:
+		fmt.Printf("smoke:     %d concrete runs\n", len(resp.Smoke))
+		for _, ti := range resp.Smoke {
+			fmt.Printf("  %q -> offset %d null=%v\n", ti.Input, ti.Offset, ti.Null)
+		}
+	}
+	if resp.Degraded != "" {
+		fmt.Printf("degraded:  %s\n", resp.Degraded)
+	}
+	return 0
 }

@@ -82,6 +82,18 @@ func CacheDir(fs *flag.FlagSet) *string {
 		"directory for the persistent cache tier (solver counterexamples and whole-loop summary memos, shared across runs and processes); empty = off")
 }
 
+// Server declares the canonical -server flag: the address of a running
+// loopsumd daemon. When set, the driver POSTs work to the daemon (with
+// capped-backoff retries honoring Retry-After) instead of running the
+// pipeline in-process, so the CLI and the daemon share one front door.
+func Server(fs *flag.FlagSet) *string {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return fs.String("server", "",
+		"address of a running loopsumd daemon (e.g. http://localhost:8419); empty = summarise in-process")
+}
+
 // Obs declares the shared observability flags and returns their destination;
 // call (*obs.Flags).Start after flag.Parse to open the session.
 func Obs(fs *flag.FlagSet) *obs.Flags {

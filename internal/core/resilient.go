@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -99,6 +100,21 @@ type Outcome struct {
 // escalation can actually grant more resources.
 type ResilientOptions struct {
 	Options
+	// Ctx, when non-nil, is the cancellation root of the whole ladder: every
+	// attempt budget derives from it, so cancelling it (a disconnected
+	// client, a draining server) unwinds the pipeline mid-solve and stops
+	// the descent instead of walking the remaining rungs for nobody. Nil
+	// keeps the pre-existing behaviour (attempts run under pure limits).
+	Ctx context.Context
+	// StartRung skips the ladder's rungs above it: a server shedding load
+	// starts a request at RungMemoryless (or lower) to spend less per
+	// request before it has to shed requests. RungFull (the zero value) is
+	// the complete ladder.
+	StartRung Rung
+	// OnBudget, when non-nil, observes every attempt budget as it is
+	// created. Servers use it to reconcile per-request budget spend against
+	// the request's metric registry after the ladder returns.
+	OnBudget func(*engine.Budget)
 	// Limits is the first attempt's resource envelope. The zero value means
 	// a wall-clock envelope from Options.Timeout (default 30s); chaos tests
 	// use pure resource limits (conflicts/forks/nodes) for determinism.
@@ -146,9 +162,21 @@ func (o ResilientOptions) policy() supervise.Policy {
 }
 
 // newAttemptBudget builds one attempt's budget carrying the run's
-// observability handles.
+// observability handles, rooted at the ladder's cancellation context.
 func (o ResilientOptions) newAttemptBudget(lim engine.Limits) *engine.Budget {
-	return engine.NewBudget(nil, lim).SetObs(o.Tracer, o.Metrics)
+	b := engine.NewBudget(o.Ctx, lim).SetObs(o.Tracer, o.Metrics)
+	if o.OnBudget != nil {
+		o.OnBudget(b)
+	}
+	return b
+}
+
+// errCancelled classifies a ladder abandoned by its caller: it wraps the
+// context cause but deliberately NOT engine.ErrBudget, so the supervisor
+// treats it as non-retryable and the descent stops instead of burning
+// attempts for a caller that is gone.
+func cancelErr(cause error) error {
+	return fmt.Errorf("core: resilient ladder cancelled: %w", cause)
 }
 
 // SummarizeResilient summarises with supervision: panics are isolated into
@@ -220,11 +248,35 @@ func SummarizeResilient(source, funcName string, opts ResilientOptions) Outcome 
 		}},
 	}
 
+	// A shed server starts the ladder below the top; rung identities stay
+	// global (RungMemoryless is RungMemoryless whether or not RungFull was
+	// ever attempted), so indices are offset back after the descent.
+	start := opts.StartRung
+	if start < RungFull || start > RungSmoke {
+		start = RungFull
+	}
+	rungs = rungs[start:]
+	// Cancellation cuts the descent: once the caller's context is done,
+	// every remaining rung would run under an already-exhausted budget for
+	// a caller that is gone. The wrapper error is deliberately outside
+	// engine.ErrBudget so the supervisor classifies it non-retryable.
+	if opts.Ctx != nil {
+		for i := range rungs {
+			run := rungs[i].Run
+			rungs[i].Run = func(lim engine.Limits) error {
+				if cause := opts.Ctx.Err(); cause != nil {
+					return cancelErr(cause)
+				}
+				return run(lim)
+			}
+		}
+	}
+
 	idx, history, err := supervise.Descend(opts.policy(), rungs)
 	for ri, attempts := range history {
 		for _, a := range attempts {
 			out.Attempts = append(out.Attempts, AttemptRecord{
-				Rung: Rung(ri), Limits: a.Limits, Err: a.Err, Panicked: a.Panicked,
+				Rung: Rung(ri) + start, Limits: a.Limits, Err: a.Err, Panicked: a.Panicked,
 			})
 		}
 	}
@@ -233,7 +285,7 @@ func SummarizeResilient(source, funcName string, opts ResilientOptions) Outcome 
 		out.Rung = RungFailed
 		return out
 	}
-	out.Rung = Rung(idx)
+	out.Rung = Rung(idx) + start
 	// Lower rungs' payloads stay nil; a successful rung clears Err only for
 	// the top rung (lower-rung successes keep the last failure around as the
 	// reason the ladder descended).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -215,5 +216,92 @@ func TestSummarizeResilientDeterministicUnderSeed(t *testing.T) {
 		if a[i].Summary != nil && a[i].Summary.Encoded != b[i].Summary.Encoded {
 			t.Errorf("item %d: summary %q vs %q", i, a[i].Summary.Encoded, b[i].Summary.Encoded)
 		}
+	}
+}
+
+// TestSummarizeResilientStartRung: a ladder started below the top must skip
+// the rungs above its start while keeping global rung identity in the
+// outcome and the attempt history.
+func TestSummarizeResilientStartRung(t *testing.T) {
+	out := SummarizeResilient(figure1, "", ResilientOptions{
+		Options:   Options{Timeout: time.Minute},
+		StartRung: RungMemoryless,
+	})
+	if out.Rung != RungMemoryless {
+		t.Fatalf("rung = %v (err %v), want memoryless", out.Rung, out.Err)
+	}
+	if out.Summary != nil {
+		t.Error("summary set: the full rung must not have run")
+	}
+	if out.Memoryless == nil || !out.Memoryless.Memoryless {
+		t.Fatalf("memoryless payload = %+v, want a memoryless verdict", out.Memoryless)
+	}
+	for _, a := range out.Attempts {
+		if a.Rung < RungMemoryless {
+			t.Errorf("attempt at rung %v, start rung should have skipped it", a.Rung)
+		}
+	}
+	// The floor alone: no solver, one clean attempt, global identity kept.
+	out = SummarizeResilient(figure1, "", ResilientOptions{StartRung: RungSmoke})
+	if out.Rung != RungSmoke || out.Smoke == nil {
+		t.Fatalf("rung = %v (smoke %v), want the smoke floor", out.Rung, out.Smoke)
+	}
+	if len(out.Attempts) != 1 || out.Attempts[0].Rung != RungSmoke {
+		t.Errorf("attempts = %+v, want one attempt at the smoke rung", out.Attempts)
+	}
+}
+
+// TestSummarizeResilientCancelledCtx: a context cancelled before the ladder
+// starts must fail every rung promptly — one attempt each, classified
+// non-retryable so no retries burn limits for a caller that is gone.
+func TestSummarizeResilientCancelledCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := SummarizeResilient(figure1, "", ResilientOptions{
+		Options:     Options{Timeout: time.Minute},
+		Ctx:         ctx,
+		MaxAttempts: 3,
+	})
+	if out.Rung != RungFailed {
+		t.Fatalf("rung = %v, want failed (cancelled ladder)", out.Rung)
+	}
+	if !errors.Is(out.Err, context.Canceled) {
+		t.Errorf("err = %v, want to wrap context.Canceled", out.Err)
+	}
+	if errors.Is(out.Err, engine.ErrBudget) {
+		t.Error("cancellation classified as budget exhaustion: the supervisor would retry it")
+	}
+	// Non-retryable: exactly one attempt per rung, never MaxAttempts.
+	if len(out.Attempts) != 4 {
+		t.Errorf("attempts = %d, want 4 (one per rung, no retries)", len(out.Attempts))
+	}
+}
+
+// TestSummarizeResilientCancelMidLadder: cancelling between rungs stops the
+// descent — the rungs after the cancellation point fail with the cancel
+// error instead of running for nobody.
+func TestSummarizeResilientCancelMidLadder(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	budgets := 0
+	out := SummarizeResilient(figure1, "", ResilientOptions{
+		// The panic storm fails every symbolic rung; the cancel fires after
+		// the first attempt budget is created, so the remaining rungs see a
+		// dead context and the smoke floor is never reached.
+		Options:     Options{Timeout: time.Minute, Faults: panicAlways(3)},
+		Ctx:         ctx,
+		MaxAttempts: 1,
+		OnBudget: func(*engine.Budget) {
+			budgets++
+			cancel()
+		},
+	})
+	if out.Rung != RungFailed {
+		t.Fatalf("rung = %v, want failed (ladder abandoned mid-descent)", out.Rung)
+	}
+	if budgets != 1 {
+		t.Errorf("attempt budgets created = %d, want 1 (descent stopped)", budgets)
+	}
+	if !errors.Is(out.Err, context.Canceled) {
+		t.Errorf("err = %v, want to wrap context.Canceled", out.Err)
 	}
 }

@@ -84,6 +84,7 @@ type Store struct {
 	path       string
 	maxEntries int
 	maxBytes   int64 // byte budget across shards; 0 = entry-count cap only
+	readOnly   bool  // Save is a no-op: another process owns the snapshot
 	faults     *faultpoint.Registry
 	clock      atomic.Int64
 	sh         [shards]shard
@@ -250,6 +251,18 @@ func (s *Store) Do(b *engine.Budget, key string, fn func() ([]byte, bool)) ([]by
 	return f.val, f.ok
 }
 
+// InFlight returns the number of singleflight computations currently
+// registered. After every caller of Do has returned it must be zero —
+// the daemon's cancellation tests use it to pin the flight-leak class.
+func (s *Store) InFlight() int {
+	if s == nil {
+		return 0
+	}
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	return len(s.flight)
+}
+
 // Len returns the number of live records.
 func (s *Store) Len() int {
 	if s == nil {
@@ -335,7 +348,7 @@ func (s *Store) Load() {
 // produce identical files. A DiskCacheIO fault firing skips the save (the
 // cache simply stays cold for the next process).
 func (s *Store) Save() error {
-	if s == nil || s.path == "" {
+	if s == nil || s.path == "" || s.readOnly {
 		return nil
 	}
 	if s.faults.Fire(faultpoint.DiskCacheIO) {
@@ -392,6 +405,11 @@ type Tier struct {
 	Queries *Store
 	// Memo holds canonical loop hashes → encoded pipeline results.
 	Memo *Store
+	// ReadOnly reports that another live process holds the directory's
+	// advisory lock: this tier still warm-starts and serves reads, but
+	// Close persists nothing (the owner's snapshots stay intact).
+	ReadOnly bool
+	ownsLock bool
 }
 
 // Open creates (if needed) the cache directory and warm-starts both stores
@@ -411,10 +429,25 @@ func OpenSized(dir string, maxBytes int64, faults *faultpoint.Registry) (*Tier, 
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("diskcache: %w", err)
 	}
+	owned, holder, err := acquireDirLock(dir)
+	if err != nil {
+		return nil, err
+	}
 	t := &Tier{
-		Dir:     dir,
-		Queries: NewStoreSized(filepath.Join(dir, "queries.cache"), DefaultMaxEntries, maxBytes, faults),
-		Memo:    NewStoreSized(filepath.Join(dir, "memo.cache"), DefaultMaxEntries, maxBytes, faults),
+		Dir:      dir,
+		Queries:  NewStoreSized(filepath.Join(dir, "queries.cache"), DefaultMaxEntries, maxBytes, faults),
+		Memo:     NewStoreSized(filepath.Join(dir, "memo.cache"), DefaultMaxEntries, maxBytes, faults),
+		ReadOnly: !owned,
+		ownsLock: owned,
+	}
+	if !owned {
+		// A live process owns the snapshots: degrade to read-only instead
+		// of silently last-write-wins clobbering its files on Close.
+		t.Queries.readOnly = true
+		t.Memo.readOnly = true
+		fmt.Fprintf(os.Stderr,
+			"diskcache: %s is locked by pid %d; this process degrades to read-only (its results will not persist)\n",
+			dir, holder)
 	}
 	t.Queries.Load()
 	t.Memo.Load()
@@ -437,10 +470,15 @@ func (t *Tier) MemoStore() *Store {
 	return t.Memo
 }
 
-// Close persists both stores. Safe on nil.
+// Close persists both stores and releases the directory's advisory lock
+// (read-only tiers persist nothing and never touch the owner's lock).
+// Safe on nil.
 func (t *Tier) Close() error {
 	if t == nil {
 		return nil
+	}
+	if t.ownsLock {
+		defer releaseDirLock(t.Dir)
 	}
 	if err := t.Queries.Save(); err != nil {
 		return err

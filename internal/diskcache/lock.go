@@ -1,0 +1,82 @@
+package diskcache
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// LockName is the advisory lock file a Tier takes in its directory. One
+// process owns the directory's snapshots at a time: the owner writes on
+// Close, every later opener degrades to read-only. Without it two daemons
+// pointed at one -cache-dir would silently last-write-wins clobber each
+// other's snapshot files.
+const LockName = "tier.lock"
+
+// acquireDirLock takes the advisory lock for dir. It returns owned=true
+// when this process now holds the lock; owned=false with the holder's
+// pid when a live process already does. A lock left by a dead process
+// (unclean exit) is stolen: liveness is probed with signal 0, so a
+// crashed owner never wedges the directory forever.
+func acquireDirLock(dir string) (owned bool, holder int, err error) {
+	path := filepath.Join(dir, LockName)
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			_, werr := fmt.Fprintf(f, "%d\n", os.Getpid())
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				os.Remove(path)
+				return false, 0, fmt.Errorf("diskcache: writing lock %s: %w", path, werr)
+			}
+			return true, 0, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return false, 0, fmt.Errorf("diskcache: taking lock %s: %w", path, err)
+		}
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			if errors.Is(rerr, os.ErrNotExist) {
+				continue // holder released between our attempts; retry
+			}
+			return false, 0, fmt.Errorf("diskcache: reading lock %s: %w", path, rerr)
+		}
+		pid, perr := strconv.Atoi(strings.TrimSpace(string(raw)))
+		if perr == nil && pid > 0 && processAlive(pid) {
+			return false, pid, nil
+		}
+		// Stale: the recorded owner is gone (or the file is garbage).
+		// Steal it and retry the exclusive create once.
+		os.Remove(path)
+	}
+	// Two steals in a row lost the race to other live processes; treat the
+	// last holder as live rather than spinning.
+	return false, 0, nil
+}
+
+// processAlive probes pid with signal 0: delivery permission (or EPERM)
+// means a live process, ESRCH means none.
+func processAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || errors.Is(err, syscall.EPERM)
+}
+
+// releaseDirLock removes the lock file if this process's pid is the one
+// recorded (never another owner's — a slow exit must not unlock a
+// directory someone else has since claimed).
+func releaseDirLock(dir string) {
+	path := filepath.Join(dir, LockName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	if pid, err := strconv.Atoi(strings.TrimSpace(string(raw))); err == nil && pid == os.Getpid() {
+		os.Remove(path)
+	}
+}

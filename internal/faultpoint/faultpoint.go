@@ -60,6 +60,16 @@ const (
 	// A firing degrades to a cold start or an unsaved cache — never a wrong
 	// answer — so the site is skip-safe.
 	DiskCacheIO
+	// ServerAdmit fails the service daemon's admission step for one request,
+	// as if the admission queue had been poisoned by a transient overload
+	// spike. The request is shed with a clean retryable response — never a
+	// half-processed pipeline — so the site is skip-safe.
+	ServerAdmit
+	// ServerEncode fails the service daemon's response encoding for one
+	// request, simulating a write error on the client connection. The
+	// request's pipeline work is complete (and cached where applicable);
+	// only the response is lost, so a client retry is cheap.
+	ServerEncode
 
 	numSites
 )
@@ -73,6 +83,8 @@ var siteNames = [numSites]string{
 	SymexPanic:       "symex.panic",
 	CegisReject:      "cegis.reject",
 	DiskCacheIO:      "diskcache.io",
+	ServerAdmit:      "server.admit",
+	ServerEncode:     "server.encode",
 }
 
 // Sites lists every defined site, in declaration order.

@@ -1,0 +1,115 @@
+// Package leakcheck is a dependency-free goroutine-leak detector in the
+// style of go.uber.org/goleak: it snapshots every goroutine stack, drops
+// the ones the runtime and the testing harness always own, retries over
+// a grace window (goroutines legitimately take a moment to unwind after
+// a server shuts down), and fails the test with the surviving stacks.
+// The service tests use it to hold the daemon to "zero goroutine leaks"
+// without adding a module dependency.
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the slice of *testing.T the checker needs (so non-test harnesses
+// like cmd/bench can run the same check against their own reporter).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// benign marks stacks that belong to the runtime, the test harness, or
+// process-lifetime machinery — never to leaked request work.
+var benign = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.runTests(",
+	"testing.runFuzzing(",
+	// Precise runtime goroutine roots — NOT bare "runtime.goexit": a
+	// created-but-unscheduled goroutine's stack bottoms out at goexit,
+	// and a broad match would hide exactly the leaks this package exists
+	// to catch.
+	"runtime.gcBgMarkWorker",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.runfinq",
+	"runtime.forcegchelper",
+	"runtime.ReadTrace",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"os/signal.NotifyContext",
+	"runtime.ensureSigM",
+	"net/http.(*persistConn).writeLoop", // idle keepalive; dies with CloseIdleConnections
+	"net/http.(*persistConn).readLoop",
+	"leakcheck.snapshot", // the checker itself
+}
+
+// snapshot returns the stacks of every live goroutine except benign
+// ones, one string per goroutine.
+func snapshot(extraAllow []string) []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var leaked []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" || isBenign(g, extraAllow) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+func isBenign(stack string, extraAllow []string) bool {
+	for _, b := range benign {
+		if strings.Contains(stack, b) {
+			return true
+		}
+	}
+	for _, b := range extraAllow {
+		if strings.Contains(stack, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check fails t when goroutines beyond the benign set are still alive
+// after the grace window. extraAllow entries are substrings of stacks
+// the caller knows to be process-lifetime (e.g. a shared pprof server).
+func Check(t TB, extraAllow ...string) {
+	t.Helper()
+	CheckWithin(t, 5*time.Second, extraAllow...)
+}
+
+// CheckWithin is Check with an explicit grace window.
+func CheckWithin(t TB, grace time.Duration, extraAllow ...string) {
+	t.Helper()
+	deadline := time.Now().Add(grace)
+	wait := time.Millisecond
+	var leaked []string
+	for {
+		if leaked = snapshot(extraAllow); len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(wait)
+		if wait < 100*time.Millisecond {
+			wait *= 2
+		}
+	}
+	for _, g := range leaked {
+		t.Errorf("leaked goroutine:\n%s", g)
+	}
+}

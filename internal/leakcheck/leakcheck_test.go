@@ -1,0 +1,87 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder is a fake TB capturing failures.
+type recorder struct {
+	failures []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.failures = append(r.failures, format)
+}
+
+// TestCleanProcessPasses: with nothing leaked, Check is silent.
+func TestCleanProcessPasses(t *testing.T) {
+	rec := &recorder{}
+	CheckWithin(rec, 2*time.Second)
+	if len(rec.failures) != 0 {
+		t.Fatalf("clean process reported %d leaks", len(rec.failures))
+	}
+}
+
+// TestLeakDetected: a goroutine parked on a channel past the grace
+// window must be reported, and released goroutines must clear the check.
+func TestLeakDetected(t *testing.T) {
+	block := make(chan struct{})
+	go func() { <-block }()
+	rec := &recorder{}
+	CheckWithin(rec, 200*time.Millisecond)
+	if len(rec.failures) == 0 {
+		t.Fatal("parked goroutine not reported")
+	}
+	close(block)
+	rec2 := &recorder{}
+	CheckWithin(rec2, 2*time.Second)
+	if len(rec2.failures) != 0 {
+		t.Fatalf("released goroutine still reported: %d", len(rec2.failures))
+	}
+}
+
+// TestGraceWindowAbsorbsUnwinding: a goroutine that exits shortly after
+// the check starts must not be reported — the retry loop absorbs it.
+func TestGraceWindowAbsorbsUnwinding(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	rec := &recorder{}
+	CheckWithin(rec, 2*time.Second)
+	<-done
+	if len(rec.failures) != 0 {
+		t.Fatalf("unwinding goroutine reported as a leak")
+	}
+}
+
+// TestExtraAllow: caller-known process-lifetime goroutines are excusable
+// by stack substring.
+func TestExtraAllow(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	go parkForTest(block)
+	rec := &recorder{}
+	CheckWithin(rec, 200*time.Millisecond, "leakcheck.parkForTest")
+	if len(rec.failures) != 0 {
+		t.Fatalf("allowed goroutine still reported")
+	}
+	// Sanity: without the allowance it is a leak.
+	rec2 := &recorder{}
+	CheckWithin(rec2, 200*time.Millisecond)
+	found := false
+	for _, f := range rec2.failures {
+		if strings.Contains(f, "leaked goroutine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("parked goroutine not reported without the allowance")
+	}
+}
+
+func parkForTest(c chan struct{}) { <-c }

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrQueueFull is the admission verdict behind a 429: the waiting line is
+// at capacity, so taking the request would only grow latency for everyone
+// already queued. The client should retry after the hinted interval.
+var ErrQueueFull = errors.New("service: admission queue full")
+
+// admitter is the bounded in-flight queue. MaxInFlight slots bound the
+// requests running the pipeline concurrently; QueueDepth bounds how many
+// more may wait for a slot. Queue wait burns the request's own deadline
+// (the caller passes its request context), so a slow queue converts into
+// per-request timeouts, never unbounded memory.
+type admitter struct {
+	slots  chan struct{}
+	depth  int64        // waiting-line capacity (beyond the slots)
+	queued atomic.Int64 // requests currently waiting for a slot
+}
+
+func newAdmitter(maxInFlight, queueDepth int) *admitter {
+	return &admitter{
+		slots: make(chan struct{}, maxInFlight),
+		depth: int64(queueDepth),
+	}
+}
+
+// admit takes a queue position and waits for an in-flight slot. It
+// returns a release function on success; ErrQueueFull when the waiting
+// line is at capacity; or a deadline error when ctx dies first (the
+// queue position is released either way — a waiter that gives up never
+// leaks capacity).
+func (a *admitter) admit(ctx ctxDone) (func(), error) {
+	if a.queued.Add(1) > a.depth {
+		a.queued.Add(-1)
+		return nil, ErrQueueFull
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.queued.Add(-1)
+		return func() { <-a.slots }, nil
+	case <-ctx.Done():
+		a.queued.Add(-1)
+		return nil, fmt.Errorf("service: request deadline exhausted waiting in queue: %w", ctx.Err())
+	}
+}
+
+// inFlight is the number of requests currently holding a slot.
+func (a *admitter) inFlight() int64 { return int64(len(a.slots)) }
+
+// waiting is the number of requests queued for a slot.
+func (a *admitter) waiting() int64 { return a.queued.Load() }
+
+// loadFraction is occupied capacity (in-flight + waiting) over total
+// capacity, the overload policy's queue-pressure input.
+func (a *admitter) loadFraction() float64 {
+	total := int64(cap(a.slots)) + a.depth
+	if total == 0 {
+		return 1
+	}
+	return float64(a.inFlight()+a.waiting()) / float64(total)
+}
+
+// ctxDone is the slice of context.Context admission needs; narrowed so
+// tests can drive admission with a bare channel.
+type ctxDone interface {
+	Done() <-chan struct{}
+	Err() error
+}

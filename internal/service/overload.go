@@ -1,0 +1,129 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"stringloops/internal/core"
+)
+
+// OverloadPolicy maps server pressure onto the degradation ladder's
+// starting rung: the server sheds work per request (skip synthesis, skip
+// the solver entirely) before it sheds requests. Two signals feed it —
+// the admission queue's load fraction, and the recent completion-latency
+// p99 — and the worse of the two wins.
+//
+// The default thresholds: load ≥ 0.50 of total capacity starts requests
+// at the memoryless rung, ≥ 0.75 at covering inputs, ≥ 0.90 at the
+// concrete smoke floor. A draining server forces the floor regardless.
+type OverloadPolicy struct {
+	// MemorylessAt, CoveringAt, SmokeAt are load fractions (occupied
+	// admission capacity / total capacity) above which the ladder starts
+	// one, two, three rungs down. Zero fields take the defaults
+	// (0.50 / 0.75 / 0.90); a field > 1 never triggers on load.
+	MemorylessAt float64
+	CoveringAt   float64
+	SmokeAt      float64
+	// TargetP99 degrades one extra level while the recent p99 completion
+	// latency exceeds it. Zero disables the latency signal.
+	TargetP99 time.Duration
+	// Window is the latency ring size feeding the p99 (default 128).
+	Window int
+	// Disable turns the policy off: every request starts at RungFull
+	// regardless of pressure. The chaos soak uses it so server verdicts
+	// stay comparable to offline runs.
+	Disable bool
+}
+
+func (p OverloadPolicy) withDefaults() OverloadPolicy {
+	if p.MemorylessAt == 0 {
+		p.MemorylessAt = 0.50
+	}
+	if p.CoveringAt == 0 {
+		p.CoveringAt = 0.75
+	}
+	if p.SmokeAt == 0 {
+		p.SmokeAt = 0.90
+	}
+	if p.Window <= 0 {
+		p.Window = 128
+	}
+	return p
+}
+
+// overload is the policy's runtime state: a fixed ring of recent
+// completion latencies under one mutex (appends are rare relative to
+// pipeline work, so contention is negligible).
+type overload struct {
+	pol  OverloadPolicy
+	mu   sync.Mutex
+	ring []time.Duration
+	next int
+	n    int
+}
+
+func newOverload(pol OverloadPolicy) *overload {
+	pol = pol.withDefaults()
+	return &overload{pol: pol, ring: make([]time.Duration, pol.Window)}
+}
+
+// observe records one completed request's latency.
+func (o *overload) observe(d time.Duration) {
+	o.mu.Lock()
+	o.ring[o.next] = d
+	o.next = (o.next + 1) % len(o.ring)
+	if o.n < len(o.ring) {
+		o.n++
+	}
+	o.mu.Unlock()
+}
+
+// p99 is the 99th-percentile latency over the ring (0 when empty).
+func (o *overload) p99() time.Duration {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.n == 0 {
+		return 0
+	}
+	// Selection by copy + partial sort is overkill for ≤ a few hundred
+	// entries; a max-ish scan suffices: take the k-th largest with k =
+	// ceil(n/100), via a small insertion pass.
+	k := (o.n + 99) / 100
+	top := make([]time.Duration, 0, k)
+	for i := 0; i < o.n; i++ {
+		v := o.ring[i]
+		pos := len(top)
+		for pos > 0 && top[pos-1] < v {
+			pos--
+		}
+		if pos < k {
+			if len(top) < k {
+				top = append(top, 0)
+			}
+			copy(top[pos+1:], top[pos:])
+			top[pos] = v
+		}
+	}
+	return top[len(top)-1]
+}
+
+// startRung picks the ladder's starting rung for one request given the
+// current load fraction.
+func (o *overload) startRung(loadFrac float64) core.Rung {
+	if o.pol.Disable {
+		return core.RungFull
+	}
+	level := core.RungFull
+	switch {
+	case loadFrac >= o.pol.SmokeAt:
+		level = core.RungSmoke
+	case loadFrac >= o.pol.CoveringAt:
+		level = core.RungCovering
+	case loadFrac >= o.pol.MemorylessAt:
+		level = core.RungMemoryless
+	}
+	if o.pol.TargetP99 > 0 && o.p99() > o.pol.TargetP99 && level < core.RungSmoke {
+		level++
+	}
+	return level
+}

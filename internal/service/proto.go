@@ -1,0 +1,176 @@
+// Package service is the summarization daemon: an HTTP/JSON front door
+// over the filter→symex→cegis→memoryless pipeline, engineered for
+// overload rather than the happy path. Every request is admitted through
+// a bounded queue with a per-request engine.Budget carved from a global
+// envelope; an overload policy maps queue depth and recent p99 latency
+// onto the resilient ladder's rungs so the server sheds work per request
+// (full summary → memoryless verdict → covering inputs → concrete smoke)
+// before it sheds requests; and a SIGTERM drain stops admission,
+// down-ladders queued work, answers every in-flight request, and flushes
+// the persistent cache tier before exit. See DESIGN.md §14.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"stringloops/internal/core"
+)
+
+// Request is the JSON body of POST /summarize: one C string loop and the
+// per-request pipeline knobs. The zero value of every field is the same
+// default the CLI uses.
+type Request struct {
+	// Source is the C translation unit holding the loop.
+	Source string `json:"source"`
+	// Func names the function to summarise; empty means the single
+	// loop-shaped function in the source.
+	Func string `json:"func,omitempty"`
+	// Vocabulary restricts the synthesis vocabulary (opcode letters);
+	// empty means the full Table 1 vocabulary.
+	Vocabulary string `json:"vocabulary,omitempty"`
+	// MaxProgramSize bounds the encoded summary size (default 9).
+	MaxProgramSize int `json:"max_program_size,omitempty"`
+	// MaxSetSize bounds character-set arguments (default 3).
+	MaxSetSize int `json:"max_set_size,omitempty"`
+	// MaxExampleLength is the bounded-equivalence string length (default 3).
+	MaxExampleLength int `json:"max_example_length,omitempty"`
+	// RequireMemoryless refuses summaries for loops that fail the §3
+	// verification.
+	RequireMemoryless bool `json:"require_memoryless,omitempty"`
+}
+
+// SummaryPayload is the RungFull payload of a response.
+type SummaryPayload struct {
+	Encoded    string `json:"encoded"`
+	Readable   string `json:"readable"`
+	C          string `json:"c"`
+	Memoryless bool   `json:"memoryless"`
+	Direction  string `json:"direction,omitempty"`
+}
+
+// MemorylessPayload is the RungMemoryless payload of a response.
+type MemorylessPayload struct {
+	Memoryless bool   `json:"memoryless"`
+	Direction  string `json:"direction,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// TestInput mirrors core.TestInput for the covering/smoke payloads.
+type TestInput struct {
+	Input  string `json:"input"`
+	Offset int    `json:"offset,omitempty"`
+	Null   bool   `json:"null,omitempty"`
+}
+
+// Response is the JSON body of a successful POST /summarize: the best
+// rung the ladder reached and its payload. ElapsedNs and QueueWaitNs are
+// wall-clock observations and deliberately excluded from VerdictKey, so
+// the chaos soak can compare server verdicts bit-for-bit against offline
+// SummarizeResilient runs.
+type Response struct {
+	// Rung is the rung reached ("full", "memoryless", "covering", "smoke").
+	Rung string `json:"rung"`
+	// StartRung is where the overload policy started the ladder for this
+	// request ("full" when the server was healthy).
+	StartRung string `json:"start_rung"`
+	// Summary is set when Rung == "full".
+	Summary *SummaryPayload `json:"summary,omitempty"`
+	// Memoryless is set when Rung == "memoryless".
+	Memoryless *MemorylessPayload `json:"memoryless,omitempty"`
+	// Covering is set when Rung == "covering".
+	Covering []TestInput `json:"covering,omitempty"`
+	// Smoke is set when Rung == "smoke".
+	Smoke []TestInput `json:"smoke,omitempty"`
+	// Attempts counts supervised attempts across all rungs tried.
+	Attempts int `json:"attempts"`
+	// Degraded carries the last rung failure when the ladder descended
+	// below full (diagnostics, not part of the verdict).
+	Degraded string `json:"degraded,omitempty"`
+	// ElapsedNs is handler wall time (excluded from VerdictKey).
+	ElapsedNs int64 `json:"elapsed_ns"`
+	// QueueWaitNs is time spent waiting for an admission slot (excluded
+	// from VerdictKey).
+	QueueWaitNs int64 `json:"queue_wait_ns"`
+}
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+	// RetryAfterSec mirrors the Retry-After header on retryable statuses.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+}
+
+// VerdictKey serialises the deterministic fields of a response — rung and
+// payload, no timings, no attempt counts (retries under injected faults
+// are schedule-dependent across processes) — into one comparable string.
+// The chaos soak asserts server keys equal offline keys.
+func (r *Response) VerdictKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rung=%s", r.Rung)
+	if r.Summary != nil {
+		fmt.Fprintf(&b, ";sum=%s|%v|%s", r.Summary.Encoded, r.Summary.Memoryless, r.Summary.Direction)
+	}
+	if r.Memoryless != nil {
+		fmt.Fprintf(&b, ";mem=%v|%s|%s", r.Memoryless.Memoryless, r.Memoryless.Direction, r.Memoryless.Reason)
+	}
+	writeInputs := func(tag string, ins []TestInput) {
+		if len(ins) == 0 {
+			return
+		}
+		sorted := append([]TestInput(nil), ins...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Input < sorted[j].Input })
+		fmt.Fprintf(&b, ";%s=", tag)
+		for _, ti := range sorted {
+			fmt.Fprintf(&b, "(%q,%d,%v)", ti.Input, ti.Offset, ti.Null)
+		}
+	}
+	writeInputs("cov", r.Covering)
+	writeInputs("smoke", r.Smoke)
+	return b.String()
+}
+
+// fromOutcome converts a ladder outcome into the wire response.
+func fromOutcome(out core.Outcome, start core.Rung) *Response {
+	resp := &Response{
+		Rung:      out.Rung.String(),
+		StartRung: start.String(),
+		Attempts:  len(out.Attempts),
+	}
+	if out.Rung != core.RungFull && out.Err != nil {
+		resp.Degraded = out.Err.Error()
+	}
+	if out.Summary != nil {
+		resp.Summary = &SummaryPayload{
+			Encoded:    out.Summary.Encoded,
+			Readable:   out.Summary.Readable,
+			C:          out.Summary.C,
+			Memoryless: out.Summary.Memoryless,
+			Direction:  out.Summary.Direction,
+		}
+	}
+	if out.Memoryless != nil {
+		resp.Memoryless = &MemorylessPayload{
+			Memoryless: out.Memoryless.Memoryless,
+			Direction:  out.Memoryless.Direction,
+			Reason:     out.Memoryless.Reason,
+		}
+	}
+	resp.Covering = convertInputs(out.Covering)
+	if out.Smoke != nil {
+		resp.Smoke = convertInputs(out.Smoke.Inputs)
+	}
+	return resp
+}
+
+func convertInputs(ins []core.TestInput) []TestInput {
+	if len(ins) == 0 {
+		return nil
+	}
+	out := make([]TestInput, len(ins))
+	for i, ti := range ins {
+		out[i] = TestInput{Input: ti.Input, Offset: ti.Offset, Null: ti.Null}
+	}
+	return out
+}

@@ -1,0 +1,552 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"stringloops/internal/core"
+	"stringloops/internal/diskcache"
+	"stringloops/internal/engine"
+	"stringloops/internal/faultpoint"
+	"stringloops/internal/obs"
+	"stringloops/internal/supervise"
+)
+
+// Service-level metric names, alongside the solver-stack names in obs.
+const (
+	MSvcRequests       = "service.requests"        // POST /summarize seen
+	MSvcCompleted      = "service.completed"       // answered with a verdict
+	MSvcShedQueueFull  = "service.shed.queue_full" // 429: waiting line full
+	MSvcShedRateLimit  = "service.shed.rate_limit" // 429: client over budget
+	MSvcShedDraining   = "service.shed.draining"   // 503: drain in progress
+	MSvcShedInjected   = "service.shed.injected"   // 503: ServerAdmit fired
+	MSvcQueueTimeout   = "service.queue_timeout"   // deadline died in queue
+	MSvcMalformed      = "service.malformed"       // 400
+	MSvcOversized      = "service.oversized"       // 413
+	MSvcUnsummarizable = "service.unsummarizable"  // 422: RungFailed
+	MSvcEncodeFailed   = "service.encode_failed"   // 500: encode path
+	MSvcPanics         = "service.panics"          // 500: guarded panic
+	MSvcCancelled      = "service.cancelled"       // client gone mid-pipeline
+	MSvcReconcileDrift = "service.reconcile_drift" // budget↔metrics mismatch
+	MSvcLatencyNs      = "service.latency_ns"
+	MSvcQueueWaitNs    = "service.queue_wait_ns"
+	MSvcInFlight       = "service.inflight"    // gauge
+	MSvcQueued         = "service.queued"      // gauge
+	MSvcStartRung      = "service.start_rung"  // gauge: last policy verdict
+	MSvcRungPrefix     = "service.rung."       // counter per reached rung
+	MSvcStartPrefix    = "service.start_rung." // counter per starting rung
+)
+
+// Config configures a Server. The zero value serves with sane defaults:
+// one slot per CPU, an 8×-deep queue, 30s request timeout, 1 MiB source
+// cap, rate limiting off, overload policy at the default thresholds.
+type Config struct {
+	// MaxInFlight bounds requests running the pipeline concurrently
+	// (default: GOMAXPROCS).
+	MaxInFlight int
+	// QueueDepth bounds requests waiting for a slot beyond MaxInFlight
+	// (default: 8×MaxInFlight). Queue-full requests get 429 + Retry-After.
+	QueueDepth int
+	// MaxSourceBytes caps the request body (default 1 MiB). Larger bodies
+	// get 413 before any parsing.
+	MaxSourceBytes int64
+	// RequestTimeout is each request's total deadline, queue wait
+	// included (default 30s).
+	RequestTimeout time.Duration
+	// GlobalLimits is the server-wide resource envelope; each admitted
+	// request runs under GlobalLimits / MaxInFlight (zero fields stay
+	// unlimited — the request context still bounds wall time).
+	GlobalLimits engine.Limits
+	// MaxAttempts bounds supervised attempts per rung (default 2 — a
+	// server prefers degrading to retry-burning).
+	MaxAttempts int
+	// RatePerSec/Burst configure the per-client token bucket; RatePerSec
+	// <= 0 disables rate limiting.
+	RatePerSec float64
+	Burst      float64
+	// Overload is the degradation policy (see OverloadPolicy).
+	Overload OverloadPolicy
+	// StartRung floors every request's starting rung: the overload policy
+	// can only move below it. The chaos soak pins RungMemoryless with the
+	// policy disabled so verdicts stay offline-comparable.
+	StartRung core.Rung
+	// Merge/NoVN/Vocabulary/Cache/Faults configure the pipeline exactly
+	// as the CLI flags do; Cache is flushed (Closed) by Drain.
+	Merge      bool
+	NoVN       bool
+	Vocabulary string
+	Cache      *diskcache.Tier
+	Faults     *faultpoint.Registry
+	// Tracer/Metrics receive server and pipeline observability. Nil
+	// Metrics gets a fresh registry (the server always meters itself);
+	// nil Tracer disables tracing.
+	Tracer  *obs.Tracer
+	Metrics *obs.Metrics
+	// Now and Seed exist for tests (deterministic rate-limit clocks).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8 * c.MaxInFlight
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 2
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewMetrics()
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.StartRung < core.RungFull || c.StartRung > core.RungSmoke {
+		c.StartRung = core.RungFull
+	}
+	return c
+}
+
+// perRequestLimits carves the global envelope evenly across the slots.
+// Zero global fields stay unlimited; non-zero fields never carve below 1.
+func (c Config) perRequestLimits() engine.Limits {
+	carve := func(v int64) int64 {
+		if v == 0 {
+			return 0
+		}
+		if v /= int64(c.MaxInFlight); v < 1 {
+			return 1
+		}
+		return v
+	}
+	return engine.Limits{
+		Conflicts: carve(c.GlobalLimits.Conflicts),
+		Forks:     carve(c.GlobalLimits.Forks),
+		Nodes:     carve(c.GlobalLimits.Nodes),
+	}
+}
+
+// Server is the summarization daemon's request machinery: admission,
+// rate limiting, overload degradation, per-request budgets, and drain.
+// Attach Handler() to any http.Server.
+type Server struct {
+	cfg    Config
+	limits engine.Limits
+	adm    *admitter
+	rl     *rateLimiter
+	ovl    *overload
+	m      *obs.Metrics
+
+	mu       sync.Mutex // guards draining flip vs in-flight registration
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:    cfg,
+		limits: cfg.perRequestLimits(),
+		adm:    newAdmitter(cfg.MaxInFlight, cfg.QueueDepth),
+		rl:     newRateLimiter(cfg.RatePerSec, cfg.Burst, 0, cfg.Now),
+		ovl:    newOverload(cfg.Overload),
+		m:      cfg.Metrics,
+	}
+}
+
+// Handler is the daemon's HTTP surface: POST /summarize, GET /healthz,
+// GET /metrics, GET /trace.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/summarize", s.handleSummarize)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/trace", s.handleTrace)
+	return mux
+}
+
+// Draining reports whether Drain has started.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// enter registers one request against drain. It fails once draining has
+// started; on success the caller must call the returned done function.
+// The mutex makes the draining check and the WaitGroup add atomic, so
+// Drain's Wait can never miss a request it should have counted.
+func (s *Server) enter() (func(), bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false
+	}
+	s.wg.Add(1)
+	return s.wg.Done, true
+}
+
+// Drain gracefully stops the server: new requests are refused with 503,
+// requests still waiting for a slot run at the concrete smoke floor
+// (down-laddered, answered, never dropped), and once the last in-flight
+// request finishes the persistent cache tier is flushed. The context
+// bounds the wait; on expiry the remaining requests keep their
+// connections (the HTTP server's own shutdown handles them) but the
+// cache flush still runs.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var waitErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		waitErr = fmt.Errorf("service: drain deadline with %d in flight, %d queued: %w",
+			s.adm.inFlight(), s.adm.waiting(), ctx.Err())
+	}
+	if s.cfg.Cache != nil {
+		if err := s.cfg.Cache.Close(); err != nil && waitErr == nil {
+			waitErr = fmt.Errorf("service: drain cache flush: %w", err)
+		}
+	}
+	return waitErr
+}
+
+// startRung combines the config floor, the overload policy, and drain:
+// drain forces the smoke floor (queued work is answered cheaply), the
+// policy moves below the configured floor under pressure.
+func (s *Server) startRung() core.Rung {
+	if s.Draining() {
+		return core.RungSmoke
+	}
+	r := s.ovl.startRung(s.adm.loadFraction())
+	if r < s.cfg.StartRung {
+		r = s.cfg.StartRung
+	}
+	return r
+}
+
+// retryAfterSec estimates when retrying is worthwhile: roughly one
+// queue's worth of recent p99, clamped to [1, 30] seconds.
+func (s *Server) retryAfterSec() int {
+	p99 := s.ovl.p99()
+	if p99 <= 0 {
+		return 1
+	}
+	est := int(p99/time.Second) + 1
+	if est > 30 {
+		est = 30
+	}
+	return est
+}
+
+func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only", 0)
+		return
+	}
+	s.m.Counter(MSvcRequests).Inc()
+	began := s.cfg.Now()
+
+	if s.Draining() {
+		s.m.Counter(MSvcShedDraining).Inc()
+		s.writeError(w, http.StatusServiceUnavailable, "draining", s.retryAfterSec())
+		return
+	}
+	// The ServerAdmit faultpoint sheds the request with a clean retryable
+	// response — the degraded outcome a poisoned admission path would
+	// produce — before any pipeline state exists, so it is skip-safe.
+	if s.cfg.Faults.Fire(faultpoint.ServerAdmit) {
+		s.m.Counter(MSvcShedInjected).Inc()
+		s.writeError(w, http.StatusServiceUnavailable, "injected admission fault", 1)
+		return
+	}
+	if ok, wait := s.rl.allow(clientKey(r)); !ok {
+		s.m.Counter(MSvcShedRateLimit).Inc()
+		sec := int(wait/time.Second) + 1
+		s.writeError(w, http.StatusTooManyRequests, "client rate limit exceeded", sec)
+		return
+	}
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.m.Counter(MSvcOversized).Inc()
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body over %d bytes", s.cfg.MaxSourceBytes), 0)
+			return
+		}
+		s.m.Counter(MSvcMalformed).Inc()
+		s.writeError(w, http.StatusBadRequest, "malformed request: "+err.Error(), 0)
+		return
+	}
+	if req.Source == "" {
+		s.m.Counter(MSvcMalformed).Inc()
+		s.writeError(w, http.StatusBadRequest, "empty source", 0)
+		return
+	}
+
+	// One deadline covers queue wait and pipeline both; a client
+	// disconnect cancels the request context, which unwinds the pipeline
+	// mid-solve through the budget it rooted.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	done, ok := s.enter()
+	if !ok { // drain began between the check above and here
+		s.m.Counter(MSvcShedDraining).Inc()
+		s.writeError(w, http.StatusServiceUnavailable, "draining", s.retryAfterSec())
+		return
+	}
+	defer done()
+
+	queueStart := s.cfg.Now()
+	s.m.Gauge(MSvcQueued).Set(s.adm.waiting() + 1)
+	release, err := s.adm.admit(ctx)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.m.Counter(MSvcShedQueueFull).Inc()
+			s.writeError(w, http.StatusTooManyRequests, "queue full", s.retryAfterSec())
+			return
+		}
+		s.m.Counter(MSvcQueueTimeout).Inc()
+		s.writeError(w, http.StatusServiceUnavailable, err.Error(), s.retryAfterSec())
+		return
+	}
+	defer release()
+	queueWait := s.cfg.Now().Sub(queueStart)
+	s.m.Histogram(MSvcQueueWaitNs).Observe(int64(queueWait))
+	s.m.Gauge(MSvcInFlight).Set(s.adm.inFlight())
+	s.m.Gauge(MSvcQueued).Set(s.adm.waiting())
+
+	start := s.startRung()
+	s.m.Gauge(MSvcStartRung).Set(int64(start))
+	s.m.Counter(MSvcStartPrefix + start.String()).Inc()
+
+	// Per-request observability: the pipeline meters into a private
+	// registry so its spend reconciles 1:1 against the request's budgets;
+	// drift is a server bug and is counted, never silently merged.
+	reqMetrics := obs.NewMetrics()
+	var budgets []*engine.Budget
+	var out core.Outcome
+	err = supervise.Guard(func() error {
+		out = core.SummarizeResilient(req.Source, req.Func, core.ResilientOptions{
+			Options: core.Options{
+				Vocabulary:        firstNonEmpty(req.Vocabulary, s.cfg.Vocabulary),
+				MaxProgramSize:    req.MaxProgramSize,
+				MaxSetSize:        req.MaxSetSize,
+				MaxExampleLength:  req.MaxExampleLength,
+				RequireMemoryless: req.RequireMemoryless,
+				Timeout:           s.cfg.RequestTimeout,
+				Merge:             s.cfg.Merge,
+				NoVN:              s.cfg.NoVN,
+				Cache:             s.cfg.Cache,
+			},
+			Ctx:         ctx,
+			StartRung:   start,
+			OnBudget:    func(b *engine.Budget) { budgets = append(budgets, b) },
+			Limits:      s.limits,
+			MaxLimits:   s.limits, // the carve is the ceiling: no escalation past it
+			MaxAttempts: s.cfg.MaxAttempts,
+			Tracer:      s.cfg.Tracer,
+			Metrics:     reqMetrics,
+		})
+		return nil
+	})
+	if err != nil {
+		// The ladder guards its own rungs; a panic here means the service
+		// plumbing itself blew up. Isolate it to this request.
+		s.m.Counter(MSvcPanics).Inc()
+		s.writeError(w, http.StatusInternalServerError, "internal panic: "+err.Error(), 0)
+		return
+	}
+	if !s.reconcile(reqMetrics, budgets) {
+		s.m.Counter(MSvcReconcileDrift).Inc()
+	}
+
+	elapsed := s.cfg.Now().Sub(began)
+	s.ovl.observe(elapsed)
+	s.m.Histogram(MSvcLatencyNs).Observe(int64(elapsed))
+
+	if ctx.Err() != nil && r.Context().Err() != nil {
+		// Client gone: the pipeline was cancelled mid-solve. The write
+		// below fails silently; count the cancellation for the books.
+		s.m.Counter(MSvcCancelled).Inc()
+	}
+
+	if out.Rung == core.RungFailed {
+		msg := "summarization failed"
+		if out.Err != nil {
+			msg = out.Err.Error()
+		}
+		s.m.Counter(MSvcUnsummarizable).Inc()
+		s.m.Counter(MSvcRungPrefix + core.RungFailed.String()).Inc()
+		s.writeError(w, http.StatusUnprocessableEntity, msg, 0)
+		return
+	}
+
+	resp := fromOutcome(out, start)
+	resp.ElapsedNs = int64(elapsed)
+	resp.QueueWaitNs = int64(queueWait)
+	s.m.Counter(MSvcRungPrefix + out.Rung.String()).Inc()
+	s.m.Counter(MSvcCompleted).Inc()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// reconcile checks the request's private metric registry against its
+// summed budget spend — the same counter-by-counter identity loopsum
+// -corpus enforces offline, here per request.
+func (s *Server) reconcile(m *obs.Metrics, budgets []*engine.Budget) bool {
+	var conflicts, propagations, forks, nodes, hits, misses int64
+	var dhits, dmisses, devics, vnhits, fusions, bhits int64
+	for _, b := range budgets {
+		conflicts += b.Conflicts()
+		propagations += b.Propagations()
+		forks += b.Forks()
+		nodes += b.Nodes()
+		hits += b.CacheHits()
+		misses += b.CacheMisses()
+		dhits += b.DiskHits()
+		dmisses += b.DiskMisses()
+		devics += b.DiskEvictions()
+		vnhits += b.VNHits()
+		fusions += b.IteFusions()
+		bhits += b.BlastHits()
+	}
+	snap := m.Snapshot()
+	for _, c := range []struct {
+		name string
+		want int64
+	}{
+		{obs.MSatConflicts, conflicts},
+		{obs.MSatPropagations, propagations},
+		{obs.MSymexForks, forks},
+		{obs.MBVNodes, nodes},
+		{obs.MQCacheHits, hits},
+		{obs.MQCacheMisses, misses},
+		{obs.MDiskHits, dhits},
+		{obs.MDiskMisses, dmisses},
+		{obs.MDiskEvictions, devics},
+		{obs.MBVVNHits, vnhits},
+		{obs.MBVIteFusions, fusions},
+		{obs.MBVBlastHits, bhits},
+	} {
+		if snap.Counters[c.name] != c.want {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, map[string]any{
+		"status":     status,
+		"inflight":   s.adm.inFlight(),
+		"queued":     s.adm.waiting(),
+		"start_rung": s.startRung().String(),
+		"p99_ns":     int64(s.ovl.p99()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.m.Snapshot())
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Tracer == nil {
+		s.writeError(w, http.StatusNotFound, "tracing disabled (start the daemon with -trace)", 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.cfg.Tracer.WriteChromeTrace(w); err != nil {
+		// Headers are gone; nothing to do but count it.
+		s.m.Counter(MSvcEncodeFailed).Inc()
+	}
+}
+
+// writeJSON encodes v, consulting the ServerEncode faultpoint first: a
+// firing simulates a response-encoding failure after the pipeline work
+// completed (and was cached where applicable), so a client retry is cheap.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	if s.cfg.Faults.Fire(faultpoint.ServerEncode) {
+		s.m.Counter(MSvcEncodeFailed).Inc()
+		writeRawError(w, http.StatusInternalServerError, "injected encode fault", 1)
+		return
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		s.m.Counter(MSvcEncodeFailed).Inc()
+		writeRawError(w, http.StatusInternalServerError, "response encoding failed: "+err.Error(), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(body, '\n'))
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string, retryAfterSec int) {
+	writeRawError(w, code, msg, retryAfterSec)
+}
+
+func writeRawError(w http.ResponseWriter, code int, msg string, retryAfterSec int) {
+	body, _ := json.Marshal(ErrorBody{Error: msg, RetryAfterSec: retryAfterSec})
+	w.Header().Set("Content-Type", "application/json")
+	if retryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+	}
+	w.WriteHeader(code)
+	w.Write(append(body, '\n'))
+}
+
+// clientKey identifies a client for rate limiting: the X-Loopsum-Client
+// header when present (trusted deployments), else the remote host.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-Loopsum-Client"); k != "" {
+		return k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}
