@@ -30,6 +30,7 @@
 //	bench -obs                 # overhead lane, writes BENCH_5.json
 //	bench -merge -check        # merging lane, writes BENCH_6.json
 //	bench -persist -check      # warm-vs-cold lane, writes BENCH_7.json
+//	bench -telemetry -check    # provenance/exposition lane, writes BENCH_10.json
 package main
 
 import (
@@ -110,6 +111,7 @@ func main() {
 		vnL   = flag.Bool("vn", false, "run the value-numbering lane and write BENCH_8.json instead")
 
 		serve   = flag.Bool("serve", false, "run the daemon load lane and write BENCH_9.json instead")
+		telem   = flag.Bool("telemetry", false, "run the telemetry lane (provenance, exposition, trace merge) and write BENCH_10.json instead")
 		persist = flag.Bool("persist", false, "run the cross-process persistent-cache lane and write BENCH_7.json instead")
 		sample  = flag.Int("sample", 0, "with -persist: only the first N corpus loops (0 = all 115)")
 		child   = flag.Bool("persist-child", false, "internal: run one corpus sweep over -cache-dir and print verdicts (the -persist lane's worker phase)")
@@ -162,6 +164,13 @@ func main() {
 			*out = "BENCH_9.json"
 		}
 		serveLane(*short, *check, *out)
+		return
+	}
+	if *telem {
+		if *out == "BENCH_3.json" {
+			*out = "BENCH_10.json"
+		}
+		telemetryLane(*short, *check, *out)
 		return
 	}
 

@@ -50,6 +50,7 @@ func main() {
 	cacheDir := cliflags.CacheDir(nil)
 	cacheMaxBytes := cliflags.CacheMaxBytes(nil)
 	server := cliflags.Server(nil)
+	explain := cliflags.Explain(nil)
 	obsFlags := cliflags.Obs(nil)
 	flag.Parse()
 
@@ -100,7 +101,7 @@ func main() {
 	}
 
 	if *server != "" {
-		os.Exit(runRemote(*server, string(src), *funcName, *vocabLetters, *maxSize, *requireMem))
+		os.Exit(runRemote(*server, string(src), *funcName, *vocabLetters, *maxSize, *requireMem, *explain, obsFlags))
 	}
 
 	opts := stringloops.Options{
@@ -302,9 +303,16 @@ func runResilient(src, funcName string, opts stringloops.Options) {
 // runRemote posts the source to a running loopsumd daemon (-server mode)
 // and renders the daemon's verdict in the resilient-run format. The
 // client retries 429/5xx with capped exponential backoff, honoring the
-// daemon's Retry-After hints.
-func runRemote(base, src, funcName, vocab string, maxSize int, requireMem bool) int {
-	client := &service.Client{Base: base, ClientID: "loopsum-cli"}
+// daemon's Retry-After hints. With -explain it also renders the daemon's
+// provenance record; with -trace it writes the client-side spans, which
+// tracecheck -merge can join with the daemon's trace.
+func runRemote(base, src, funcName, vocab string, maxSize int, requireMem, explain bool, obsFlags *obs.Flags) int {
+	sess, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loopsum: %v\n", err)
+		return 2
+	}
+	client := &service.Client{Base: base, ClientID: "loopsum-cli", Tracer: sess.Tracer}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 	resp, err := client.Summarize(ctx, service.Request{
@@ -313,7 +321,11 @@ func runRemote(base, src, funcName, vocab string, maxSize int, requireMem bool) 
 		Vocabulary:        vocab,
 		MaxProgramSize:    maxSize,
 		RequireMemoryless: requireMem,
+		Explain:           explain,
 	})
+	if ferr := sess.Finish(os.Stdout, os.Stderr); ferr != nil {
+		fmt.Fprintf(os.Stderr, "loopsum: %v\n", ferr)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loopsum: %v\n", err)
 		return 1
@@ -341,5 +353,70 @@ func runRemote(base, src, funcName, vocab string, maxSize int, requireMem bool) 
 	if resp.Degraded != "" {
 		fmt.Printf("degraded:  %s\n", resp.Degraded)
 	}
+	if resp.Provenance != nil {
+		printProvenance(resp.Provenance)
+	}
 	return 0
+}
+
+// printProvenance renders the daemon's provenance record: why the request
+// started on its rung, what each attempt spent, and whether the spend
+// totals reconciled against the engine budgets.
+func printProvenance(p *service.Provenance) {
+	fmt.Println("\nprovenance:")
+	if p.TraceID != "" {
+		fmt.Printf("  trace:     %s\n", p.TraceID)
+	}
+	policy := fmt.Sprintf("load=%.2f p99=%v", p.LoadFraction, time.Duration(p.P99SignalNs).Round(time.Microsecond))
+	switch {
+	case p.PolicyDisabled:
+		policy = "overload policy disabled"
+	case p.Draining:
+		policy = "draining (floor rung forced)"
+	}
+	fmt.Printf("  rung:      start=%s final=%s floor=%s (%s)\n", p.StartRung, p.FinalRung, p.FloorRung, policy)
+	for i, a := range p.Attempts {
+		status := "ok"
+		switch {
+		case a.Panicked:
+			status = "panic: " + a.Err
+		case a.Err != "":
+			status = a.Err
+		}
+		fmt.Printf("  attempt %d: %-10s %-24s %v\n", i+1, a.Rung, status,
+			time.Duration(a.ElapsedNs).Round(time.Microsecond))
+		if a.Spend != nil {
+			fmt.Printf("             %s\n", spendLine(*a.Spend))
+		}
+	}
+	fmt.Printf("  totals:    %s\n", spendLine(p.Totals))
+	if p.Reconciled {
+		fmt.Println("  reconcile: spend totals match engine budgets")
+	} else {
+		fmt.Println("  reconcile: DRIFT against engine budgets (instrumentation bug)")
+	}
+}
+
+// spendLine formats the non-zero counters of a spend record, so quiet
+// attempts stay one short line instead of fifteen zeroes.
+func spendLine(s service.SpendTotals) string {
+	parts := []string{}
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"conflicts", s.Conflicts}, {"props", s.Propagations}, {"forks", s.Forks},
+		{"nodes", s.Nodes}, {"qcache", s.QCacheHits}, {"qmiss", s.QCacheMisses},
+		{"disk", s.DiskHits}, {"dmiss", s.DiskMisses}, {"evict", s.DiskEvictions},
+		{"vn", s.VNHits}, {"fuse", s.IteFusions}, {"blast", s.BlastHits},
+		{"simp", s.SimplifyCalls}, {"merges", s.Merges}, {"ites", s.MergeItes},
+	} {
+		if c.v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", c.name, c.v))
+		}
+	}
+	if len(parts) == 0 {
+		return "(no solver spend)"
+	}
+	return strings.Join(parts, " ")
 }

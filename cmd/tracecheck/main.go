@@ -4,6 +4,13 @@
 // producing files chrome://tracing cannot open.
 //
 //	tracecheck trace.json [more.json ...]
+//	tracecheck -merge out.json client.json server.json
+//
+// With -merge, the client and server traces from one run are joined into a
+// single timeline: one process per side, one lane per propagated trace id,
+// server spans anchored under the matching client request. The merged file
+// is validated and canonical — the same inputs always produce the same
+// bytes, so CI can diff it across worker counts.
 package main
 
 import (
@@ -15,9 +22,15 @@ import (
 )
 
 func main() {
+	merge := flag.Bool("merge", false, "merge a client and a server trace into one timeline: -merge out.json client.json server.json")
 	flag.Parse()
+
+	if *merge {
+		os.Exit(runMerge(flag.Args()))
+	}
+
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [more.json ...]")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [more.json ...]\n       tracecheck -merge out.json client.json server.json")
 		os.Exit(2)
 	}
 	code := 0
@@ -34,4 +47,37 @@ func main() {
 		fmt.Printf("%s: ok\n", path)
 	}
 	os.Exit(code)
+}
+
+func runMerge(args []string) int {
+	if len(args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck -merge out.json client.json server.json")
+		return 2
+	}
+	out, clientPath, serverPath := args[0], args[1], args[2]
+	client, err := os.ReadFile(clientPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		return 1
+	}
+	server, err := os.ReadFile(serverPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		return 1
+	}
+	merged, err := obs.MergeChromeTraces(client, server)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: merge: %v\n", err)
+		return 1
+	}
+	if err := obs.ValidateChromeTrace(merged); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: merged trace invalid: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(out, merged, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		return 1
+	}
+	fmt.Printf("%s: merged %s + %s (%d bytes)\n", out, clientPath, serverPath, len(merged))
+	return 0
 }

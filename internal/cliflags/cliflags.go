@@ -94,6 +94,18 @@ func Server(fs *flag.FlagSet) *string {
 		"address of a running loopsumd daemon (e.g. http://localhost:8419); empty = summarise in-process")
 }
 
+// Explain declares the canonical -explain flag: with -server, ask the
+// daemon for the verdict's provenance record (chosen rung and the overload
+// inputs behind it, per-phase budget spend, cache/memo hit counts) and
+// render it after the verdict.
+func Explain(fs *flag.FlagSet) *bool {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return fs.Bool("explain", false,
+		"with -server: request and print the verdict's provenance (rung decision inputs, per-attempt budget spend, cache hits)")
+}
+
 // Obs declares the shared observability flags and returns their destination;
 // call (*obs.Flags).Start after flag.Parse to open the session.
 func Obs(fs *flag.FlagSet) *obs.Flags {

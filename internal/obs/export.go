@@ -68,6 +68,12 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			}
 			ce.Args["path"] = ev.Path
 		}
+		if ev.Trace != "" {
+			if ce.Args == nil {
+				ce.Args = map[string]any{}
+			}
+			ce.Args["trace"] = ev.Trace
+		}
 		out.TraceEvents = append(out.TraceEvents, ce)
 	}
 
@@ -124,6 +130,165 @@ func ValidateChromeTrace(data []byte) error {
 		return fmt.Errorf("obs: trace has no duration events")
 	}
 	return nil
+}
+
+// MergeChromeTraces joins a client-side and a server-side Chrome trace into
+// one timeline, pairing spans through the propagated trace id (the "trace"
+// arg stamped by WriteChromeTrace from Event.Trace). Client events land on
+// pid 1, server events on pid 2; each trace id gets its own lane (tid), so
+// a request's client attempt and the server work it triggered sit stacked
+// in the viewer. Server event groups are shifted so each request's server
+// work aligns with the start of the client span that carried its trace id,
+// and the whole timeline is re-based to start at zero.
+//
+// The output is canonical: lanes are assigned from the sorted trace-id set,
+// events are sorted by (trace, pid, start, duration, name), and metadata is
+// regenerated — so two runs whose per-request event streams match produce
+// byte-identical merged traces. With deterministic tracers on both sides
+// (per-request logical clocks) that holds across worker counts, which is
+// exactly what the merged-trace replay test asserts.
+func MergeChromeTraces(client, server []byte) ([]byte, error) {
+	cev, err := parseChromeEvents(client)
+	if err != nil {
+		return nil, fmt.Errorf("obs: client trace: %w", err)
+	}
+	sev, err := parseChromeEvents(server)
+	if err != nil {
+		return nil, fmt.Errorf("obs: server trace: %w", err)
+	}
+
+	traceOf := func(ev chromeEvent) string {
+		if ev.Args == nil {
+			return ""
+		}
+		s, _ := ev.Args["trace"].(string)
+		return s
+	}
+
+	// Lane assignment: sorted trace ids, untraced events on lane 0.
+	ids := map[string]bool{}
+	for _, ev := range cev {
+		if id := traceOf(ev); id != "" {
+			ids[id] = true
+		}
+	}
+	for _, ev := range sev {
+		if id := traceOf(ev); id != "" {
+			ids[id] = true
+		}
+	}
+	sorted := make([]string, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Strings(sorted)
+	lane := map[string]int{"": 0}
+	for i, id := range sorted {
+		lane[id] = i + 1
+	}
+
+	// Align each trace's server group onto its client group's start.
+	groupMin := func(evs []chromeEvent) map[string]float64 {
+		min := map[string]float64{}
+		for _, ev := range evs {
+			id := traceOf(ev)
+			if cur, ok := min[id]; !ok || ev.TS < cur {
+				min[id] = ev.TS
+			}
+		}
+		return min
+	}
+	cmin, smin := groupMin(cev), groupMin(sev)
+
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	add := func(evs []chromeEvent, pid int, shiftFor map[string]float64) {
+		for _, ev := range evs {
+			id := traceOf(ev)
+			if shiftFor != nil {
+				if base, ok := shiftFor[id]; ok {
+					ev.TS += base - smin[id]
+				}
+			}
+			ev.PID = pid
+			ev.TID = lane[id]
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+	add(cev, 1, nil)
+	// Server groups whose trace id also appears client-side shift onto the
+	// client anchor; orphaned server traces keep their own timeline.
+	shift := map[string]float64{}
+	for id := range smin {
+		if base, ok := cmin[id]; ok && id != "" {
+			shift[id] = base
+		}
+	}
+	add(sev, 2, shift)
+
+	if len(out.TraceEvents) == 0 {
+		return nil, fmt.Errorf("obs: merge: no duration events on either side")
+	}
+
+	// Re-base the merged timeline to start at zero.
+	minTS := out.TraceEvents[0].TS
+	for _, ev := range out.TraceEvents {
+		if ev.TS < minTS {
+			minTS = ev.TS
+		}
+	}
+	for i := range out.TraceEvents {
+		out.TraceEvents[i].TS -= minTS
+	}
+
+	sort.SliceStable(out.TraceEvents, func(i, j int) bool {
+		a, b := out.TraceEvents[i], out.TraceEvents[j]
+		if ta, tb := traceOf(a), traceOf(b); ta != tb {
+			return ta < tb
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.Dur != b.Dur {
+			return a.Dur > b.Dur // parents before children at equal start
+		}
+		return a.Name < b.Name
+	})
+
+	// Regenerated metadata: process names plus one thread name per lane.
+	meta := []chromeEvent{
+		{Name: "process_name", Ph: "M", PID: 1, TID: 0, Args: map[string]any{"name": "client"}},
+		{Name: "process_name", Ph: "M", PID: 2, TID: 0, Args: map[string]any{"name": "server"}},
+	}
+	for _, pid := range []int{1, 2} {
+		for i, id := range sorted {
+			meta = append(meta, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: i + 1,
+				Args: map[string]any{"name": "req " + id},
+			})
+		}
+	}
+	out.TraceEvents = append(meta, out.TraceEvents...)
+
+	return json.Marshal(out)
+}
+
+// parseChromeEvents loads the duration ("X") events of a Chrome trace file,
+// dropping metadata — the merge regenerates its own.
+func parseChromeEvents(data []byte) ([]chromeEvent, error) {
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, err
+	}
+	evs := make([]chromeEvent, 0, len(tr.TraceEvents))
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "X" {
+			evs = append(evs, ev)
+		}
+	}
+	return evs, nil
 }
 
 // flameRow is one aggregated path of the flame summary.

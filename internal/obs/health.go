@@ -1,0 +1,32 @@
+package obs
+
+import "runtime"
+
+// Runtime health gauges: the leak classes internal/leakcheck pins in tests
+// (goroutines, heap) made visible as a trend in production scrapes. Captured
+// on demand at scrape time rather than on a background ticker, so an idle
+// daemon stays idle.
+const (
+	MRuntimeGoroutines   = "runtime.goroutines"
+	MRuntimeHeapBytes    = "runtime.heap_bytes"
+	MRuntimeHeapObjects  = "runtime.heap_objects"
+	MRuntimeGCPauseTotal = "runtime.gc_pause_total_ns"
+	MRuntimeGCCycles     = "runtime.gc_cycles"
+)
+
+// CaptureRuntime refreshes the runtime health gauges in m. A nil registry
+// is a no-op. ReadMemStats briefly stops the world, which is fine at scrape
+// cadence but not per request — callers should invoke this from /metrics
+// and /healthz handlers, not from hot paths.
+func CaptureRuntime(m *Metrics) {
+	if m == nil {
+		return
+	}
+	m.Gauge(MRuntimeGoroutines).Set(int64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.Gauge(MRuntimeHeapBytes).Set(int64(ms.HeapAlloc))
+	m.Gauge(MRuntimeHeapObjects).Set(int64(ms.HeapObjects))
+	m.Gauge(MRuntimeGCPauseTotal).Set(int64(ms.PauseTotalNs))
+	m.Gauge(MRuntimeGCCycles).Set(int64(ms.NumGC))
+}

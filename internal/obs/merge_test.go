@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// buildSideTrace makes a deterministic one-process trace with two traced
+// requests and one untraced span.
+func buildSideTrace(t *testing.T, traces []string, untraced bool) []byte {
+	t.Helper()
+	tr := NewDeterministic()
+	for _, id := range traces {
+		rt := tr.RequestTracer(id, 0)
+		s := rt.Start("summarize")
+		inner := rt.Start("phase/symex")
+		inner.End()
+		s.End()
+	}
+	if untraced {
+		s := tr.Start("housekeeping")
+		s.End()
+	}
+	var b bytes.Buffer
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func TestMergeChromeTraces(t *testing.T) {
+	client := buildSideTrace(t, []string{"req-b", "req-a"}, false)
+	server := buildSideTrace(t, []string{"req-a", "req-b"}, true)
+
+	merged, err := MergeChromeTraces(client, server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(merged); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(merged, &tr); err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		pid int
+		id  string
+	}
+	lanes := map[key]int{}
+	var minTS = -1.0
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		id, _ := ev.Args["trace"].(string)
+		lanes[key{ev.PID, id}] = ev.TID
+		if minTS < 0 || ev.TS < minTS {
+			minTS = ev.TS
+		}
+	}
+	if minTS != 0 {
+		t.Errorf("merged timeline starts at %v, want 0", minTS)
+	}
+	// Lanes pair across processes: same trace id, same tid, both pids.
+	for _, id := range []string{"req-a", "req-b"} {
+		cl, cok := lanes[key{1, id}]
+		sv, sok := lanes[key{2, id}]
+		if !cok || !sok {
+			t.Fatalf("trace %s missing on one side: client=%v server=%v", id, cok, sok)
+		}
+		if cl != sv {
+			t.Errorf("trace %s landed on different lanes: client %d, server %d", id, cl, sv)
+		}
+	}
+	if lanes[key{1, "req-a"}] == lanes[key{1, "req-b"}] {
+		t.Error("distinct requests share a lane")
+	}
+	// The untraced server span survives on lane 0.
+	if _, ok := lanes[key{2, ""}]; !ok {
+		t.Error("untraced server span dropped by the merge")
+	}
+
+	// Canonical output: merging the same inputs again is byte-identical;
+	// merging with the requests issued in a different order is too, because
+	// lanes come from the sorted trace-id set.
+	again, err := MergeChromeTraces(client, server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, again) {
+		t.Error("merge not deterministic on identical inputs")
+	}
+
+	if _, err := MergeChromeTraces([]byte("{"), server); err == nil {
+		t.Error("malformed client trace accepted")
+	}
+	if _, err := MergeChromeTraces([]byte(`{"traceEvents":[]}`), []byte(`{"traceEvents":[]}`)); err == nil {
+		t.Error("empty merge should fail (no duration events)")
+	}
+}

@@ -182,7 +182,40 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil {
 		return 0
 	}
-	total := h.count.Load()
+	return QuantileFromBuckets(h.Buckets(), q)
+}
+
+// Buckets returns a copy of the per-bucket counts, trimmed of trailing
+// empty buckets (nil for an empty or nil histogram). Bucket i counts
+// observations with bit length i, i.e. values in [2^(i-1), 2^i); bucket 0
+// counts values <= 0.
+func (h *Histogram) Buckets() []int64 {
+	if h == nil {
+		return nil
+	}
+	var out [histBuckets]int64
+	top := -1
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+		if out[i] != 0 {
+			top = i
+		}
+	}
+	if top < 0 {
+		return nil
+	}
+	return append([]int64(nil), out[:top+1]...)
+}
+
+// QuantileFromBuckets computes the same upper-bound quantile as
+// Histogram.Quantile from an exported bucket slice — shared by the overload
+// policy's windowed latency histogram (which sums two rotating snapshots)
+// and by anything replaying a serialized HistSnapshot.
+func QuantileFromBuckets(buckets []int64, q float64) int64 {
+	var total int64
+	for _, n := range buckets {
+		total += n
+	}
 	if total == 0 {
 		return 0
 	}
@@ -191,8 +224,8 @@ func (h *Histogram) Quantile(q float64) int64 {
 		rank = total - 1
 	}
 	var seen int64
-	for i := 0; i < histBuckets; i++ {
-		seen += h.buckets[i].Load()
+	for i, n := range buckets {
+		seen += n
 		if seen > rank {
 			if i == 0 {
 				return 0
@@ -203,13 +236,17 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return 1 << 62
 }
 
-// HistSnapshot is the exported view of a histogram.
+// HistSnapshot is the exported view of a histogram. Buckets carries the
+// log2-scale bucket counts (trailing zeros trimmed) so the Prometheus
+// exposition can emit the cumulative le-series and a downstream merge can
+// recompute quantiles instead of taking a max over pre-baked ones.
 type HistSnapshot struct {
-	Count int64 `json:"count"`
-	Sum   int64 `json:"sum"`
-	P50   int64 `json:"p50"`
-	P90   int64 `json:"p90"`
-	P99   int64 `json:"p99"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	P50     int64   `json:"p50"`
+	P90     int64   `json:"p90"`
+	P99     int64   `json:"p99"`
+	Buckets []int64 `json:"buckets,omitempty"`
 }
 
 // Metrics is a named-instrument registry. Instruments are created on first
@@ -315,9 +352,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range m.hists {
+		buckets := h.Buckets()
 		s.Hists[name] = HistSnapshot{
 			Count: h.Count(), Sum: h.Sum(),
-			P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+			P50:     QuantileFromBuckets(buckets, 0.50),
+			P90:     QuantileFromBuckets(buckets, 0.90),
+			P99:     QuantileFromBuckets(buckets, 0.99),
+			Buckets: buckets,
 		}
 	}
 	return s
@@ -338,16 +379,42 @@ func (s *Snapshot) Merge(other Snapshot) {
 		h := s.Hists[k]
 		h.Count += v.Count
 		h.Sum += v.Sum
-		for _, p := range []struct {
-			dst *int64
-			src int64
-		}{{&h.P50, v.P50}, {&h.P90, v.P90}, {&h.P99, v.P99}} {
-			if p.src > *p.dst {
-				*p.dst = p.src
+		h.Buckets = mergeBuckets(h.Buckets, v.Buckets)
+		var inBuckets int64
+		for _, n := range h.Buckets {
+			inBuckets += n
+		}
+		if h.Buckets != nil && inBuckets == h.Count {
+			// With every observation accounted for in buckets the merged
+			// quantiles are exact (at bucket resolution) rather than a max
+			// over inputs. The count check guards against merging with a
+			// bucket-less snapshot from an older serialization.
+			h.P50 = QuantileFromBuckets(h.Buckets, 0.50)
+			h.P90 = QuantileFromBuckets(h.Buckets, 0.90)
+			h.P99 = QuantileFromBuckets(h.Buckets, 0.99)
+		} else {
+			for _, p := range []struct {
+				dst *int64
+				src int64
+			}{{&h.P50, v.P50}, {&h.P90, v.P90}, {&h.P99, v.P99}} {
+				if p.src > *p.dst {
+					*p.dst = p.src
+				}
 			}
 		}
 		s.Hists[k] = h
 	}
+}
+
+// mergeBuckets adds b into a element-wise, growing as needed.
+func mergeBuckets(a, b []int64) []int64 {
+	if len(b) > len(a) {
+		a = append(a, make([]int64, len(b)-len(a))...)
+	}
+	for i, n := range b {
+		a[i] += n
+	}
+	return a
 }
 
 // Dump writes the registry as a sorted name/value table.

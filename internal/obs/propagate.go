@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TraceHeader is the HTTP header carrying the trace context across the
+// client→daemon process boundary: a W3C-traceparent-style value
+// ("lt1-<trace id>-<span id>-<flags>") that lets a coordinator join the
+// client's and the server's spans of one request into a single timeline.
+const TraceHeader = "X-Loopsum-Trace"
+
+// traceVersion is the header's version prefix. Parsers accept only this
+// version; an unknown prefix is treated as "no trace context" by callers
+// that want to degrade rather than reject.
+const traceVersion = "lt1"
+
+// FlagSampled marks a request whose spans are being recorded on the
+// client side, so the server knows a merged timeline is wanted.
+const FlagSampled uint8 = 0x01
+
+// TraceContext is the parsed form of a TraceHeader value: the 64-bit trace
+// id shared by every span of one logical request (client and server side,
+// across retries), the span id of the propagating parent, and the flags
+// byte. The zero value means "no trace context".
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Flags   uint8
+}
+
+// Valid reports whether the context carries a usable trace id.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// String renders the context in header form:
+// "lt1-0123456789abcdef-0123456789abcdef-01".
+func (tc TraceContext) String() string {
+	return fmt.Sprintf("%s-%016x-%016x-%02x", traceVersion, tc.TraceID, tc.SpanID, tc.Flags)
+}
+
+// TraceIDString is the trace id alone in the canonical 16-hex-digit form
+// used to tag spans (Event.Trace) and provenance records.
+func (tc TraceContext) TraceIDString() string {
+	return fmt.Sprintf("%016x", tc.TraceID)
+}
+
+// ParseTraceParent parses a TraceHeader value. It is strict about the
+// shape (version, two 16-digit hex ids, a 2-digit flags byte) but callers
+// typically treat an error as "request arrived without a trace" rather
+// than rejecting the request: a malformed header must never shed work.
+func ParseTraceParent(s string) (TraceContext, error) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) != 4 {
+		return TraceContext{}, fmt.Errorf("obs: trace header %q: want 4 dash-separated fields, got %d", s, len(parts))
+	}
+	if parts[0] != traceVersion {
+		return TraceContext{}, fmt.Errorf("obs: trace header %q: unknown version %q", s, parts[0])
+	}
+	if len(parts[1]) != 16 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return TraceContext{}, fmt.Errorf("obs: trace header %q: bad field widths", s)
+	}
+	traceID, err := strconv.ParseUint(parts[1], 16, 64)
+	if err != nil {
+		return TraceContext{}, fmt.Errorf("obs: trace header %q: trace id: %w", s, err)
+	}
+	spanID, err := strconv.ParseUint(parts[2], 16, 64)
+	if err != nil {
+		return TraceContext{}, fmt.Errorf("obs: trace header %q: span id: %w", s, err)
+	}
+	flags, err := strconv.ParseUint(parts[3], 16, 8)
+	if err != nil {
+		return TraceContext{}, fmt.Errorf("obs: trace header %q: flags: %w", s, err)
+	}
+	tc := TraceContext{TraceID: traceID, SpanID: spanID, Flags: uint8(flags)}
+	if !tc.Valid() {
+		return TraceContext{}, fmt.Errorf("obs: trace header %q: zero trace id", s)
+	}
+	return tc, nil
+}
+
+// DeriveTraceContext deterministically mints a trace context from a seed
+// and a per-source ordinal, using the same splitmix64 discipline as
+// faultpoint and the service client's backoff jitter — so the chaos soak's
+// trace ids (and therefore the merged timeline) replay bit-identically.
+func DeriveTraceContext(seed, ordinal uint64) TraceContext {
+	tid := mix64(seed ^ mix64(ordinal^0x74726163655f6964)) // "trace_id"
+	if tid == 0 {
+		tid = 1
+	}
+	sid := mix64(tid ^ 0x7370616e5f696430) // "span_id0"
+	if sid == 0 {
+		sid = 1
+	}
+	return TraceContext{TraceID: tid, SpanID: sid, Flags: FlagSampled}
+}
+
+// mix64 is splitmix64, kept local so obs stays dependency-free.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -27,6 +27,9 @@ type Event struct {
 	// Start and Dur are nanoseconds since the tracer epoch.
 	Start int64 `json:"start_ns"`
 	Dur   int64 `json:"dur_ns"`
+	// Trace is the 16-hex-digit propagated trace id when the span belongs
+	// to a cross-process request (see propagate.go); empty otherwise.
+	Trace string `json:"trace,omitempty"`
 	// Attrs carry span attributes (error strings, counts).
 	Attrs []Attr `json:"attrs,omitempty"`
 }
@@ -44,6 +47,8 @@ const maxEvents = 1 << 20
 type Tracer struct {
 	clock  func() int64 // ns since epoch
 	worker int
+	trace  string // propagated trace id stamped on every span (request tracers)
+	det    bool   // logical-counter clock: request tracers get private clocks
 
 	mu       sync.Mutex
 	events   []Event
@@ -63,7 +68,7 @@ func New() *Tracer {
 // worker counts.
 func NewDeterministic() *Tracer {
 	var tick atomic.Int64
-	return &Tracer{clock: func() int64 { return tick.Add(1000) }}
+	return &Tracer{clock: func() int64 { return tick.Add(1000) }, det: true}
 }
 
 // Child returns a tracer sharing this tracer's clock and timeline whose
@@ -74,11 +79,43 @@ func (t *Tracer) Child(worker int) *Tracer {
 	if t == nil {
 		return nil
 	}
-	c := &Tracer{clock: t.clock, worker: worker}
+	c := &Tracer{clock: t.clock, worker: worker, trace: t.trace, det: t.det}
 	t.mu.Lock()
 	t.children = append(t.children, c)
 	t.mu.Unlock()
 	return c
+}
+
+// RequestTracer returns a child tracer whose spans carry the given trace id
+// (the Event.Trace field and the Chrome "trace" arg). Under a deterministic
+// parent the request tracer also gets its own private logical clock, so one
+// request's event stream is a pure function of its code path regardless of
+// how other requests interleave on the server — that is what makes the
+// merged client+server timeline bit-identical across worker counts. Under a
+// wall clock the parent's clock is shared so all requests sit on one
+// timeline. Events() on the parent includes the request's events.
+func (t *Tracer) RequestTracer(trace string, worker int) *Tracer {
+	if t == nil {
+		return nil
+	}
+	c := &Tracer{clock: t.clock, worker: worker, trace: trace, det: t.det}
+	if t.det {
+		var tick atomic.Int64
+		c.clock = func() int64 { return tick.Add(1000) }
+	}
+	t.mu.Lock()
+	t.children = append(t.children, c)
+	t.mu.Unlock()
+	return c
+}
+
+// TraceID returns the trace id stamped on this tracer's spans ("" when the
+// tracer is not bound to a propagated request).
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.trace
 }
 
 // Span is an in-flight interval. The nil *Span discards everything.
@@ -195,7 +232,7 @@ func (s *Span) End() {
 	end := s.t.clock()
 	ev := Event{
 		Name: s.name, Path: s.path, Worker: s.worker,
-		Start: s.start, Dur: end - s.start, Attrs: s.attrs,
+		Start: s.start, Dur: end - s.start, Trace: s.t.trace, Attrs: s.attrs,
 	}
 	t := s.t
 	t.mu.Lock()
@@ -224,6 +261,9 @@ func (t *Tracer) Events() []Event {
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
+		}
+		if out[i].Trace != out[j].Trace {
+			return out[i].Trace < out[j].Trace
 		}
 		return out[i].Path < out[j].Path
 	})

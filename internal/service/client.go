@@ -9,7 +9,10 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
+
+	"stringloops/internal/obs"
 )
 
 // Client is the daemon's HTTP client: POST /summarize with capped
@@ -33,8 +36,18 @@ type Client struct {
 	Seed uint64
 	// ClientID, when set, is sent as X-Loopsum-Client for rate limiting.
 	ClientID string
+	// Tracer, when set, records client-side spans: one request span per
+	// Summarize call (its own lane under a deterministic tracer) plus one
+	// child span per HTTP attempt. The same trace id is stamped on the
+	// X-Loopsum-Trace header, so tracecheck -merge can join this trace
+	// with the server's /trace dump into one timeline.
+	Tracer *obs.Tracer
 	// Sleep is swapped by tests (default time.Sleep, ctx-aware).
 	Sleep func(context.Context, time.Duration) error
+
+	// ord numbers Summarize calls; with Seed it mints each request's
+	// deterministic trace id.
+	ord atomic.Uint64
 }
 
 // StatusError is a terminal non-2xx answer from the daemon (after
@@ -108,42 +121,64 @@ func (c *Client) backoff(n int, retryAfter time.Duration) time.Duration {
 }
 
 // Summarize posts one request and returns the daemon's response,
-// retrying retryable failures until MaxRetries or ctx death.
+// retrying retryable failures until MaxRetries or ctx death. Every call
+// mints a deterministic trace context from (Seed, call ordinal) and stamps
+// it on X-Loopsum-Trace — retries reuse the same trace id, because they
+// are the same logical request.
 func (c *Client) Summarize(ctx context.Context, req Request) (*Response, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("service: encoding request: %w", err)
 	}
+	tc := obs.DeriveTraceContext(c.Seed, c.ord.Add(1))
+	rt := c.Tracer.RequestTracer(tc.TraceIDString(), 0)
+	span := rt.Start("client/summarize")
 	var lastErr error
 	for n := 0; ; n++ {
 		if n > 0 {
 			if n > c.maxRetries() {
+				span.SetAttr("status", "retries_exhausted")
+				span.End()
 				return nil, fmt.Errorf("%w after %d tries: %w", ErrRetriesExhausted, n, lastErr)
 			}
 			if err := c.sleep(ctx, c.backoff(n, retryAfterOf(lastErr))); err != nil {
+				span.SetAttr("status", "cancelled")
+				span.End()
 				return nil, fmt.Errorf("service: %w (last failure: %w)", err, lastErr)
 			}
 		}
-		resp, err := c.once(ctx, body)
+		attempt := rt.Start("client/attempt")
+		resp, err := c.once(ctx, body, tc)
 		if err == nil {
+			attempt.End()
+			span.SetAttr("status", "ok")
+			span.SetInt("attempts", int64(n+1))
+			span.End()
 			return resp, nil
 		}
+		attempt.SetAttr("err", err.Error())
+		attempt.End()
 		if ctx.Err() != nil {
+			span.SetAttr("status", "cancelled")
+			span.End()
 			return nil, fmt.Errorf("service: %w (last failure: %w)", ctx.Err(), err)
 		}
 		if !retryable(err) {
+			span.SetAttr("status", "failed")
+			span.End()
 			return nil, err
 		}
 		lastErr = err
 	}
 }
 
-func (c *Client) once(ctx context.Context, body []byte) (*Response, error) {
+func (c *Client) once(ctx context.Context, body []byte, tc obs.TraceContext) (*Response, error) {
 	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/summarize", bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("service: building request: %w", err)
 	}
 	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set(obs.TraceHeader, tc.String())
 	if c.ClientID != "" {
 		hr.Header.Set("X-Loopsum-Client", c.ClientID)
 	}

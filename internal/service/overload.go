@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"stringloops/internal/core"
+	"stringloops/internal/obs"
 )
 
 // OverloadPolicy maps server pressure onto the degradation ladder's
@@ -27,7 +28,10 @@ type OverloadPolicy struct {
 	// TargetP99 degrades one extra level while the recent p99 completion
 	// latency exceeds it. Zero disables the latency signal.
 	TargetP99 time.Duration
-	// Window is the latency ring size feeding the p99 (default 128).
+	// Window is the number of recent completions the latency p99 is
+	// computed over (default 128). The window is approximate: latencies
+	// accumulate into a rotating pair of log2 histograms, so the signal
+	// covers between Window and 2×Window recent requests.
 	Window int
 	// Disable turns the policy off: every request starts at RungFull
 	// regardless of pressure. The chaos soak uses it so server verdicts
@@ -51,60 +55,64 @@ func (p OverloadPolicy) withDefaults() OverloadPolicy {
 	return p
 }
 
-// overload is the policy's runtime state: a fixed ring of recent
-// completion latencies under one mutex (appends are rare relative to
-// pipeline work, so contention is negligible).
+// overload is the policy's runtime state. Completion latencies feed a
+// rotating pair of obs.Histograms (the "windowed histogram" idiom: cur
+// fills to Window observations, then becomes prev and a fresh cur starts),
+// so the same log2 buckets drive both the degradation signal and the
+// Prometheus scrape — the old exact-scan latency ring kept a second,
+// scrape-invisible copy of the distribution. The p99 read is an upper
+// bound at bucket resolution: within 2× of the exact order statistic,
+// which is well inside the policy thresholds' precision.
 type overload struct {
-	pol  OverloadPolicy
+	pol OverloadPolicy
+
 	mu   sync.Mutex
-	ring []time.Duration
-	next int
-	n    int
+	cur  *obs.Histogram
+	prev *obs.Histogram
+	curN int
 }
 
 func newOverload(pol OverloadPolicy) *overload {
 	pol = pol.withDefaults()
-	return &overload{pol: pol, ring: make([]time.Duration, pol.Window)}
+	return &overload{pol: pol, cur: &obs.Histogram{}}
 }
 
-// observe records one completed request's latency.
+// observe records one completed request's latency, rotating the window
+// when the current histogram has seen Window observations.
 func (o *overload) observe(d time.Duration) {
 	o.mu.Lock()
-	o.ring[o.next] = d
-	o.next = (o.next + 1) % len(o.ring)
-	if o.n < len(o.ring) {
-		o.n++
+	o.cur.Observe(int64(d))
+	o.curN++
+	if o.curN >= o.pol.Window {
+		o.prev = o.cur
+		o.cur = &obs.Histogram{}
+		o.curN = 0
 	}
 	o.mu.Unlock()
 }
 
-// p99 is the 99th-percentile latency over the ring (0 when empty).
+// p99 is the 99th-percentile latency upper bound over the window (0 when
+// no observations yet).
 func (o *overload) p99() time.Duration {
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	if o.n == 0 {
-		return 0
+	cur, prev := o.cur, o.prev
+	o.mu.Unlock()
+	buckets := cur.Buckets()
+	if prev != nil {
+		buckets = mergeBucketCounts(buckets, prev.Buckets())
 	}
-	// Selection by copy + partial sort is overkill for ≤ a few hundred
-	// entries; a max-ish scan suffices: take the k-th largest with k =
-	// ceil(n/100), via a small insertion pass.
-	k := (o.n + 99) / 100
-	top := make([]time.Duration, 0, k)
-	for i := 0; i < o.n; i++ {
-		v := o.ring[i]
-		pos := len(top)
-		for pos > 0 && top[pos-1] < v {
-			pos--
-		}
-		if pos < k {
-			if len(top) < k {
-				top = append(top, 0)
-			}
-			copy(top[pos+1:], top[pos:])
-			top[pos] = v
-		}
+	return time.Duration(obs.QuantileFromBuckets(buckets, 0.99))
+}
+
+// mergeBucketCounts adds b into a element-wise, growing as needed.
+func mergeBucketCounts(a, b []int64) []int64 {
+	if len(b) > len(a) {
+		a = append(a, make([]int64, len(b)-len(a))...)
 	}
-	return top[len(top)-1]
+	for i, n := range b {
+		a[i] += n
+	}
+	return a
 }
 
 // startRung picks the ladder's starting rung for one request given the

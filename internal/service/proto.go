@@ -39,6 +39,10 @@ type Request struct {
 	// RequireMemoryless refuses summaries for loops that fail the §3
 	// verification.
 	RequireMemoryless bool `json:"require_memoryless,omitempty"`
+	// Explain asks the server to attach a Provenance record to the
+	// response: why this rung was chosen and what the request spent,
+	// reconciled against the request's engine.Budget carves.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // SummaryPayload is the RungFull payload of a response.
@@ -93,6 +97,97 @@ type Response struct {
 	// QueueWaitNs is time spent waiting for an admission slot (excluded
 	// from VerdictKey).
 	QueueWaitNs int64 `json:"queue_wait_ns"`
+	// Provenance is the explainability record, present only when the
+	// request set Explain (excluded from VerdictKey: spend and policy
+	// inputs are schedule-dependent, the verdict is not).
+	Provenance *Provenance `json:"provenance,omitempty"`
+}
+
+// SpendTotals is resource spend as engine.Budget accounts it — the same
+// counters the server reconciles 1:1 against the request's private metric
+// registry (and loopsum -corpus reconciles offline).
+type SpendTotals struct {
+	Conflicts     int64 `json:"conflicts,omitempty"`
+	Propagations  int64 `json:"propagations,omitempty"`
+	Forks         int64 `json:"forks,omitempty"`
+	Nodes         int64 `json:"nodes,omitempty"`
+	QCacheHits    int64 `json:"qcache_hits,omitempty"`
+	QCacheMisses  int64 `json:"qcache_misses,omitempty"`
+	DiskHits      int64 `json:"disk_hits,omitempty"`
+	DiskMisses    int64 `json:"disk_misses,omitempty"`
+	DiskEvictions int64 `json:"disk_evictions,omitempty"`
+	VNHits        int64 `json:"vn_hits,omitempty"`
+	IteFusions    int64 `json:"ite_fusions,omitempty"`
+	BlastHits     int64 `json:"blast_hits,omitempty"`
+	SimplifyCalls int64 `json:"simplify_calls,omitempty"`
+	Merges        int64 `json:"merges,omitempty"`
+	MergeItes     int64 `json:"merge_ites,omitempty"`
+}
+
+// Add accumulates one attempt's spend into the totals.
+func (t *SpendTotals) Add(o SpendTotals) {
+	t.Conflicts += o.Conflicts
+	t.Propagations += o.Propagations
+	t.Forks += o.Forks
+	t.Nodes += o.Nodes
+	t.QCacheHits += o.QCacheHits
+	t.QCacheMisses += o.QCacheMisses
+	t.DiskHits += o.DiskHits
+	t.DiskMisses += o.DiskMisses
+	t.DiskEvictions += o.DiskEvictions
+	t.VNHits += o.VNHits
+	t.IteFusions += o.IteFusions
+	t.BlastHits += o.BlastHits
+	t.SimplifyCalls += o.SimplifyCalls
+	t.Merges += o.Merges
+	t.MergeItes += o.MergeItes
+}
+
+// AttemptProvenance is one supervised attempt of the ladder with its own
+// budget spend. Smoke-rung attempts run purely in the interpreter with no
+// budget, so their Spend is nil.
+type AttemptProvenance struct {
+	Rung     string `json:"rung"`
+	Err      string `json:"err,omitempty"`
+	Panicked bool   `json:"panicked,omitempty"`
+	// Spend is this attempt's budget spend (nil for budget-less smoke
+	// attempts); ElapsedNs is the budget's wall time.
+	Spend     *SpendTotals `json:"spend,omitempty"`
+	ElapsedNs int64        `json:"elapsed_ns,omitempty"`
+}
+
+// Provenance is the verdict explainability record: which rung the overload
+// policy chose and the inputs that picked it, the attempt history with
+// per-attempt (per-phase) budget spend, the request's total spend, and
+// whether that spend reconciled 1:1 against the request's private metric
+// registry. It answers "why did this loop get this verdict, at this rung,
+// from which cache tier, at what cost" across a process boundary.
+type Provenance struct {
+	// TraceID is the propagated X-Loopsum-Trace trace id (16 hex digits),
+	// joining this record to the client and server span streams.
+	TraceID string `json:"trace_id,omitempty"`
+	// StartRung / FinalRung bracket the ladder walk; FloorRung is the
+	// configured floor the policy could not start above.
+	StartRung string `json:"start_rung"`
+	FinalRung string `json:"final_rung"`
+	FloorRung string `json:"floor_rung"`
+	// PolicyDisabled / Draining explain a pinned start rung.
+	PolicyDisabled bool `json:"policy_disabled,omitempty"`
+	Draining       bool `json:"draining,omitempty"`
+	// LoadFraction and P99SignalNs are the overload policy's inputs at
+	// admission time (occupied admission capacity / total capacity, and
+	// the windowed completion-latency p99 upper bound).
+	LoadFraction float64 `json:"load_fraction"`
+	P99SignalNs  int64   `json:"p99_signal_ns"`
+	// Attempts is the supervised attempt history, in order.
+	Attempts []AttemptProvenance `json:"attempts,omitempty"`
+	// Totals is the request's summed budget spend across all attempts.
+	Totals SpendTotals `json:"totals"`
+	// Reconciled reports whether Totals matched the request's private
+	// metric registry counter-for-counter (false means the server counted
+	// a reconcile drift for this request — an accounting bug, not a wrong
+	// verdict).
+	Reconciled bool `json:"reconciled"`
 }
 
 // ErrorBody is the JSON body of every non-2xx response.

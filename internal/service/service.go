@@ -38,11 +38,16 @@ const (
 	MSvcReconcileDrift = "service.reconcile_drift" // budget↔metrics mismatch
 	MSvcLatencyNs      = "service.latency_ns"
 	MSvcQueueWaitNs    = "service.queue_wait_ns"
-	MSvcInFlight       = "service.inflight"    // gauge
-	MSvcQueued         = "service.queued"      // gauge
-	MSvcStartRung      = "service.start_rung"  // gauge: last policy verdict
-	MSvcRungPrefix     = "service.rung."       // counter per reached rung
-	MSvcStartPrefix    = "service.start_rung." // counter per starting rung
+	MSvcTraced         = "service.traced"        // requests with a trace header
+	MSvcExplained      = "service.explained"     // requests asking for provenance
+	MSvcInFlight       = "service.inflight"      // gauge
+	MSvcQueued         = "service.queued"        // gauge
+	MSvcStartRung      = "service.start_rung"    // gauge: last policy verdict
+	MSvcLoadPermille   = "service.load_permille" // gauge: load fraction ×1000
+	MSvcP99Signal      = "service.p99_signal_ns" // gauge: overload window p99
+	MSvcDraining       = "service.draining"      // gauge: 1 while draining
+	MSvcRungPrefix     = "service.rung."         // counter per reached rung
+	MSvcStartPrefix    = "service.start_rung."   // counter per starting rung
 )
 
 // Config configures a Server. The zero value serves with sane defaults:
@@ -237,18 +242,35 @@ func (s *Server) Drain(ctx context.Context) error {
 	return waitErr
 }
 
-// startRung combines the config floor, the overload policy, and drain:
-// drain forces the smoke floor (queued work is answered cheaply), the
-// policy moves below the configured floor under pressure.
-func (s *Server) startRung() core.Rung {
-	if s.Draining() {
-		return core.RungSmoke
+// rungDecision is one evaluation of the start-rung policy together with
+// the inputs that produced it — the overload half of a provenance record.
+type rungDecision struct {
+	rung     core.Rung
+	loadFrac float64
+	p99      time.Duration
+	draining bool
+}
+
+// decideStartRung combines the config floor, the overload policy, and
+// drain: drain forces the smoke floor (queued work is answered cheaply),
+// the policy moves below the configured floor under pressure. The returned
+// decision carries the policy inputs so an explain response can show not
+// just the chosen rung but why.
+func (s *Server) decideStartRung() rungDecision {
+	d := rungDecision{
+		loadFrac: s.adm.loadFraction(),
+		p99:      s.ovl.p99(),
+		draining: s.Draining(),
 	}
-	r := s.ovl.startRung(s.adm.loadFraction())
-	if r < s.cfg.StartRung {
-		r = s.cfg.StartRung
+	if d.draining {
+		d.rung = core.RungSmoke
+		return d
 	}
-	return r
+	d.rung = s.ovl.startRung(d.loadFrac)
+	if d.rung < s.cfg.StartRung {
+		d.rung = s.cfg.StartRung
+	}
+	return d
 }
 
 // retryAfterSec estimates when retrying is worthwhile: roughly one
@@ -272,6 +294,16 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.Counter(MSvcRequests).Inc()
 	began := s.cfg.Now()
+
+	// Propagated trace context: a malformed or absent header degrades to
+	// an untraced request, never a rejection.
+	var traceID string
+	if h := r.Header.Get(obs.TraceHeader); h != "" {
+		if tc, err := obs.ParseTraceParent(h); err == nil {
+			traceID = tc.TraceIDString()
+			s.m.Counter(MSvcTraced).Inc()
+		}
+	}
 
 	if s.Draining() {
 		s.m.Counter(MSvcShedDraining).Inc()
@@ -346,9 +378,22 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	s.m.Gauge(MSvcInFlight).Set(s.adm.inFlight())
 	s.m.Gauge(MSvcQueued).Set(s.adm.waiting())
 
-	start := s.startRung()
+	dec := s.decideStartRung()
+	start := dec.rung
 	s.m.Gauge(MSvcStartRung).Set(int64(start))
 	s.m.Counter(MSvcStartPrefix + start.String()).Inc()
+
+	// The request's spans root under the propagated parent: a traced
+	// request gets its own child tracer stamped with the trace id (and,
+	// under a deterministic session tracer, a private logical clock — see
+	// obs.Tracer.RequestTracer), so the coordinator can join the client's
+	// and this server's view of one request by id alone.
+	tracer := s.cfg.Tracer
+	if traceID != "" {
+		tracer = s.cfg.Tracer.RequestTracer(traceID, 0)
+	}
+	reqSpan := tracer.Start("server/summarize")
+	reqSpan.SetAttr("start_rung", start.String())
 
 	// Per-request observability: the pipeline meters into a private
 	// registry so its spend reconciles 1:1 against the request's budgets;
@@ -375,7 +420,7 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 			Limits:      s.limits,
 			MaxLimits:   s.limits, // the carve is the ceiling: no escalation past it
 			MaxAttempts: s.cfg.MaxAttempts,
-			Tracer:      s.cfg.Tracer,
+			Tracer:      tracer,
 			Metrics:     reqMetrics,
 		})
 		return nil
@@ -383,17 +428,25 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// The ladder guards its own rungs; a panic here means the service
 		// plumbing itself blew up. Isolate it to this request.
+		reqSpan.SetAttr("panic", err.Error())
+		reqSpan.End()
 		s.m.Counter(MSvcPanics).Inc()
 		s.writeError(w, http.StatusInternalServerError, "internal panic: "+err.Error(), 0)
 		return
 	}
-	if !s.reconcile(reqMetrics, budgets) {
+	totals := sumBudgetSpend(budgets)
+	reconciled := s.reconcile(reqMetrics, totals)
+	if !reconciled {
 		s.m.Counter(MSvcReconcileDrift).Inc()
 	}
+	reqSpan.SetAttr("rung", out.Rung.String())
+	reqSpan.SetInt("attempts", int64(len(out.Attempts)))
+	reqSpan.End()
 
 	elapsed := s.cfg.Now().Sub(began)
 	s.ovl.observe(elapsed)
 	s.m.Histogram(MSvcLatencyNs).Observe(int64(elapsed))
+	s.m.Gauge(MSvcP99Signal).Set(int64(s.ovl.p99()))
 
 	if ctx.Err() != nil && r.Context().Err() != nil {
 		// Client gone: the pipeline was cancelled mid-solve. The write
@@ -415,48 +468,109 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	resp := fromOutcome(out, start)
 	resp.ElapsedNs = int64(elapsed)
 	resp.QueueWaitNs = int64(queueWait)
+	if req.Explain {
+		s.m.Counter(MSvcExplained).Inc()
+		resp.Provenance = &Provenance{
+			TraceID:        traceID,
+			StartRung:      start.String(),
+			FinalRung:      out.Rung.String(),
+			FloorRung:      s.cfg.StartRung.String(),
+			PolicyDisabled: s.cfg.Overload.Disable,
+			Draining:       dec.draining,
+			LoadFraction:   dec.loadFrac,
+			P99SignalNs:    int64(dec.p99),
+			Attempts:       attemptProvenance(out.Attempts, budgets),
+			Totals:         totals,
+			Reconciled:     reconciled,
+		}
+	}
 	s.m.Counter(MSvcRungPrefix + out.Rung.String()).Inc()
 	s.m.Counter(MSvcCompleted).Inc()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// budgetSpend exports one attempt budget's counters in wire form.
+func budgetSpend(b *engine.Budget) SpendTotals {
+	return SpendTotals{
+		Conflicts:     b.Conflicts(),
+		Propagations:  b.Propagations(),
+		Forks:         b.Forks(),
+		Nodes:         b.Nodes(),
+		QCacheHits:    b.CacheHits(),
+		QCacheMisses:  b.CacheMisses(),
+		DiskHits:      b.DiskHits(),
+		DiskMisses:    b.DiskMisses(),
+		DiskEvictions: b.DiskEvictions(),
+		VNHits:        b.VNHits(),
+		IteFusions:    b.IteFusions(),
+		BlastHits:     b.BlastHits(),
+		SimplifyCalls: b.SimplifyCalls(),
+		Merges:        b.Merges(),
+		MergeItes:     b.MergeItes(),
+	}
+}
+
+// sumBudgetSpend folds every attempt budget into one request total — the
+// engine.Budget side of the reconciliation identity.
+func sumBudgetSpend(budgets []*engine.Budget) SpendTotals {
+	var t SpendTotals
+	for _, b := range budgets {
+		t.Add(budgetSpend(b))
+	}
+	return t
+}
+
+// attemptProvenance pairs the ladder's attempt history with the budgets it
+// created, in order. Every rung but smoke runs under exactly one fresh
+// budget per attempt (smoke is pure interpretation, budget-less), which is
+// how OnBudget observes them — so walking the attempts and consuming one
+// budget per non-smoke attempt reconstructs the per-phase spend.
+func attemptProvenance(attempts []core.AttemptRecord, budgets []*engine.Budget) []AttemptProvenance {
+	out := make([]AttemptProvenance, 0, len(attempts))
+	next := 0
+	for _, a := range attempts {
+		ap := AttemptProvenance{Rung: a.Rung.String(), Panicked: a.Panicked}
+		if a.Err != nil {
+			ap.Err = a.Err.Error()
+		}
+		if a.Rung != core.RungSmoke && next < len(budgets) {
+			b := budgets[next]
+			next++
+			spend := budgetSpend(b)
+			ap.Spend = &spend
+			ap.ElapsedNs = int64(b.Elapsed())
+		}
+		out = append(out, ap)
+	}
+	return out
+}
+
 // reconcile checks the request's private metric registry against its
 // summed budget spend — the same counter-by-counter identity loopsum
-// -corpus enforces offline, here per request.
-func (s *Server) reconcile(m *obs.Metrics, budgets []*engine.Budget) bool {
-	var conflicts, propagations, forks, nodes, hits, misses int64
-	var dhits, dmisses, devics, vnhits, fusions, bhits int64
-	for _, b := range budgets {
-		conflicts += b.Conflicts()
-		propagations += b.Propagations()
-		forks += b.Forks()
-		nodes += b.Nodes()
-		hits += b.CacheHits()
-		misses += b.CacheMisses()
-		dhits += b.DiskHits()
-		dmisses += b.DiskMisses()
-		devics += b.DiskEvictions()
-		vnhits += b.VNHits()
-		fusions += b.IteFusions()
-		bhits += b.BlastHits()
-	}
+// -corpus enforces offline, here per request. The totals are also what an
+// explain response reports, so a drift-free request's provenance is the
+// budget truth by construction.
+func (s *Server) reconcile(m *obs.Metrics, totals SpendTotals) bool {
 	snap := m.Snapshot()
 	for _, c := range []struct {
 		name string
 		want int64
 	}{
-		{obs.MSatConflicts, conflicts},
-		{obs.MSatPropagations, propagations},
-		{obs.MSymexForks, forks},
-		{obs.MBVNodes, nodes},
-		{obs.MQCacheHits, hits},
-		{obs.MQCacheMisses, misses},
-		{obs.MDiskHits, dhits},
-		{obs.MDiskMisses, dmisses},
-		{obs.MDiskEvictions, devics},
-		{obs.MBVVNHits, vnhits},
-		{obs.MBVIteFusions, fusions},
-		{obs.MBVBlastHits, bhits},
+		{obs.MSatConflicts, totals.Conflicts},
+		{obs.MSatPropagations, totals.Propagations},
+		{obs.MSymexForks, totals.Forks},
+		{obs.MBVNodes, totals.Nodes},
+		{obs.MQCacheHits, totals.QCacheHits},
+		{obs.MQCacheMisses, totals.QCacheMisses},
+		{obs.MDiskHits, totals.DiskHits},
+		{obs.MDiskMisses, totals.DiskMisses},
+		{obs.MDiskEvictions, totals.DiskEvictions},
+		{obs.MBVVNHits, totals.VNHits},
+		{obs.MBVIteFusions, totals.IteFusions},
+		{obs.MBVBlastHits, totals.BlastHits},
+		{obs.MBVSimplifyCalls, totals.SimplifyCalls},
+		{obs.MSymexMerges, totals.Merges},
+		{obs.MSymexMergeItes, totals.MergeItes},
 	} {
 		if snap.Counters[c.name] != c.want {
 			return false
@@ -465,24 +579,92 @@ func (s *Server) reconcile(m *obs.Metrics, budgets []*engine.Budget) bool {
 	return true
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	status := "ok"
-	code := http.StatusOK
-	if s.Draining() {
-		status = "draining"
-		code = http.StatusServiceUnavailable
-	}
-	s.writeJSON(w, code, map[string]any{
-		"status":     status,
-		"inflight":   s.adm.inFlight(),
-		"queued":     s.adm.waiting(),
-		"start_rung": s.startRung().String(),
-		"p99_ns":     int64(s.ovl.p99()),
-	})
+// Health is the typed body of GET /healthz — one struct instead of the
+// ad-hoc key/value assembly it replaced, so the JSON surface is a schema
+// clients can rely on and the same numbers feed the health gauges the
+// Prometheus path scrapes.
+type Health struct {
+	Status       string  `json:"status"`
+	InFlight     int64   `json:"inflight"`
+	Queued       int64   `json:"queued"`
+	StartRung    string  `json:"start_rung"`
+	P99Ns        int64   `json:"p99_ns"`
+	LoadFraction float64 `json:"load_fraction"`
+	Draining     bool    `json:"draining,omitempty"`
 }
 
+// Health snapshots the server's admission state.
+func (s *Server) Health() Health {
+	dec := s.decideStartRung()
+	h := Health{
+		Status:       "ok",
+		InFlight:     s.adm.inFlight(),
+		Queued:       s.adm.waiting(),
+		StartRung:    dec.rung.String(),
+		P99Ns:        int64(dec.p99),
+		LoadFraction: dec.loadFrac,
+		Draining:     dec.draining,
+	}
+	if h.Draining {
+		h.Status = "draining"
+	}
+	return h
+}
+
+// syncHealthGauges mirrors the health snapshot into the metrics registry,
+// so the JSON and Prometheus views of /metrics expose the same admission
+// state a /healthz probe sees.
+func (s *Server) syncHealthGauges(h Health) {
+	s.m.Gauge(MSvcInFlight).Set(h.InFlight)
+	s.m.Gauge(MSvcQueued).Set(h.Queued)
+	s.m.Gauge(MSvcLoadPermille).Set(int64(h.LoadFraction * 1000))
+	s.m.Gauge(MSvcP99Signal).Set(h.P99Ns)
+	var draining int64
+	if h.Draining {
+		draining = 1
+	}
+	s.m.Gauge(MSvcDraining).Set(draining)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	code := http.StatusOK
+	if h.Draining {
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, h)
+}
+
+// handleMetrics serves the registry snapshot: JSON by default,
+// ?format=prom for Prometheus text exposition. Both views render the same
+// obs.Snapshot (plus the runtime health gauges captured at scrape time);
+// HEAD answers with headers only.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.m.Snapshot())
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET or HEAD only", 0)
+		return
+	}
+	s.syncHealthGauges(s.Health())
+	obs.CaptureRuntime(s.m)
+	snap := s.m.Snapshot()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		if r.Method == http.MethodHead {
+			w.Header().Set("Content-Type", "application/json")
+			return
+		}
+		s.writeJSON(w, http.StatusOK, snap)
+	case "prom", "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if r.Method == http.MethodHead {
+			return
+		}
+		if err := snap.WritePrometheus(w); err != nil {
+			s.m.Counter(MSvcEncodeFailed).Inc()
+		}
+	default:
+		s.writeError(w, http.StatusBadRequest, "unknown format "+strconv.Quote(format)+" (want json or prom)", 0)
+	}
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
